@@ -1,0 +1,164 @@
+//! Criterion microbenchmarks of the real (host-executed) computational
+//! kernels: the CPU oracle, the three numeric mergers, symbolic analysis,
+//! generators, classification/splitting preprocessing, and the L2
+//! simulator itself.
+//!
+//! These measure *wall-clock Rust performance* of the library (the thing a
+//! downstream user of the crates cares about), complementing the simulated
+//! GPU times the fig/table binaries report.
+
+use block_reorganizer::classify::Classification;
+use block_reorganizer::config::ReorganizerConfig;
+use block_reorganizer::split::{plan_splits, SplitPlan};
+use br_datasets::chung_lu::{chung_lu, ChungLuConfig};
+use br_datasets::rmat::{rmat, RmatConfig};
+use br_gpu_sim::device::DeviceConfig;
+use br_gpu_sim::l2cache::L2Cache;
+use br_gpu_sim::trace::{AccessPattern, MemSegment, MemoryLayout};
+use br_sparse::ops::{block_products, spgemm_gustavson, symbolic_nnz};
+use br_sparse::CsrMatrix;
+use br_spgemm::context::ProblemContext;
+use br_spgemm::numeric::{spgemm_dense_spa, spgemm_hash, spgemm_sort_reduce};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn skewed_input() -> CsrMatrix<f64> {
+    chung_lu(ChungLuConfig::social(8_000, 64_000, 42)).to_csr()
+}
+
+fn regular_input() -> CsrMatrix<f64> {
+    rmat(RmatConfig::uniform(13, 8, 42)).to_csr()
+}
+
+fn bench_numeric_mergers(c: &mut Criterion) {
+    let a = skewed_input();
+    let mut g = c.benchmark_group("numeric-mergers");
+    g.sample_size(10);
+    g.bench_function("dense-spa", |b| {
+        b.iter(|| spgemm_dense_spa(black_box(&a), black_box(&a)).unwrap())
+    });
+    g.bench_function("sort-reduce", |b| {
+        b.iter(|| spgemm_sort_reduce(black_box(&a), black_box(&a)).unwrap())
+    });
+    g.bench_function("hash", |b| {
+        b.iter(|| spgemm_hash(black_box(&a), black_box(&a)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_symbolic(c: &mut Criterion) {
+    let a = skewed_input();
+    let mut g = c.benchmark_group("symbolic");
+    g.bench_function("block-products", |b| {
+        b.iter(|| block_products(black_box(&a), black_box(&a)).unwrap())
+    });
+    g.bench_function("symbolic-nnz", |b| {
+        b.iter(|| symbolic_nnz(black_box(&a), black_box(&a)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generators");
+    g.sample_size(10);
+    g.bench_function("rmat-scale13-ef8", |b| {
+        b.iter(|| rmat(RmatConfig::graph500(13, 8, 7)))
+    });
+    g.bench_function("chung-lu-8k-64k", |b| {
+        b.iter(|| chung_lu(ChungLuConfig::social(8_000, 64_000, 7)))
+    });
+    g.finish();
+}
+
+fn bench_preprocessing(c: &mut Criterion) {
+    let a = skewed_input();
+    let ctx = ProblemContext::new(&a, &a).unwrap();
+    let dev = DeviceConfig::titan_xp();
+    let cfg = ReorganizerConfig::default();
+    let mut g = c.benchmark_group("reorganizer-preprocessing");
+    g.bench_function("classification", |b| {
+        b.iter(|| Classification::of(black_box(&ctx), black_box(&cfg)))
+    });
+    let cls = Classification::of(&ctx, &cfg);
+    g.bench_function("split-planning", |b| {
+        b.iter(|| {
+            plan_splits(
+                black_box(&ctx),
+                &cls.dominators,
+                cfg.split_policy,
+                &dev,
+                cls.threshold,
+            )
+        })
+    });
+    g.bench_function("split-plan-1M-column", |b| {
+        b.iter(|| SplitPlan::new(0, black_box(1_000_000), 64))
+    });
+    g.finish();
+}
+
+fn bench_oracle_by_class(c: &mut Criterion) {
+    let skewed = skewed_input();
+    let regular = regular_input();
+    let mut g = c.benchmark_group("oracle-gustavson");
+    g.sample_size(10);
+    g.bench_function("skewed-8k", |b| {
+        b.iter(|| spgemm_gustavson(black_box(&skewed), black_box(&skewed)).unwrap())
+    });
+    g.bench_function("regular-8k", |b| {
+        b.iter(|| spgemm_gustavson(black_box(&regular), black_box(&regular)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_l2_simulator(c: &mut Criterion) {
+    let dev = DeviceConfig::titan_xp();
+    let mut layout = MemoryLayout::new();
+    let region = layout.alloc(256 << 20);
+    let coalesced = MemSegment {
+        region,
+        offset: 0,
+        bytes: 8 << 20,
+        pattern: AccessPattern::Coalesced,
+        write: false,
+        atomic: false,
+    };
+    let random = MemSegment {
+        region,
+        offset: 0,
+        bytes: 64 << 20,
+        pattern: AccessPattern::Random {
+            count: 100_000,
+            width: 8,
+        },
+        write: true,
+        atomic: true,
+    };
+    let mut g = c.benchmark_group("l2-simulator");
+    g.bench_function("stream-8MiB-coalesced", |b| {
+        b.iter_batched(
+            || L2Cache::for_device(&dev),
+            |mut l2| l2.stream_segment(black_box(&layout), black_box(&coalesced)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("scatter-100k-random", |b| {
+        b.iter_batched(
+            || L2Cache::for_device(&dev),
+            |mut l2| l2.stream_segment(black_box(&layout), black_box(&random)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_numeric_mergers,
+    bench_symbolic,
+    bench_generators,
+    bench_preprocessing,
+    bench_oracle_by_class,
+    bench_l2_simulator
+);
+criterion_main!(benches);

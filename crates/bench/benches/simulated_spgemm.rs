@@ -1,0 +1,46 @@
+//! Criterion benchmarks of the *whole simulated pipeline* per method —
+//! how long it takes this library to plan, trace, and replay one spGEMM on
+//! the GPU model. This is the cost a user pays per `multiply` call.
+
+use block_reorganizer::{BlockReorganizer, ReorganizerConfig};
+use br_datasets::registry::{RealWorldRegistry, ScaleFactor};
+use br_gpu_sim::device::DeviceConfig;
+use br_spgemm::context::ProblemContext;
+use br_spgemm::pipeline::{run_method, SpgemmMethod};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_methods_end_to_end(c: &mut Criterion) {
+    let dev = DeviceConfig::titan_xp();
+    let spec = RealWorldRegistry::get("emailEnron").expect("registry dataset");
+    let a = spec.generate(ScaleFactor::Tiny);
+    let ctx = ProblemContext::new(&a, &a).expect("square shapes");
+
+    let mut g = c.benchmark_group("simulated-multiply-emailEnron-tiny");
+    g.sample_size(10);
+    for m in SpgemmMethod::all() {
+        g.bench_function(m.name(), |b| {
+            b.iter(|| run_method(black_box(&ctx), m, black_box(&dev)).unwrap())
+        });
+    }
+    g.bench_function("Block-Reorganizer", |b| {
+        let pass = BlockReorganizer::new(ReorganizerConfig::default());
+        b.iter(|| pass.multiply_ctx(black_box(&ctx), black_box(&dev)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_context_construction(c: &mut Criterion) {
+    let spec = RealWorldRegistry::get("scircuit").expect("registry dataset");
+    let a = spec.generate(ScaleFactor::Tiny);
+    c.bench_function("problem-context-scircuit-tiny", |b| {
+        b.iter(|| ProblemContext::new(black_box(&a), black_box(&a)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_methods_end_to_end,
+    bench_context_construction
+);
+criterion_main!(benches);

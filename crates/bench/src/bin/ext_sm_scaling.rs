@@ -1,0 +1,86 @@
+//! Extension bench: hardware scale-up. Figure 11's discussion claims that
+//! because LBI converges once the splitting factor reaches the SM count,
+//! "block-splitting is still an effective technique to improve performance"
+//! as hardware grows. We test that directly: sweep the SM count of a
+//! Titan-Xp-like device (bandwidth scaled proportionally) and measure the
+//! Block Reorganizer's speedup over the row-product baseline.
+
+use block_reorganizer::{BlockReorganizer, ReorganizerConfig};
+use br_bench::harness::{parse_args, square_context};
+use br_bench::report::{f2, maybe_write_json, sparkline, Table};
+use br_datasets::registry::RealWorldRegistry;
+use br_gpu_sim::device::DeviceConfig;
+use br_spgemm::pipeline::{run_method, SpgemmMethod};
+use serde::Serialize;
+
+const SM_COUNTS: [u32; 6] = [15, 30, 45, 60, 90, 120];
+
+fn scaled_device(sms: u32) -> DeviceConfig {
+    let base = DeviceConfig::titan_xp();
+    let ratio = sms as f64 / base.num_sms as f64;
+    DeviceConfig {
+        name: format!("TitanXp-like/{sms}SM"),
+        num_sms: sms,
+        // Bandwidth and L2 grow with the SM count, as across real
+        // generations (Table I); per-SM resources stay fixed.
+        l2_bytes: (base.l2_bytes as f64 * ratio) as u64,
+        dram_bandwidth_gbs: base.dram_bandwidth_gbs * ratio,
+        l2_bandwidth_gbs: base.l2_bandwidth_gbs * ratio,
+        ..base
+    }
+}
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    /// (sms, speedup vs row-product, expansion LBI) triples.
+    series: Vec<(u32, f64, f64)>,
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "Extension: Block Reorganizer speedup vs SM count (bandwidth-proportional scale-up)\n"
+    );
+    let mut t = Table::new(vec![
+        "dataset", "metric", "15", "30", "45", "60", "90", "120", "trend",
+    ]);
+    let mut rows = Vec::new();
+    for name in ["youtube", "loc-gowalla", "harbor"] {
+        let spec = RealWorldRegistry::get(name).expect("registry dataset");
+        let a = spec.generate(args.scale);
+        let ctx = square_context(&a);
+        let mut series = Vec::new();
+        for &sms in &SM_COUNTS {
+            let dev = scaled_device(sms);
+            let row = run_method(&ctx, SpgemmMethod::RowProduct, &dev).expect("valid shapes");
+            let reorg = BlockReorganizer::new(ReorganizerConfig::default())
+                .multiply_ctx(&ctx, &dev)
+                .expect("valid shapes");
+            series.push((sms, row.total_ms / reorg.total_ms, reorg.profiles[1].lbi()));
+        }
+        let speeds: Vec<f64> = series.iter().map(|s| s.1).collect();
+        let lbis: Vec<f64> = series.iter().map(|s| s.2).collect();
+        t.row(
+            std::iter::once(name.to_string())
+                .chain(std::iter::once("speedup".to_string()))
+                .chain(speeds.iter().map(|&v| f2(v)))
+                .chain(std::iter::once(sparkline(&speeds)))
+                .collect(),
+        );
+        t.row(
+            std::iter::once(String::new())
+                .chain(std::iter::once("exp. LBI".to_string()))
+                .chain(lbis.iter().map(|&v| f2(v)))
+                .chain(std::iter::once(sparkline(&lbis)))
+                .collect(),
+        );
+        rows.push(Row {
+            dataset: name.to_string(),
+            series,
+        });
+    }
+    t.print();
+    println!("\npaper claim: the Auto splitting factor tracks the SM count, so the gain survives scale-up");
+    maybe_write_json(&args.json, &rows);
+}

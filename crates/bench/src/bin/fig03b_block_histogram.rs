@@ -1,0 +1,81 @@
+//! Figure 3(b) — distribution of outer-product thread blocks by number of
+//! effective threads, on the 10-dataset panel.
+//!
+//! The paper's observation: "most of the thread blocks have less than 32
+//! effective threads for many matrices" — the low-performer population
+//! B-Gathering targets.
+
+use br_bench::harness::{parse_args, square_context};
+use br_bench::report::{f2, maybe_write_json, Table};
+use br_datasets::registry::RealWorldRegistry;
+use br_gpu_sim::device::DeviceConfig;
+use br_spgemm::pipeline::{run_method, SpgemmMethod};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    /// Fraction of blocks per log2 effective-thread bucket:
+    /// [1, 2, 3-4, 5-8, 9-16, 17-32, 33-64, ...]
+    histogram: Vec<f64>,
+    under_warp_fraction: f64,
+}
+
+fn main() {
+    let args = parse_args();
+    let dev = DeviceConfig::titan_xp();
+    println!("Figure 3(b): thread-block distribution by effective threads (outer-product)\n");
+    let mut t = Table::new(vec![
+        "dataset",
+        "=1",
+        "=2",
+        "3-4",
+        "5-8",
+        "9-16",
+        "17-32",
+        ">32",
+        "<32 total %",
+    ]);
+    let mut rows = Vec::new();
+    for spec in RealWorldRegistry::fig3_panel() {
+        let a = spec.generate(args.scale);
+        let ctx = square_context(&a);
+        let run = run_method(&ctx, SpgemmMethod::OuterProduct, &dev).expect("valid shapes");
+        let hist = &run.profiles[0].effective_thread_histogram;
+        let total: usize = hist.iter().sum();
+        let frac = |range: std::ops::Range<usize>| -> f64 {
+            let n: usize = range.filter_map(|i| hist.get(i)).sum();
+            n as f64 / total.max(1) as f64
+        };
+        let buckets = vec![
+            frac(0..1),
+            frac(1..2),
+            frac(2..3),
+            frac(3..4),
+            frac(4..5),
+            frac(5..6),
+            frac(6..hist.len().max(6)),
+        ];
+        // Buckets 0..=5 cover effective threads ≤ 32 (the warp size).
+        let under = buckets[..6].iter().sum::<f64>();
+        t.row(vec![
+            spec.name.to_string(),
+            f2(buckets[0] * 100.0),
+            f2(buckets[1] * 100.0),
+            f2(buckets[2] * 100.0),
+            f2(buckets[3] * 100.0),
+            f2(buckets[4] * 100.0),
+            f2(buckets[5] * 100.0),
+            f2(buckets[6] * 100.0),
+            f2(under * 100.0),
+        ]);
+        rows.push(Row {
+            dataset: spec.name.to_string(),
+            histogram: buckets,
+            under_warp_fraction: under,
+        });
+    }
+    t.print();
+    println!("\npaper: most blocks have < 32 effective threads on sparse networks");
+    maybe_write_json(&args.json, &rows);
+}

@@ -1,0 +1,54 @@
+//! Figure 3(c) — execution-time split between expansion and merge for the
+//! outer-product baseline on the 10-dataset panel.
+//!
+//! The paper: "high merge latency exists when the merge process is
+//! performed for rows with large nnz" — the skewed sets spend a large
+//! share of their time merging.
+
+use br_bench::harness::{parse_args, square_context};
+use br_bench::report::{f2, maybe_write_json, Table};
+use br_datasets::registry::RealWorldRegistry;
+use br_gpu_sim::device::DeviceConfig;
+use br_spgemm::pipeline::{run_method, SpgemmMethod};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    class: String,
+    expansion_ms: f64,
+    merge_ms: f64,
+    merge_share: f64,
+}
+
+fn main() {
+    let args = parse_args();
+    let dev = DeviceConfig::titan_xp();
+    println!("Figure 3(c): expansion vs merge time, outer-product baseline\n");
+    let mut t = Table::new(vec!["dataset", "class", "expansion %", "merge %"]);
+    let mut rows = Vec::new();
+    for spec in RealWorldRegistry::fig3_panel() {
+        let a = spec.generate(args.scale);
+        let ctx = square_context(&a);
+        let run = run_method(&ctx, SpgemmMethod::OuterProduct, &dev).expect("valid shapes");
+        let exp = run.phase_ms("expansion");
+        let merge = run.phase_ms("merge");
+        let total = (exp + merge).max(1e-12);
+        t.row(vec![
+            spec.name.to_string(),
+            format!("{:?}", spec.class),
+            f2(exp / total * 100.0),
+            f2(merge / total * 100.0),
+        ]);
+        rows.push(Row {
+            dataset: spec.name.to_string(),
+            class: format!("{:?}", spec.class),
+            expansion_ms: exp,
+            merge_ms: merge,
+            merge_share: merge / total,
+        });
+    }
+    t.print();
+    println!("\npaper: merge share grows with row-nnz skew of the output matrix");
+    maybe_write_json(&args.json, &rows);
+}

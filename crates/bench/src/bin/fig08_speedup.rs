@@ -1,0 +1,64 @@
+//! Figure 8 — speedup of all seven methods over the row-product baseline
+//! on the 28 real-world datasets (Titan Xp).
+//!
+//! Paper means: Block Reorganizer 1.43×; outer-product 0.95×;
+//! cuSPARSE 0.29×; CUSP 0.22×; bhSPARSE 0.55×; MKL 0.48×.
+
+use br_bench::harness::{geomean, method_names, method_times_ms, parse_args, square_context};
+use br_bench::report::{f2, maybe_write_json, Table};
+use br_datasets::registry::RealWorldRegistry;
+use br_gpu_sim::device::DeviceConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    /// Speedup vs row-product, in method order.
+    speedups: Vec<f64>,
+}
+
+fn main() {
+    let args = parse_args();
+    let dev = DeviceConfig::titan_xp();
+    println!(
+        "Figure 8: speedup over the row-product baseline, {} (scale {:?})\n",
+        dev.name, args.scale
+    );
+    let names = method_names();
+    let mut header: Vec<String> = vec!["dataset".to_string()];
+    header.extend(names.iter().skip(1).map(|s| s.to_string()));
+    let mut t = Table::new(header);
+    let mut rows = Vec::new();
+    let mut per_method: Vec<Vec<f64>> = vec![Vec::new(); 7];
+    for spec in RealWorldRegistry::all() {
+        let a = spec.generate(args.scale);
+        let ctx = square_context(&a);
+        let times = method_times_ms(&ctx, &dev);
+        let base = times[0];
+        let speedups: Vec<f64> = times.iter().map(|&t| base / t).collect();
+        for (i, &s) in speedups.iter().enumerate() {
+            per_method[i].push(s);
+        }
+        let mut cells = vec![spec.name.to_string()];
+        cells.extend(speedups.iter().skip(1).map(|&s| f2(s)));
+        t.row(cells);
+        rows.push(Row {
+            dataset: spec.name.to_string(),
+            speedups,
+        });
+    }
+    t.print();
+
+    println!("\ngeometric-mean speedup vs row-product:");
+    let mut m = Table::new(vec!["method", "measured", "paper"]);
+    let paper = [1.0, 0.95, 0.29, 0.22, 0.55, 0.48, 1.43];
+    for i in 1..7 {
+        m.row(vec![
+            names[i].to_string(),
+            f2(geomean(&per_method[i])),
+            f2(paper[i]),
+        ]);
+    }
+    m.print();
+    maybe_write_json(&args.json, &rows);
+}

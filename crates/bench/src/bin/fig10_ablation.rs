@@ -1,0 +1,89 @@
+//! Figure 10 — relative performance of B-Splitting, B-Gathering,
+//! B-Limiting alone, and the full Block Reorganizer, over the
+//! outer-product baseline, on the 28 real-world datasets.
+//!
+//! Paper means: B-Limiting 1.05×, B-Splitting 1.05×, B-Gathering 1.28×,
+//! Block Reorganizer 1.51× (over the outer-product baseline).
+
+use block_reorganizer::ablate::ablation;
+use br_bench::harness::{geomean, parse_args, square_context};
+use br_bench::report::{f2, maybe_write_json, Table};
+use br_datasets::registry::RealWorldRegistry;
+use br_gpu_sim::device::DeviceConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    b_limiting: f64,
+    b_splitting: f64,
+    b_gathering: f64,
+    block_reorganizer: f64,
+}
+
+fn main() {
+    let args = parse_args();
+    let dev = DeviceConfig::titan_xp();
+    println!(
+        "Figure 10: per-technique speedup over the outer-product baseline (scale {:?})\n",
+        args.scale
+    );
+    let mut t = Table::new(vec![
+        "dataset",
+        "B-Limiting",
+        "B-Splitting",
+        "B-Gathering",
+        "Block-Reorganizer",
+    ]);
+    let mut rows = Vec::new();
+    let (mut ls, mut ss, mut gs, mut fs) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    for spec in RealWorldRegistry::all() {
+        let a = spec.generate(args.scale);
+        let ctx = square_context(&a);
+        let rep = ablation(&ctx, &dev).expect("valid shapes");
+        let (limit, split, gather, full) = rep.fig10_bars();
+        t.row(vec![
+            spec.name.to_string(),
+            f2(limit),
+            f2(split),
+            f2(gather),
+            f2(full),
+        ]);
+        ls.push(limit);
+        ss.push(split);
+        gs.push(gather);
+        fs.push(full);
+        rows.push(Row {
+            dataset: spec.name.to_string(),
+            b_limiting: limit,
+            b_splitting: split,
+            b_gathering: gather,
+            block_reorganizer: full,
+        });
+    }
+    t.print();
+    println!("\ngeometric means (measured vs paper):");
+    let mut m = Table::new(vec!["technique", "measured", "paper"]);
+    m.row(vec![
+        "B-Limiting".to_string(),
+        f2(geomean(&ls)),
+        "1.05".to_string(),
+    ]);
+    m.row(vec![
+        "B-Splitting".to_string(),
+        f2(geomean(&ss)),
+        "1.05".to_string(),
+    ]);
+    m.row(vec![
+        "B-Gathering".to_string(),
+        f2(geomean(&gs)),
+        "1.28".to_string(),
+    ]);
+    m.row(vec![
+        "Block-Reorganizer".to_string(),
+        f2(geomean(&fs)),
+        "1.51".to_string(),
+    ]);
+    m.print();
+    maybe_write_json(&args.json, &rows);
+}

@@ -1,0 +1,87 @@
+//! Figure 11 — load-balancing effectiveness of B-Splitting: LBI and
+//! dominator-block speedup as the splitting factor sweeps 1 → 64, on the
+//! skewed (Stanford) datasets, Titan Xp.
+//!
+//! Paper: "LBI increases from 0.17 to 0.96, and dominator performance is
+//! improved by 8.68× on average"; LBI converges above 90% once the factor
+//! reaches the SM count (30).
+
+use block_reorganizer::classify::Classification;
+use block_reorganizer::config::ReorganizerConfig;
+use block_reorganizer::split::dominator_only_launch;
+use br_bench::harness::{geomean, parse_args, square_context};
+use br_bench::report::{f2, maybe_write_json, Table};
+use br_datasets::registry::RealWorldRegistry;
+use br_gpu_sim::device::DeviceConfig;
+use br_gpu_sim::sim::GpuSimulator;
+use br_spgemm::workspace::Workspace;
+use serde::Serialize;
+
+const FACTORS: [u32; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    /// (factor, lbi, speedup-vs-factor-1) triples.
+    series: Vec<(u32, f64, f64)>,
+}
+
+fn main() {
+    let args = parse_args();
+    let dev = DeviceConfig::titan_xp();
+    let sim = GpuSimulator::new(dev.clone());
+    println!(
+        "Figure 11: LBI and dominator speedup vs splitting factor ({} SMs)\n",
+        dev.num_sms
+    );
+    let mut t = Table::new(vec![
+        "dataset", "metric", "1", "2", "4", "8", "16", "32", "64",
+    ]);
+    let mut rows = Vec::new();
+    let mut final_lbis = Vec::new();
+    let mut final_speedups = Vec::new();
+    for spec in RealWorldRegistry::snap() {
+        let a = spec.generate(args.scale);
+        let ctx = square_context(&a);
+        let cls = Classification::of(&ctx, &ReorganizerConfig::default());
+        if cls.dominators.is_empty() {
+            continue;
+        }
+        let ws = Workspace::for_context(&ctx);
+        let mut series = Vec::new();
+        let mut base_ms = 0.0;
+        for &f in &FACTORS {
+            let launch = dominator_only_launch(&ctx, &ws, &cls.dominators, f, 256);
+            let profile = sim.run(&launch, &ws.layout);
+            if f == 1 {
+                base_ms = profile.time_ms;
+            }
+            series.push((f, profile.lbi(), base_ms / profile.time_ms));
+        }
+        t.row(
+            std::iter::once(spec.name.to_string())
+                .chain(std::iter::once("LBI".to_string()))
+                .chain(series.iter().map(|&(_, l, _)| f2(l)))
+                .collect(),
+        );
+        t.row(
+            std::iter::once(String::new())
+                .chain(std::iter::once("speedup".to_string()))
+                .chain(series.iter().map(|&(_, _, s)| f2(s)))
+                .collect(),
+        );
+        final_lbis.push(series.last().unwrap().1);
+        final_speedups.push(series.last().unwrap().2);
+        rows.push(Row {
+            dataset: spec.name.to_string(),
+            series,
+        });
+    }
+    t.print();
+    println!(
+        "\nmean LBI at factor 64: {} (paper: 0.96); mean dominator speedup: {}x (paper: 8.68x)",
+        f2(final_lbis.iter().sum::<f64>() / final_lbis.len().max(1) as f64),
+        f2(geomean(&final_speedups)),
+    );
+    maybe_write_json(&args.json, &rows);
+}

@@ -1,0 +1,86 @@
+//! Figure 14 — merge-phase L2 throughput as the B-Limiting factor sweeps
+//! 0 → 43008 bytes of extra shared memory, on the skewed datasets.
+//!
+//! The paper's shape: throughput first *rises* (fewer resident merge
+//! blocks → less contention) then *falls* (too few warps to hide latency);
+//! the fixed production factor is 4 × 6144 B. L2 read and write
+//! throughputs improve 1.49× / 1.52× on average at that setting.
+
+use block_reorganizer::{BlockReorganizer, ReorganizerConfig};
+use br_bench::harness::{parse_args, square_context};
+use br_bench::report::{f2, maybe_write_json, Table};
+use br_datasets::registry::RealWorldRegistry;
+use br_gpu_sim::device::DeviceConfig;
+use serde::Serialize;
+
+const UNITS: [u32; 8] = [0, 1, 2, 3, 4, 5, 6, 7];
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    /// (extra bytes, merge L2 read GB/s, merge L2 write GB/s, merge ms)
+    series: Vec<(u32, f64, f64, f64)>,
+}
+
+fn main() {
+    let args = parse_args();
+    let dev = DeviceConfig::titan_xp();
+    println!("Figure 14: merge L2 throughput vs limiting factor (bytes of extra shared memory)\n");
+    let mut header: Vec<String> = vec!["dataset".into(), "metric".into()];
+    header.extend(UNITS.iter().map(|u| (u * 6144).to_string()));
+    let mut t = Table::new(header);
+    let mut rows = Vec::new();
+    let mut read_gain_at_4 = Vec::new();
+    let mut write_gain_at_4 = Vec::new();
+    for spec in RealWorldRegistry::snap() {
+        let a = spec.generate(args.scale);
+        let ctx = square_context(&a);
+        let mut series = Vec::new();
+        for &u in &UNITS {
+            let cfg = ReorganizerConfig {
+                limiting_units: u,
+                ..Default::default()
+            };
+            let run = BlockReorganizer::new(cfg)
+                .multiply_ctx(&ctx, &dev)
+                .expect("valid shapes");
+            let merge = run
+                .profiles
+                .iter()
+                .find(|p| p.name.contains("merge"))
+                .expect("merge profile");
+            series.push((
+                u * 6144,
+                merge.l2_read_gbs(),
+                merge.l2_write_gbs(),
+                merge.time_ms,
+            ));
+        }
+        t.row(
+            std::iter::once(spec.name.to_string())
+                .chain(std::iter::once("read GB/s".to_string()))
+                .chain(series.iter().map(|s| f2(s.1)))
+                .collect(),
+        );
+        t.row(
+            std::iter::once(String::new())
+                .chain(std::iter::once("write GB/s".to_string()))
+                .chain(series.iter().map(|s| f2(s.2)))
+                .collect(),
+        );
+        read_gain_at_4.push(series[4].1 / series[0].1.max(1e-9));
+        write_gain_at_4.push(series[4].2 / series[0].2.max(1e-9));
+        rows.push(Row {
+            dataset: spec.name.to_string(),
+            series,
+        });
+    }
+    t.print();
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "\nat the production factor (4 x 6144 B): read gain {}x (paper 1.49x), write gain {}x (paper 1.52x)",
+        f2(mean(&read_gain_at_4)),
+        f2(mean(&write_gain_at_4)),
+    );
+    maybe_write_json(&args.json, &rows);
+}

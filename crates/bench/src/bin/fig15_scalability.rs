@@ -1,0 +1,54 @@
+//! Figure 15 — performance scalability across GPU generations: the full
+//! 28-dataset sweep repeated on Titan Xp, Tesla V100 and RTX 2080 Ti.
+//!
+//! Paper: Block Reorganizer achieves 1.43× / 1.66× / 1.40× over the
+//! row-product baseline respectively, while the outer-product baseline
+//! stays near 1× everywhere.
+
+use br_bench::harness::{geomean, method_names, method_times_ms, parse_args, square_context};
+use br_bench::report::{f2, maybe_write_json, Table};
+use br_datasets::registry::RealWorldRegistry;
+use br_gpu_sim::device::DeviceConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    device: String,
+    /// Geomean speedup vs row-product per method.
+    speedups: Vec<f64>,
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "Figure 15: geomean speedup vs row-product on 3 GPUs (scale {:?})\n",
+        args.scale
+    );
+    let names = method_names();
+    let mut header: Vec<String> = vec!["device".to_string()];
+    header.extend(names.iter().skip(1).map(|s| s.to_string()));
+    let mut t = Table::new(header);
+    let mut rows = Vec::new();
+    for dev in DeviceConfig::all_paper_targets() {
+        let mut per_method: Vec<Vec<f64>> = vec![Vec::new(); 7];
+        for spec in RealWorldRegistry::all() {
+            let a = spec.generate(args.scale);
+            let ctx = square_context(&a);
+            let times = method_times_ms(&ctx, &dev);
+            for (i, &ms) in times.iter().enumerate() {
+                per_method[i].push(times[0] / ms);
+            }
+        }
+        let speedups: Vec<f64> = per_method.iter().map(|v| geomean(v)).collect();
+        let mut cells = vec![dev.name.clone()];
+        cells.extend(speedups.iter().skip(1).map(|&s| f2(s)));
+        t.row(cells);
+        rows.push(Row {
+            device: dev.name.clone(),
+            speedups,
+        });
+    }
+    t.print();
+    println!("\npaper Block-Reorganizer: Titan Xp 1.43x, Tesla V100 1.66x, RTX 2080 Ti 1.40x");
+    maybe_write_json(&args.json, &rows);
+}

@@ -1,0 +1,49 @@
+//! Figure 16(a) — speedups over the row-product baseline on the synthetic
+//! `C = A²` families: S (scalability), P (skewness), SP (sparsity).
+//!
+//! Paper shapes: cuSPARSE wins only on the smallest matrices and collapses
+//! as size grows; skew (P) and sparsity (SP) progressively favour the
+//! Block Reorganizer.
+
+use br_bench::harness::{method_names, method_times_ms, parse_args};
+use br_bench::report::{f2, maybe_write_json, Table};
+use br_datasets::synthetic::all_square;
+use br_gpu_sim::device::DeviceConfig;
+use br_spgemm::context::ProblemContext;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    speedups: Vec<f64>,
+}
+
+fn main() {
+    let args = parse_args();
+    let dev = DeviceConfig::titan_xp();
+    println!(
+        "Figure 16(a): synthetic C = A^2 speedups vs row-product (scale {:?})\n",
+        args.scale
+    );
+    let names = method_names();
+    let mut header: Vec<String> = vec!["dataset".to_string()];
+    header.extend(names.iter().skip(1).map(|s| s.to_string()));
+    let mut t = Table::new(header);
+    let mut rows = Vec::new();
+    for spec in all_square() {
+        let a = spec.generate_a(args.scale);
+        let ctx = ProblemContext::new(&a, &a).expect("square shapes agree");
+        let times = method_times_ms(&ctx, &dev);
+        let speedups: Vec<f64> = times.iter().map(|&ms| times[0] / ms).collect();
+        let mut cells = vec![spec.name.to_string()];
+        cells.extend(speedups.iter().skip(1).map(|&s| f2(s)));
+        t.row(cells);
+        rows.push(Row {
+            dataset: spec.name.to_string(),
+            speedups,
+        });
+    }
+    t.print();
+    println!("\npaper: Block Reorganizer gains grow with size (s1→s4), skew (p1→p4) and sparsity (sp1→sp4)");
+    maybe_write_json(&args.json, &rows);
+}

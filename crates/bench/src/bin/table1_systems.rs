@@ -1,0 +1,60 @@
+//! Table I — target system configurations.
+//!
+//! Prints the three GPU systems (plus the CPU used for the MKL-like
+//! baseline) exactly as the paper tabulates them, from the device configs
+//! the simulator actually uses.
+
+use br_bench::report::Table;
+use br_gpu_sim::device::{CpuConfig, DeviceConfig};
+
+fn main() {
+    println!("Table I: Target system configurations (as modelled)\n");
+    let mut t = Table::new(vec!["field", "System 1", "System 2", "System 3"]);
+    let devs = DeviceConfig::all_paper_targets();
+    let cpu = CpuConfig::xeon_e5_2640v4();
+    t.row(vec![
+        "CPU".to_string(),
+        cpu.name.clone(),
+        "Xeon E5-2698v4 (modelled as S1)".to_string(),
+        "Xeon Gold 5115 (modelled as S1)".to_string(),
+    ]);
+    t.row(vec![
+        "GPU".to_string(),
+        devs[0].name.clone(),
+        devs[1].name.clone(),
+        devs[2].name.clone(),
+    ]);
+    let row_u32 = |name: &str, f: &dyn Fn(&DeviceConfig) -> u32| {
+        vec![
+            name.to_string(),
+            f(&devs[0]).to_string(),
+            f(&devs[1]).to_string(),
+            f(&devs[2]).to_string(),
+        ]
+    };
+    t.row(row_u32("Number of SMs", &|d| d.num_sms));
+    t.row(row_u32("MAX GPU Clock (MHz)", &|d| d.core_clock_mhz));
+    t.row(row_u32("Shared mem / SM (KiB)", &|d| {
+        d.shared_mem_per_sm / 1024
+    }));
+    t.row(vec![
+        "L2 cache (MiB)".to_string(),
+        format!("{:.1}", devs[0].l2_bytes as f64 / (1 << 20) as f64),
+        format!("{:.1}", devs[1].l2_bytes as f64 / (1 << 20) as f64),
+        format!("{:.1}", devs[2].l2_bytes as f64 / (1 << 20) as f64),
+    ]);
+    t.row(vec![
+        "DRAM bandwidth (GB/s)".to_string(),
+        format!("{:.1}", devs[0].dram_bandwidth_gbs),
+        format!("{:.1}", devs[1].dram_bandwidth_gbs),
+        format!("{:.1}", devs[2].dram_bandwidth_gbs),
+    ]);
+    t.row(vec![
+        "CUDA Capability",
+        "6.1 (Pascal)",
+        "7.0 (Volta)",
+        "7.5 (Turing)",
+    ]);
+    t.print();
+    println!("\npaper: Titan Xp 30 SMs @1582 MHz; V100 80 SMs @1380 MHz; 2080 Ti 68 SMs @1545 MHz");
+}

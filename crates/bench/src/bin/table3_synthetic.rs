@@ -1,0 +1,72 @@
+//! Table III — synthetic datasets: the S / P / SP families and the
+//! `C = AB` pairs, with their published parameters and the generated
+//! matrices' actual sizes at the chosen scale.
+
+use br_bench::harness::parse_args;
+use br_bench::report::{count, maybe_write_json, Table};
+use br_datasets::synthetic::{ab_pairs, all_square};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    name: String,
+    op: String,
+    paper_dim: usize,
+    paper_elements: usize,
+    probs: [f64; 4],
+    generated_dim: usize,
+    generated_nnz_a: usize,
+    generated_nnz_b: usize,
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "Table III: synthetic datasets (generated at scale {:?})\n",
+        args.scale
+    );
+    let mut t = Table::new(vec![
+        "name",
+        "op",
+        "paper dim",
+        "paper elems",
+        "parameters",
+        "gen dim",
+        "gen nnz(A)",
+        "gen nnz(B)",
+    ]);
+    let mut rows = Vec::new();
+    for spec in all_square().iter().chain(ab_pairs().iter()) {
+        let a = spec.generate_a(args.scale);
+        let b = spec.generate_b(args.scale);
+        let row = Row {
+            name: spec.name.to_string(),
+            op: match spec.op {
+                br_datasets::synthetic::SyntheticOp::Square => "C=A^2".to_string(),
+                br_datasets::synthetic::SyntheticOp::Pair => "C=AB".to_string(),
+            },
+            paper_dim: spec.dim,
+            paper_elements: spec.elements,
+            probs: spec.probs,
+            generated_dim: a.nrows(),
+            generated_nnz_a: a.nnz(),
+            generated_nnz_b: b.nnz(),
+        };
+        t.row(vec![
+            row.name.clone(),
+            row.op.clone(),
+            count(row.paper_dim as u64),
+            count(row.paper_elements as u64),
+            format!(
+                "({:.2},{:.2},{:.2},{:.2})",
+                row.probs[0], row.probs[1], row.probs[2], row.probs[3]
+            ),
+            count(row.generated_dim as u64),
+            count(row.generated_nnz_a as u64),
+            count(row.generated_nnz_b as u64),
+        ]);
+        rows.push(row);
+    }
+    t.print();
+    maybe_write_json(&args.json, &rows);
+}

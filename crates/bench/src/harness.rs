@@ -1,0 +1,134 @@
+//! Shared benchmark-harness plumbing: argument parsing and the standard
+//! per-dataset method sweep used by Figures 8, 9, 15 and 16.
+
+use block_reorganizer::{BlockReorganizer, ReorganizerConfig};
+use br_datasets::registry::ScaleFactor;
+use br_gpu_sim::device::DeviceConfig;
+use br_sparse::{CsrMatrix, Scalar};
+use br_spgemm::context::ProblemContext;
+use br_spgemm::pipeline::{run_method, SpgemmMethod};
+
+/// Command-line arguments common to every bench binary.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Surrogate scale.
+    pub scale: ScaleFactor,
+    /// Optional JSON output path.
+    pub json: Option<String>,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            scale: ScaleFactor::Default,
+            json: None,
+        }
+    }
+}
+
+/// Parses `--scale tiny|default|full|<divisor>` and `--json <path>` from
+/// `std::env::args`. Unknown flags abort with a usage message.
+pub fn parse_args() -> BenchArgs {
+    let mut out = BenchArgs::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing --scale value"));
+                out.scale = match v.as_str() {
+                    "tiny" => ScaleFactor::Tiny,
+                    "default" => ScaleFactor::Default,
+                    "full" => ScaleFactor::Full,
+                    other => match other.parse::<usize>() {
+                        Ok(d) if d >= 1 => ScaleFactor::Div(d),
+                        _ => usage(&format!("bad --scale value {other:?}")),
+                    },
+                };
+            }
+            "--json" => {
+                out.json = Some(args.next().unwrap_or_else(|| usage("missing --json path")));
+            }
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    out
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: <bin> [--scale tiny|default|full|<divisor>] [--json <path>]");
+    std::process::exit(2)
+}
+
+/// Times (ms) of all seven Figure 8 methods on one problem, in legend
+/// order: row-product, outer-product, cuSPARSE, CUSP, bhSPARSE, MKL,
+/// Block-Reorganizer.
+pub fn method_times_ms<T: Scalar>(ctx: &ProblemContext<T>, device: &DeviceConfig) -> [f64; 7] {
+    let mut out = [0.0f64; 7];
+    for (i, m) in SpgemmMethod::all().iter().enumerate() {
+        out[i] = run_method(ctx, *m, device)
+            .expect("shapes validated by context")
+            .total_ms;
+    }
+    out[6] = BlockReorganizer::new(ReorganizerConfig::default())
+        .multiply_ctx(ctx, device)
+        .expect("shapes validated by context")
+        .total_ms;
+    out
+}
+
+/// The seven method names in [`method_times_ms`] order.
+pub fn method_names() -> [&'static str; 7] {
+    [
+        "row-product",
+        "outer-product",
+        "cuSPARSE",
+        "CUSP",
+        "bhSPARSE",
+        "MKL",
+        "Block-Reorganizer",
+    ]
+}
+
+/// Builds the `C = A²` problem context for a matrix.
+pub fn square_context<T: Scalar>(a: &CsrMatrix<T>) -> ProblemContext<T> {
+    ProblemContext::new(a, a).expect("square product shapes always agree")
+}
+
+/// Geometric mean of positive values (the paper's "average speedup").
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let ln_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (ln_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_datasets::rmat::{rmat, RmatConfig};
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn method_sweep_produces_seven_positive_times() {
+        let a = rmat(RmatConfig::snap_like(7, 5, 2)).to_csr();
+        let ctx = square_context(&a);
+        let times = method_times_ms(&ctx, &DeviceConfig::titan_xp());
+        assert!(times.iter().all(|&t| t > 0.0), "{times:?}");
+    }
+
+    #[test]
+    fn names_align_with_sweep_order() {
+        assert_eq!(method_names()[0], "row-product");
+        assert_eq!(method_names()[6], "Block-Reorganizer");
+    }
+}

@@ -1,0 +1,307 @@
+//! B-Gathering (paper Section IV-C.2, Figure 6).
+//!
+//! Low-performer blocks are first *compacted* into micro-blocks (exactly as
+//! many threads as effective work), binned by effective-thread count into
+//! power-of-two ranges, and then `32/2ⁿ` micro-blocks of bin `n` are packed
+//! into one warp-sized combined block with multiple partitions. Blocks in
+//! the top bin (17–32 effective threads) are *not* gathered, "to avoid
+//! serialization".
+//!
+//! The combined block's lanes belong to different pairs whose per-thread
+//! loop counts differ, so a small intra-warp imbalance (max/mean of member
+//! column sizes) is part of the honest cost.
+
+use br_gpu_sim::trace::{BlockTrace, TraceBuilder};
+use br_sparse::Scalar;
+use br_spgemm::context::ProblemContext;
+use br_spgemm::workspace::{Workspace, ELEM_BYTES};
+
+/// One gathered (combined) block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CombinedBlock {
+    /// Original pair indices packed into this block.
+    pub members: Vec<usize>,
+    /// Gathering factor `32/2ⁿ` of the source bin.
+    pub factor: u32,
+}
+
+/// The full gather plan.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GatherPlan {
+    /// Pair indices per bin: bin `n` holds effective threads in
+    /// `(2ⁿ⁻¹, 2ⁿ]` (bin 0 holds exactly 1).
+    pub bins: [Vec<usize>; 6],
+    /// Combined blocks (bins 0–4) in launch order.
+    pub combined: Vec<CombinedBlock>,
+    /// Pairs left as-is but compacted to a single warp (bin 5: 17–32
+    /// effective threads).
+    pub compacted: Vec<usize>,
+}
+
+/// Bin index of an effective-thread count in `1..=32`.
+fn bin_of(eff: usize) -> usize {
+    debug_assert!((1..=32).contains(&eff));
+    // 1 → 0, 2 → 1, 3..4 → 2, 5..8 → 3, 9..16 → 4, 17..32 → 5
+    (usize::BITS - (eff - 1).leading_zeros()) as usize
+}
+
+/// Plans gathering for the given low-performer pairs.
+pub fn plan_gathers<T: Scalar>(
+    ctx: &ProblemContext<T>,
+    low_performers: &[usize],
+    gather_block: u32,
+) -> GatherPlan {
+    let mut plan = GatherPlan::default();
+    for &pair in low_performers {
+        let eff = ctx.pair_effective_threads(pair);
+        debug_assert!((1..32).contains(&eff), "low performers have 1..32 threads");
+        plan.bins[bin_of(eff)].push(pair);
+    }
+    for (n, bin) in plan.bins.iter().enumerate() {
+        if bin.is_empty() {
+            continue;
+        }
+        if n == 5 {
+            // 17–32 effective threads: compaction only, no gathering.
+            plan.compacted.extend_from_slice(bin);
+            continue;
+        }
+        // Micro-blocks of ≤ 2ⁿ threads; 32/2ⁿ of them fill one warp.
+        let factor = (gather_block >> n).max(1);
+        for chunk in bin.chunks(factor as usize) {
+            plan.combined.push(CombinedBlock {
+                members: chunk.to_vec(),
+                factor,
+            });
+        }
+    }
+    plan
+}
+
+/// Emits the trace of one combined block.
+pub fn combined_block_trace<T: Scalar>(
+    ctx: &ProblemContext<T>,
+    ws: &Workspace,
+    block: &CombinedBlock,
+    chat_offsets: &[u64],
+    gather_block: u32,
+    row_major_chat: bool,
+) -> BlockTrace {
+    let effective: u64 = block
+        .members
+        .iter()
+        .map(|&p| ctx.pair_effective_threads(p) as u64)
+        .sum();
+    let works: Vec<u64> = block
+        .members
+        .iter()
+        .map(|&p| ctx.pair_thread_work(p) as u64)
+        .collect();
+    let max_work = works.iter().copied().max().unwrap_or(0);
+    let mean_work = works.iter().sum::<u64>() as f64 / works.len().max(1) as f64;
+    let imbalance = if mean_work > 0.0 {
+        (max_work as f64 / mean_work).max(1.0)
+    } else {
+        1.0
+    };
+
+    let mut tb = TraceBuilder::new(gather_block, effective.min(gather_block as u64) as u32)
+        .compute(max_work) // lock-step: the warp runs as long as its slowest partition
+        .lane_imbalance(imbalance)
+        .barriers(1);
+    for &pair in &block.members {
+        let nnz_a = ctx.pair_thread_work(pair) as u64;
+        let nnz_b = ctx.pair_effective_threads(pair) as u64;
+        tb = tb
+            .read(
+                ws.a_csc_data,
+                ws.a_col_offset(ctx, pair),
+                nnz_a * ELEM_BYTES,
+            )
+            .read(ws.b_data, ws.b_row_offset(ctx, pair), nnz_b * ELEM_BYTES);
+        let products = nnz_a * nnz_b;
+        tb = if row_major_chat {
+            let chunk = (nnz_b * ELEM_BYTES).min(u32::MAX as u64) as u32;
+            tb.scatter_write(
+                ws.chat,
+                0,
+                ctx.intermediate_total.max(1) * ELEM_BYTES,
+                nnz_a,
+                chunk,
+            )
+        } else {
+            tb.write(
+                ws.chat,
+                chat_offsets[pair] * ELEM_BYTES,
+                products * ELEM_BYTES,
+            )
+        };
+    }
+    tb.build()
+}
+
+/// Emits the trace of a compacted-but-not-gathered block (bin 5): the same
+/// work as the original low performer, launched with one warp instead of a
+/// full-size block.
+pub fn compacted_block_trace<T: Scalar>(
+    ctx: &ProblemContext<T>,
+    ws: &Workspace,
+    pair: usize,
+    chat_offsets: &[u64],
+    gather_block: u32,
+    row_major_chat: bool,
+) -> BlockTrace {
+    let nnz_a = ctx.pair_thread_work(pair) as u64;
+    let nnz_b = ctx.pair_effective_threads(pair) as u64;
+    let products = nnz_a * nnz_b;
+    let mut tb = TraceBuilder::new(gather_block, nnz_b.min(gather_block as u64) as u32)
+        .compute(nnz_a)
+        .read(
+            ws.a_csc_data,
+            ws.a_col_offset(ctx, pair),
+            nnz_a * ELEM_BYTES,
+        )
+        .read(ws.b_data, ws.b_row_offset(ctx, pair), nnz_b * ELEM_BYTES)
+        .barriers(1);
+    tb = if row_major_chat {
+        let chunk = (nnz_b * ELEM_BYTES).min(u32::MAX as u64) as u32;
+        tb.scatter_write(
+            ws.chat,
+            0,
+            ctx.intermediate_total.max(1) * ELEM_BYTES,
+            nnz_a,
+            chunk,
+        )
+    } else {
+        tb.write(
+            ws.chat,
+            chat_offsets[pair] * ELEM_BYTES,
+            products * ELEM_BYTES,
+        )
+    };
+    tb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::Classification;
+    use crate::config::ReorganizerConfig;
+    use br_datasets::chung_lu::{chung_lu, ChungLuConfig};
+
+    fn ctx() -> ProblemContext<f64> {
+        let a = chung_lu(ChungLuConfig {
+            gamma: 2.1,
+            ..ChungLuConfig::social(1500, 9_000, 3)
+        })
+        .to_csr();
+        ProblemContext::new(&a, &a).unwrap()
+    }
+
+    #[test]
+    fn bin_boundaries_are_power_of_two_ranges() {
+        assert_eq!(bin_of(1), 0);
+        assert_eq!(bin_of(2), 1);
+        assert_eq!(bin_of(3), 2);
+        assert_eq!(bin_of(4), 2);
+        assert_eq!(bin_of(5), 3);
+        assert_eq!(bin_of(8), 3);
+        assert_eq!(bin_of(9), 4);
+        assert_eq!(bin_of(16), 4);
+        assert_eq!(bin_of(17), 5);
+        assert_eq!(bin_of(32), 5);
+    }
+
+    #[test]
+    fn gathering_factor_is_32_over_bin_size() {
+        let ctx = ctx();
+        let cls = Classification::of(&ctx, &ReorganizerConfig::default());
+        let plan = plan_gathers(&ctx, &cls.low_performers, 32);
+        for c in &plan.combined {
+            // factor matches the bin all members came from
+            let n = bin_of(ctx.pair_effective_threads(c.members[0]));
+            assert_eq!(c.factor, 32 >> n);
+            assert!(c.members.len() <= c.factor as usize);
+            // all members share a bin
+            assert!(c
+                .members
+                .iter()
+                .all(|&m| bin_of(ctx.pair_effective_threads(m)) == n));
+        }
+    }
+
+    #[test]
+    fn every_low_performer_lands_exactly_once() {
+        let ctx = ctx();
+        let cls = Classification::of(&ctx, &ReorganizerConfig::default());
+        let plan = plan_gathers(&ctx, &cls.low_performers, 32);
+        let mut seen: Vec<usize> = plan
+            .combined
+            .iter()
+            .flat_map(|c| c.members.iter().copied())
+            .chain(plan.compacted.iter().copied())
+            .collect();
+        seen.sort_unstable();
+        let mut expect = cls.low_performers.clone();
+        expect.sort_unstable();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn combined_block_is_warp_sized_and_mostly_effective() {
+        let ctx = ctx();
+        let cls = Classification::of(&ctx, &ReorganizerConfig::default());
+        let plan = plan_gathers(&ctx, &cls.low_performers, 32);
+        let ws = Workspace::for_context(&ctx);
+        let offsets = ctx.chat_block_offsets();
+        for c in plan.combined.iter().take(50) {
+            let t = combined_block_trace(&ctx, &ws, c, &offsets, 32, false);
+            assert_eq!(t.threads, 32);
+            assert!(t.effective_threads >= 1);
+            // a full combined block approaches warp-full effectiveness
+            if c.members.len() == c.factor as usize {
+                assert!(
+                    t.effective_ratio() > 0.5,
+                    "full block should be mostly effective: {}",
+                    t.effective_ratio()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn combined_block_conserves_all_member_products() {
+        let ctx = ctx();
+        let cls = Classification::of(&ctx, &ReorganizerConfig::default());
+        let plan = plan_gathers(&ctx, &cls.low_performers, 32);
+        let ws = Workspace::for_context(&ctx);
+        let offsets = ctx.chat_block_offsets();
+        let c = plan.combined.first().expect("at least one combined block");
+        let t = combined_block_trace(&ctx, &ws, c, &offsets, 32, false);
+        let expect: u64 = c
+            .members
+            .iter()
+            .map(|&p| ctx.block_products[p] * ELEM_BYTES)
+            .sum();
+        assert_eq!(t.bytes_written(), expect);
+    }
+
+    #[test]
+    fn compute_time_is_slowest_member() {
+        let ctx = ctx();
+        let cls = Classification::of(&ctx, &ReorganizerConfig::default());
+        let plan = plan_gathers(&ctx, &cls.low_performers, 32);
+        let ws = Workspace::for_context(&ctx);
+        let offsets = ctx.chat_block_offsets();
+        for c in plan.combined.iter().take(20) {
+            let t = combined_block_trace(&ctx, &ws, c, &offsets, 32, false);
+            let max_work = c
+                .members
+                .iter()
+                .map(|&p| ctx.pair_thread_work(p) as u64)
+                .max()
+                .unwrap();
+            assert_eq!(t.compute_per_thread, max_work);
+        }
+    }
+}

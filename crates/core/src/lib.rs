@@ -1,0 +1,48 @@
+//! # block-reorganizer — the paper's contribution
+//!
+//! The **Block Reorganizer** (Lee et al., ICDE 2020) is an optimization pass
+//! over outer-product spGEMM with three techniques:
+//!
+//! 1. **Workload classification** ([`classify`]) — precalculate per-pair
+//!    workloads `nnz(a₌ᵢ)·nnz(bᵢ₌)` and bin pairs into *dominators*,
+//!    *normal* blocks, and *low performers* (< 32 effective threads).
+//! 2. **B-Splitting** ([`split`]) — split each dominator's column vector
+//!    into `2ⁿ` pieces via pointer expansion plus a mapper array, spreading
+//!    one overloaded block over many SMs and letting the divided blocks
+//!    share (and therefore L2-hit) the same row vector.
+//! 3. **B-Gathering** ([`gather`]) — compact underloaded blocks into
+//!    micro-blocks and pack `32/2ⁿ` of them into one warp-sized block,
+//!    restoring lock-step lane utilization and latency hiding.
+//! 4. **B-Limiting** ([`limit`]) — during the merge, allocate extra shared
+//!    memory to blocks merging long rows so fewer of them co-reside per SM,
+//!    trading warp occupancy for L2 bandwidth headroom.
+//!
+//! [`pass::BlockReorganizer`] runs the full pipeline (precalculation →
+//! classification → reorganized expansion → limited merge) on the simulated
+//! GPU and returns both the numeric result and per-phase profiles;
+//! [`ablate`] reruns it with each technique toggled for Figure 10.
+//!
+//! Extensions beyond the paper: [`report::WorkloadReport`] (the Figure 4
+//! bins, inspectable before running anything), [`classify::auto_alpha`]
+//! (data-driven dominator threshold), [`config::SplitPolicy::Greedy`]
+//! (the per-vector factor selection the paper sketches), and [`tune`]
+//! (per-matrix configuration search over the simulator).
+
+#![warn(missing_docs)]
+
+pub mod ablate;
+pub mod classify;
+pub mod config;
+pub mod gather;
+pub mod limit;
+pub mod pass;
+pub mod report;
+pub mod split;
+pub mod tune;
+
+pub use ablate::{ablation, AblationReport};
+pub use classify::{Classification, WorkloadClass};
+pub use config::ReorganizerConfig;
+pub use pass::{BlockReorganizer, ReorganizerRun};
+pub use report::WorkloadReport;
+pub use tune::{tune, TuneResult};

@@ -1,0 +1,131 @@
+//! B-Limiting (paper Section IV-D, Figure 7).
+//!
+//! The merge is memory-intensive; blocks merging long rows of `Ĉ` flood the
+//! L2, and because L2 bandwidth is shared, *everyone* slows down. Rather
+//! than throttle explicitly, the paper allocates **extra shared memory** to
+//! those blocks so the occupancy calculator itself limits how many co-reside
+//! on an SM — "we allocate extra shared memory to the merge kernel functions
+//! in order to reduce the number of blocks in an SM".
+//!
+//! A row is limited when its intermediate-product count exceeds `β ×` the
+//! mean row workload (β = 10). The limiting factor (how much extra shared
+//! memory) trades contention against warp occupancy; Figure 14 sweeps it.
+
+use br_sparse::Scalar;
+use br_spgemm::context::ProblemContext;
+
+use crate::config::ReorganizerConfig;
+
+/// The merge-limiting plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LimitPlan {
+    /// Per-row flag: `true` ⇒ the row's merge block gets extra shared mem.
+    pub limited: Vec<bool>,
+    /// The row-workload threshold used.
+    pub threshold: u64,
+    /// Extra shared-memory bytes per limited block.
+    pub extra_bytes: u32,
+}
+
+impl LimitPlan {
+    /// Plans limiting for all output rows.
+    pub fn of<T: Scalar>(ctx: &ProblemContext<T>, config: &ReorganizerConfig) -> Self {
+        let productive_rows = ctx.row_products.iter().filter(|&&p| p > 0).count().max(1);
+        let mean = ctx.intermediate_total as f64 / productive_rows as f64;
+        let threshold = (config.beta * mean).ceil().max(1.0) as u64;
+        let limited = ctx.row_products.iter().map(|&p| p > threshold).collect();
+        LimitPlan {
+            limited,
+            threshold,
+            extra_bytes: if config.enable_limit {
+                config.limit_bytes()
+            } else {
+                0
+            },
+        }
+    }
+
+    /// Number of limited rows (the paper reports 12 657 for YouTube).
+    pub fn limited_count(&self) -> usize {
+        self.limited.iter().filter(|&&l| l).count()
+    }
+
+    /// Extra shared memory for the merge block of row `r`.
+    pub fn extra_smem(&self, r: usize) -> u32 {
+        if self.limited[r] {
+            self.extra_bytes
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_datasets::chung_lu::{chung_lu, ChungLuConfig};
+    use br_datasets::mesh::banded;
+
+    fn skewed_ctx() -> ProblemContext<f64> {
+        let a = chung_lu(ChungLuConfig {
+            gamma: 2.0,
+            ..ChungLuConfig::social(2000, 14_000, 9)
+        })
+        .to_csr();
+        ProblemContext::new(&a, &a).unwrap()
+    }
+
+    #[test]
+    fn limits_only_rows_above_threshold() {
+        let ctx = skewed_ctx();
+        let plan = LimitPlan::of(&ctx, &ReorganizerConfig::default());
+        for (r, &lim) in plan.limited.iter().enumerate() {
+            assert_eq!(lim, ctx.row_products[r] > plan.threshold);
+        }
+    }
+
+    #[test]
+    fn skewed_data_limits_a_small_nonzero_fraction() {
+        let ctx = skewed_ctx();
+        let plan = LimitPlan::of(&ctx, &ReorganizerConfig::default());
+        let n = plan.limited_count();
+        assert!(n > 0, "hubs must trigger limiting");
+        assert!(
+            (n as f64) < 0.1 * ctx.nrows() as f64,
+            "limiting is for the heavy tail only: {n} of {}",
+            ctx.nrows()
+        );
+    }
+
+    #[test]
+    fn regular_data_limits_nothing() {
+        let a = banded(1000, 32, 8, 4).to_csr();
+        let ctx = ProblemContext::new(&a, &a).unwrap();
+        let plan = LimitPlan::of(&ctx, &ReorganizerConfig::default());
+        assert_eq!(plan.limited_count(), 0);
+    }
+
+    #[test]
+    fn disabled_limiting_allocates_no_extra_memory() {
+        let ctx = skewed_ctx();
+        let plan = LimitPlan::of(
+            &ctx,
+            &ReorganizerConfig {
+                enable_limit: false,
+                ..Default::default()
+            },
+        );
+        assert!(ctx
+            .row_products
+            .iter()
+            .enumerate()
+            .all(|(r, _)| plan.extra_smem(r) == 0));
+    }
+
+    #[test]
+    fn default_extra_memory_is_4_units() {
+        let ctx = skewed_ctx();
+        let plan = LimitPlan::of(&ctx, &ReorganizerConfig::default());
+        assert_eq!(plan.extra_bytes, 4 * 6144);
+    }
+}

@@ -1,0 +1,57 @@
+//! # br-gpu-sim — execution-driven GPU performance model
+//!
+//! The paper's techniques live or die by four GPU mechanisms:
+//!
+//! 1. **Thread blocks are dispatched to SMs in launch order** as resources
+//!    free up — one overloaded block can pin an SM while the other 29 idle
+//!    (motivates B-Splitting).
+//! 2. **Warps execute 32 threads in lock-step**, so a block with 3 effective
+//!    threads wastes 29 lanes and cannot hide memory latency
+//!    (motivates B-Gathering).
+//! 3. **Occupancy is bounded by shared memory / threads / block slots**, so
+//!    allocating extra shared memory *reduces* co-resident blocks
+//!    (the lever B-Limiting pulls).
+//! 4. **The L2 cache and DRAM bandwidth are shared across SMs**, so
+//!    co-resident memory-hungry blocks contend
+//!    (the pressure B-Limiting relieves).
+//!
+//! This crate models exactly those four mechanisms and nothing speculative:
+//!
+//! * [`device`] — published configurations of the paper's three GPUs
+//!   (Titan Xp, Tesla V100, RTX 2080 Ti) and the CPU used for the MKL-like
+//!   baseline.
+//! * [`trace`] — the cost-trace vocabulary kernels speak: per-block compute
+//!   cycles, memory *segments* (region + byte-range + access pattern, O(1)
+//!   space per segment regardless of nnz), barriers, atomics.
+//! * [`occupancy`] — resident-blocks-per-SM calculator.
+//! * [`l2cache`] — set-associative LRU L2 simulator fed by segments at
+//!   cache-line granularity.
+//! * [`timing`] — block-duration model: `max(compute, memory/hiding) +
+//!   stalls`, with a queueing-style bandwidth-contention inflation.
+//! * [`scheduler`] — event-driven block dispatcher producing per-SM busy
+//!   times, makespan, and the paper's Load Balancing Index (Equation 3).
+//! * [`profiler`] — nvprof-style counters: sync-stall ratio, L2 read/write
+//!   throughput, effective-thread histograms (Figures 3, 12, 13, 14).
+//! * [`sim`] — [`sim::GpuSimulator`] tying it all together: feed it a
+//!   [`trace::KernelLaunch`], get a [`profiler::KernelProfile`].
+//!
+//! The model is *execution-driven*: kernels really compute their results in
+//! Rust and emit traces as a side effect, so simulated time is a pure
+//! function of the algorithm's actual memory/compute behaviour.
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod l2cache;
+pub mod occupancy;
+pub mod profiler;
+pub mod scheduler;
+pub mod sim;
+pub mod timing;
+pub mod trace;
+pub mod validate;
+
+pub use device::{CpuConfig, DeviceConfig};
+pub use profiler::KernelProfile;
+pub use sim::GpuSimulator;
+pub use trace::{AccessPattern, BlockTrace, KernelLaunch, MemoryLayout, RegionId, TraceBuilder};

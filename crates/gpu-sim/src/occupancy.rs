@@ -1,0 +1,107 @@
+//! Occupancy: how many blocks of a given shape fit on one SM.
+//!
+//! This is the CUDA occupancy calculator reduced to the three limits the
+//! paper manipulates — block slots, threads, and shared memory (plus the
+//! register file for completeness). B-Limiting works *entirely* through
+//! this function: allocating `4 × 6144` extra bytes of shared memory per
+//! merge block drops the resident-block count, which is what relieves L2
+//! contention (Figure 7).
+
+use crate::device::DeviceConfig;
+use crate::trace::BlockTrace;
+
+/// Resource-limited number of co-resident blocks of the given shape on one
+/// SM. Always at least 1 (the hardware runs any launchable block).
+pub fn max_resident_blocks(device: &DeviceConfig, block: &BlockTrace) -> u32 {
+    let by_slots = device.max_blocks_per_sm;
+    let by_threads = device.max_threads_per_sm / block.threads.max(1);
+    let by_smem = device
+        .shared_mem_per_sm
+        .checked_div(block.shared_mem_bytes)
+        .unwrap_or(u32::MAX);
+    let regs_per_block = block.regs_per_thread.saturating_mul(block.threads);
+    let by_regs = device
+        .registers_per_sm
+        .checked_div(regs_per_block)
+        .unwrap_or(u32::MAX);
+    by_slots.min(by_threads).min(by_smem).min(by_regs).max(1)
+}
+
+/// Achieved warp occupancy (resident warps over the SM's warp capacity) for
+/// a homogeneous launch of this block shape.
+pub fn warp_occupancy(device: &DeviceConfig, block: &BlockTrace) -> f64 {
+    let resident = max_resident_blocks(device, block);
+    let warps = resident * block.warps(device.warp_size);
+    let capacity = device.max_threads_per_sm / device.warp_size;
+    (warps as f64 / capacity as f64).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+
+    fn dev() -> DeviceConfig {
+        DeviceConfig::titan_xp()
+    }
+
+    #[test]
+    fn thread_limit_binds_for_large_blocks() {
+        let block = TraceBuilder::new(1024, 1024).regs(16).build();
+        // 2048 threads / 1024 per block = 2
+        assert_eq!(max_resident_blocks(&dev(), &block), 2);
+    }
+
+    #[test]
+    fn slot_limit_binds_for_small_blocks() {
+        let block = TraceBuilder::new(32, 32).regs(16).build();
+        // 2048/32 = 64 by threads, but 32 block slots cap it.
+        assert_eq!(max_resident_blocks(&dev(), &block), 32);
+    }
+
+    #[test]
+    fn shared_memory_limit_binds_with_extra_smem() {
+        // The B-Limiting scenario: 256-thread merge blocks with
+        // 4 × 6144 B of extra shared memory each.
+        let plain = TraceBuilder::new(256, 256).regs(16).build();
+        let limited = TraceBuilder::new(256, 256)
+            .regs(16)
+            .shared_mem(4 * 6144)
+            .build();
+        assert_eq!(max_resident_blocks(&dev(), &plain), 8);
+        // 96 KiB / 24 KiB = 4
+        assert_eq!(max_resident_blocks(&dev(), &limited), 4);
+    }
+
+    #[test]
+    fn register_limit_binds_for_register_heavy_blocks() {
+        let block = TraceBuilder::new(256, 256).regs(128).build();
+        // 65536 / (128*256) = 2
+        assert_eq!(max_resident_blocks(&dev(), &block), 2);
+    }
+
+    #[test]
+    fn always_at_least_one_block() {
+        let block = TraceBuilder::new(2048, 2048)
+            .regs(255)
+            .shared_mem(96 * 1024)
+            .build();
+        assert_eq!(max_resident_blocks(&dev(), &block), 1);
+    }
+
+    #[test]
+    fn warp_occupancy_full_for_unconstrained_shape() {
+        let block = TraceBuilder::new(256, 256).regs(16).build();
+        assert!((warp_occupancy(&dev(), &block) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warp_occupancy_drops_with_limiting() {
+        let limited = TraceBuilder::new(256, 256)
+            .regs(16)
+            .shared_mem(4 * 6144)
+            .build();
+        let occ = warp_occupancy(&dev(), &limited);
+        assert!((occ - 0.5).abs() < 1e-12, "4 blocks × 8 warps / 64 = {occ}");
+    }
+}

@@ -1,0 +1,159 @@
+//! nvprof-style counters assembled from a simulated kernel run.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate L2 statistics of one kernel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct L2Stats {
+    /// Line-granularity transactions issued to L2.
+    pub accesses: u64,
+    /// Transactions that hit.
+    pub hits: u64,
+    /// Logical bytes read.
+    pub read_bytes: u64,
+    /// Logical bytes written.
+    pub write_bytes: u64,
+}
+
+impl L2Stats {
+    /// Hit fraction in `[0, 1]` (1 for an access-free kernel).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Full profile of one simulated kernel launch — the data source for
+/// Figures 3, 11, 12, 13 and 14.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// Kernel name.
+    pub name: String,
+    /// Makespan in core cycles (including launch latency).
+    pub makespan_cycles: f64,
+    /// Wall time in milliseconds at the device clock.
+    pub time_ms: f64,
+    /// Busy cycles per SM.
+    pub sm_busy: Vec<f64>,
+    /// Number of thread blocks launched.
+    pub num_blocks: usize,
+    /// Σ of block durations (total SM work).
+    pub busy_cycles: f64,
+    /// Σ of sync-stall counters across blocks.
+    pub sync_stall_cycles: f64,
+    /// L2 aggregates.
+    pub l2: L2Stats,
+    /// Blocks bucketed by effective threads (log2 buckets) — Figure 3(b).
+    pub effective_thread_histogram: Vec<usize>,
+    /// Mean achieved warp occupancy in `[0, 1]`.
+    pub occupancy: f64,
+    /// Kernel-aggregate bandwidth demand over capacity (ρ) used in the
+    /// final timing pass.
+    pub bandwidth_pressure: f64,
+}
+
+impl KernelProfile {
+    /// Load Balancing Index (paper Equation 3).
+    pub fn lbi(&self) -> f64 {
+        let max = self.sm_busy.iter().copied().fold(0.0f64, f64::max);
+        if max <= 0.0 {
+            return 1.0;
+        }
+        self.sm_busy.iter().map(|&c| c / max).sum::<f64>() / self.sm_busy.len() as f64
+    }
+
+    /// Fraction of all stall/busy cycles attributable to barrier waits —
+    /// the Figure 13 metric.
+    pub fn sync_stall_ratio(&self) -> f64 {
+        let denom = self.busy_cycles + self.sync_stall_cycles;
+        if denom <= 0.0 {
+            0.0
+        } else {
+            self.sync_stall_cycles / denom
+        }
+    }
+
+    /// L2 read throughput in GB/s over the kernel's wall time.
+    pub fn l2_read_gbs(&self) -> f64 {
+        if self.time_ms <= 0.0 {
+            0.0
+        } else {
+            self.l2.read_bytes as f64 / (self.time_ms * 1e-3) / 1e9
+        }
+    }
+
+    /// L2 write throughput in GB/s over the kernel's wall time.
+    pub fn l2_write_gbs(&self) -> f64 {
+        if self.time_ms <= 0.0 {
+            0.0
+        } else {
+            self.l2.write_bytes as f64 / (self.time_ms * 1e-3) / 1e9
+        }
+    }
+
+    /// Per-SM busy times sorted descending (Figure 3(a) presentation).
+    pub fn sm_busy_descending(&self) -> Vec<f64> {
+        let mut v = self.sm_busy.clone();
+        v.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(sm_busy: Vec<f64>) -> KernelProfile {
+        KernelProfile {
+            name: "k".into(),
+            makespan_cycles: 100.0,
+            time_ms: 1.0,
+            sm_busy,
+            num_blocks: 4,
+            busy_cycles: 100.0,
+            sync_stall_cycles: 0.0,
+            l2: L2Stats {
+                accesses: 10,
+                hits: 5,
+                read_bytes: 2_000_000_000,
+                write_bytes: 1_000_000_000,
+            },
+            effective_thread_histogram: vec![],
+            occupancy: 1.0,
+            bandwidth_pressure: 0.0,
+        }
+    }
+
+    #[test]
+    fn lbi_of_balanced_and_skewed() {
+        assert!((profile(vec![10.0, 10.0]).lbi() - 1.0).abs() < 1e-12);
+        let p = profile(vec![100.0, 0.0, 0.0, 0.0]);
+        assert!((p.lbi() - 0.25).abs() < 1e-12);
+        assert_eq!(profile(vec![0.0, 0.0]).lbi(), 1.0);
+    }
+
+    #[test]
+    fn throughput_is_bytes_over_walltime() {
+        let p = profile(vec![10.0]);
+        assert!((p.l2_read_gbs() - 2000.0).abs() < 1e-9);
+        assert!((p.l2_write_gbs() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stall_ratio_bounds() {
+        let mut p = profile(vec![10.0]);
+        p.sync_stall_cycles = 100.0;
+        // 100 stall vs 100 busy → 50 %
+        assert!((p.sync_stall_ratio() - 0.5).abs() < 1e-12);
+        p.sync_stall_cycles = 0.0;
+        assert_eq!(p.sync_stall_ratio(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_no_accesses_is_one() {
+        assert_eq!(L2Stats::default().hit_rate(), 1.0);
+    }
+}

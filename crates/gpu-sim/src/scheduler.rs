@@ -1,0 +1,196 @@
+//! Thread-block dispatcher.
+//!
+//! Real GPUs hand the next block in launch order to the first SM with a
+//! free slot. For makespan/balance purposes this is equivalent to greedy
+//! list scheduling onto the least-loaded SM (each SM conserves its total
+//! work regardless of intra-SM interleaving), which is what we simulate.
+//! Per-SM busy time falls straight out — Figure 3(a)'s bars — and the
+//! paper's Load Balancing Index (Equation 3) is
+//!
+//! ```text
+//! LBI = (Σᵢ cycles(SMᵢ) / MAX cycles(SM)) / N
+//! ```
+
+/// One block's position in the simulated timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockPlacement {
+    /// Block index in launch order.
+    pub block: usize,
+    /// SM the block ran on.
+    pub sm: u32,
+    /// Start cycle on that SM.
+    pub start: f64,
+    /// End cycle on that SM.
+    pub end: f64,
+}
+
+/// Outcome of scheduling one kernel's blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleResult {
+    /// Busy cycles per SM.
+    pub sm_busy: Vec<f64>,
+    /// Kernel makespan in cycles (max over SMs).
+    pub makespan: f64,
+    /// Which SM each block ran on, in launch order.
+    pub assignment: Vec<u32>,
+    /// Full timeline: per-block (SM, start, end), in launch order.
+    pub placements: Vec<BlockPlacement>,
+}
+
+impl ScheduleResult {
+    /// The paper's Load Balancing Index: mean SM time over max SM time,
+    /// in `[0, 1]`; 1 = perfectly balanced.
+    pub fn lbi(&self) -> f64 {
+        let max = self.makespan;
+        if max <= 0.0 {
+            return 1.0;
+        }
+        let n = self.sm_busy.len() as f64;
+        self.sm_busy.iter().map(|&c| c / max).sum::<f64>() / n
+    }
+
+    /// SM utilization = mean busy over makespan (equals LBI here; kept as a
+    /// named alias because the paper reports both terms).
+    pub fn sm_utilization(&self) -> f64 {
+        self.lbi()
+    }
+
+    /// Busy times sorted descending — Figure 3(a)'s presentation.
+    pub fn sm_busy_descending(&self) -> Vec<f64> {
+        let mut v = self.sm_busy.clone();
+        v.sort_by(|a, b| b.partial_cmp(a).expect("busy times are finite"));
+        v
+    }
+}
+
+/// Greedy list scheduling of `durations` (in launch order) onto `num_sms`
+/// identical SMs: each block goes to the SM that frees up first.
+pub fn schedule(durations: &[f64], num_sms: u32) -> ScheduleResult {
+    assert!(num_sms > 0, "need at least one SM");
+    let n = num_sms as usize;
+    let mut busy = vec![0.0f64; n];
+    let mut assignment = Vec::with_capacity(durations.len());
+    let mut placements = Vec::with_capacity(durations.len());
+    for (i, &d) in durations.iter().enumerate() {
+        debug_assert!(d.is_finite() && d >= 0.0, "block duration must be finite");
+        // Argmin over SM free times; ties go to the lowest index, matching
+        // hardware's deterministic slot scan.
+        let (sm, _) = busy
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("at least one SM");
+        let start = busy[sm];
+        busy[sm] += d;
+        assignment.push(sm as u32);
+        placements.push(BlockPlacement {
+            block: i,
+            sm: sm as u32,
+            start,
+            end: busy[sm],
+        });
+    }
+    let makespan = busy.iter().copied().fold(0.0, f64::max);
+    ScheduleResult {
+        sm_busy: busy,
+        makespan,
+        assignment,
+        placements,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_blocks_balance_perfectly() {
+        let r = schedule(&[10.0; 30], 30);
+        assert_eq!(r.makespan, 10.0);
+        assert!((r.lbi() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_dominator_wrecks_lbi() {
+        // 1 block of 1000 cycles + 29 of 1 cycle on 30 SMs: the paper's
+        // overloaded-block scenario.
+        let mut d = vec![1000.0];
+        d.extend(std::iter::repeat_n(1.0, 29));
+        let r = schedule(&d, 30);
+        assert_eq!(r.makespan, 1000.0);
+        assert!(r.lbi() < 0.05, "LBI should collapse: {}", r.lbi());
+    }
+
+    #[test]
+    fn splitting_the_dominator_restores_lbi() {
+        // Same total work, dominator split into 32 pieces.
+        let mut d: Vec<f64> = std::iter::repeat_n(1000.0 / 32.0, 32).collect();
+        d.extend(std::iter::repeat_n(1.0, 29));
+        let r = schedule(&d, 30);
+        assert!(r.makespan < 70.0, "makespan {}", r.makespan);
+        assert!(r.lbi() > 0.45, "LBI should recover: {}", r.lbi());
+    }
+
+    #[test]
+    fn work_is_conserved() {
+        let d = [3.0, 7.0, 2.0, 9.0, 4.0];
+        let r = schedule(&d, 2);
+        let total: f64 = r.sm_busy.iter().sum();
+        assert!((total - 25.0).abs() < 1e-12);
+        assert_eq!(r.assignment.len(), 5);
+    }
+
+    #[test]
+    fn makespan_at_least_longest_block_and_mean_load() {
+        let d = [5.0, 1.0, 1.0, 1.0];
+        let r = schedule(&d, 4);
+        assert!(r.makespan >= 5.0);
+        let r2 = schedule(&[2.0; 8], 4);
+        assert!((r2.makespan - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn descending_view_is_sorted() {
+        let r = schedule(&[1.0, 5.0, 3.0], 3);
+        let v = r.sm_busy_descending();
+        assert!(v.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn empty_launch_is_trivially_balanced() {
+        let r = schedule(&[], 30);
+        assert_eq!(r.makespan, 0.0);
+        assert_eq!(r.lbi(), 1.0);
+    }
+
+    #[test]
+    fn placements_are_consistent_with_busy_times() {
+        let d = [3.0, 7.0, 2.0, 9.0];
+        let r = schedule(&d, 2);
+        assert_eq!(r.placements.len(), 4);
+        for p in &r.placements {
+            assert!((p.end - p.start - d[p.block]).abs() < 1e-12);
+            assert_eq!(r.assignment[p.block], p.sm);
+            assert!(p.end <= r.makespan + 1e-12);
+        }
+        // Per-SM placements must not overlap.
+        for sm in 0..2u32 {
+            let mut spans: Vec<(f64, f64)> = r
+                .placements
+                .iter()
+                .filter(|p| p.sm == sm)
+                .map(|p| (p.start, p.end))
+                .collect();
+            spans.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in spans.windows(2) {
+                assert!(w[0].1 <= w[1].0 + 1e-12, "overlap on SM {sm}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one SM")]
+    fn zero_sms_rejected() {
+        let _ = schedule(&[1.0], 0);
+    }
+}

@@ -1,0 +1,308 @@
+//! Block-duration model.
+//!
+//! One thread block's wall time on an SM is modelled as
+//!
+//! ```text
+//! duration = max(compute, memory) + atomic_serialization + block_overhead
+//! ```
+//!
+//! * `compute` — launched warps × per-thread MACs × lane-imbalance ×
+//!   cycles/MAC ÷ issue width. Counting *launched* (not effective) warps is
+//!   what makes lock-step waste visible: a 256-thread block with 3 effective
+//!   threads still burns 8 warps of issue slots, which is exactly the
+//!   inefficiency B-Gathering removes by compaction.
+//! * `memory` — transaction latencies (L2 hits vs DRAM misses from the L2
+//!   simulator), divided by the latency-hiding factor (outstanding requests
+//!   across all *effective* warps resident on the SM — underloaded blocks
+//!   hide almost nothing), floored by the block's bandwidth demand, and
+//!   inflated by a queueing term when the kernel's aggregate demand
+//!   approaches the device bandwidth (the contention B-Limiting relieves).
+//! * `atomic_serialization` — atomics × per-op cost × mean conflict degree,
+//!   over a fixed L2-bank parallelism.
+//!
+//! Sync-stall cycles (`(1 − effective_ratio) ×` busy time when the block
+//! barriers) are tracked as a *counter* for Figure 13; the idle lanes run in
+//! parallel with the effective ones, so they do not extend the block.
+
+use crate::device::DeviceConfig;
+use crate::l2cache::BlockL2;
+use crate::trace::BlockTrace;
+
+/// L2 atomic-unit parallelism (banks working independently).
+const ATOMIC_BANKS: f64 = 8.0;
+
+/// Fixed pipeline-drain cost of one `__syncthreads()`, in cycles.
+const BARRIER_BASE_CYCLES: f64 = 20.0;
+/// Per-warp reconvergence cost of one barrier, in cycles.
+const BARRIER_PER_WARP_CYCLES: f64 = 4.0;
+
+/// Execution context a block sees on its SM: how much co-resident work
+/// exists to hide latency, and how contended the memory system is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmContext {
+    /// Blocks of this shape co-resident on the SM (occupancy).
+    pub resident_blocks: u32,
+    /// Total effective warps resident on the SM (across all co-resident
+    /// blocks) — the pool the warp scheduler can switch between.
+    pub hiding_warps: f64,
+    /// Kernel-aggregate bandwidth demand over capacity (ρ ≥ 0).
+    pub bandwidth_pressure: f64,
+}
+
+impl SmContext {
+    /// A context with no co-residency and no contention (single block on an
+    /// otherwise idle device).
+    pub fn solo(block_effective_warps: u32) -> Self {
+        SmContext {
+            resident_blocks: 1,
+            hiding_warps: block_effective_warps as f64,
+            bandwidth_pressure: 0.0,
+        }
+    }
+}
+
+/// Timing breakdown of one block.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BlockTiming {
+    /// Compute (issue-bound) cycles.
+    pub compute_cycles: f64,
+    /// Memory (latency/bandwidth-bound) cycles after hiding.
+    pub memory_cycles: f64,
+    /// The latency-bound component alone (no bandwidth floor) — used by the
+    /// simulator's first pass to estimate unthrottled bandwidth demand.
+    pub memory_latency_bound: f64,
+    /// Atomic serialization cycles.
+    pub atomic_cycles: f64,
+    /// Fixed dispatch overhead cycles.
+    pub overhead_cycles: f64,
+    /// Sync-stall counter (not part of `duration`; see module docs).
+    pub sync_stall_cycles: f64,
+    /// Total block wall time in cycles.
+    pub duration: f64,
+}
+
+/// Latency-inflation multiplier for aggregate bandwidth pressure `rho`:
+/// 1 below the knee, then `1 / (1 − ρ̂)`-style queueing growth, capped so a
+/// pathological kernel still terminates.
+pub fn contention_factor(device: &DeviceConfig, rho: f64) -> f64 {
+    let knee = device.cost.contention_knee;
+    if rho <= knee {
+        return 1.0;
+    }
+    // Map rho ∈ (knee, ∞) onto an M/M/1-ish utilization in (0, 0.95].
+    let util = ((rho - knee) / (1.0 - knee)).min(4.0);
+    let u = (util / (1.0 + util)) * 0.95;
+    (1.0 / (1.0 - u)).min(12.0)
+}
+
+/// Computes the timing of one block given its L2 outcome and SM context.
+pub fn block_timing(
+    device: &DeviceConfig,
+    block: &BlockTrace,
+    l2: &BlockL2,
+    ctx: &SmContext,
+) -> BlockTiming {
+    let cost = &device.cost;
+    let warps = block.warps(device.warp_size) as f64;
+
+    // --- compute: issue-bound, lock-step over launched warps ---
+    let compute_cycles =
+        warps * block.compute_per_thread as f64 * block.lane_imbalance * cost.cycles_per_mac
+            / device.issue_width();
+
+    // --- memory: latency / hiding, floored by bandwidth ---
+    let inflation = contention_factor(device, ctx.bandwidth_pressure);
+    let raw_latency = l2.hit_transactions as f64 * device.l2_latency_cycles as f64
+        + l2.miss_transactions as f64 * device.dram_latency_cycles as f64;
+    let hiding = (ctx.hiding_warps * cost.mlp_per_warp).clamp(1.0, cost.max_hiding);
+    let latency_bound = raw_latency * inflation / hiding;
+    let total_bytes = (l2.read_bytes + l2.write_bytes) as f64;
+    let miss_fraction = if l2.transactions() == 0 {
+        0.0
+    } else {
+        l2.miss_transactions as f64 / l2.transactions() as f64
+    };
+    let bandwidth_bound = total_bytes / device.l2_bytes_per_cycle_per_sm()
+        + total_bytes * miss_fraction / device.dram_bytes_per_cycle_per_sm();
+    let memory_cycles = latency_bound.max(bandwidth_bound);
+
+    // --- atomics: throughput-bound across L2 banks, floored by the
+    // serialization of the most contended address (conflict chain) ---
+    let atomic_cycles = if block.atomics == 0 {
+        0.0
+    } else {
+        let throughput = block.atomics as f64 * cost.atomic_cycles / ATOMIC_BANKS;
+        let chain = block.atomic_conflict * cost.atomic_cycles;
+        throughput.max(chain) * inflation
+    };
+
+    // Barriers drain the pipeline: kernels that synchronize per sort stage
+    // (bitonic networks, multi-phase merges) pay for every one of them.
+    let barrier_cycles =
+        block.barriers as f64 * (BARRIER_BASE_CYCLES + warps * BARRIER_PER_WARP_CYCLES);
+
+    let overhead_cycles = cost.block_overhead_cycles;
+    let work = compute_cycles.max(memory_cycles) + atomic_cycles;
+    let busy = work + barrier_cycles;
+    let sync_stall_cycles = if block.barriers > 0 {
+        (1.0 - block.effective_ratio()) * work
+    } else {
+        0.0
+    };
+
+    BlockTiming {
+        compute_cycles,
+        memory_cycles,
+        memory_latency_bound: latency_bound,
+        atomic_cycles,
+        overhead_cycles,
+        sync_stall_cycles,
+        duration: busy + overhead_cycles,
+    }
+}
+
+/// Unthrottled duration estimate (no bandwidth floor): what the block would
+/// demand of the memory system if capacity were infinite. The simulator's
+/// demand/capacity ratio ρ is computed from this.
+pub fn unfloored_duration(t: &BlockTiming) -> f64 {
+    t.compute_cycles.max(t.memory_latency_bound) + t.atomic_cycles + t.overhead_cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+
+    fn dev() -> DeviceConfig {
+        DeviceConfig::titan_xp()
+    }
+
+    fn no_mem_l2() -> BlockL2 {
+        BlockL2::default()
+    }
+
+    #[test]
+    fn compute_scales_with_launched_warps_not_effective() {
+        let full = TraceBuilder::new(256, 256).compute(1000).build();
+        let sparse = TraceBuilder::new(256, 3).compute(1000).build();
+        let ctx = SmContext::solo(8);
+        let t_full = block_timing(&dev(), &full, &no_mem_l2(), &ctx);
+        let t_sparse = block_timing(&dev(), &sparse, &no_mem_l2(), &ctx);
+        // Lock-step: same issue cost whether 3 or 256 lanes are useful.
+        assert!((t_full.compute_cycles - t_sparse.compute_cycles).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lane_imbalance_multiplies_compute() {
+        let base = TraceBuilder::new(32, 32).compute(1000).build();
+        let skew = TraceBuilder::new(32, 32)
+            .compute(1000)
+            .lane_imbalance(4.0)
+            .build();
+        let ctx = SmContext::solo(1);
+        let a = block_timing(&dev(), &base, &no_mem_l2(), &ctx);
+        let b = block_timing(&dev(), &skew, &no_mem_l2(), &ctx);
+        assert!((b.compute_cycles / a.compute_cycles - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_hiding_warps_shrink_memory_time() {
+        let block = TraceBuilder::new(256, 256).build();
+        let l2 = BlockL2 {
+            hit_transactions: 0,
+            miss_transactions: 1000,
+            read_bytes: 128_000,
+            write_bytes: 0,
+        };
+        let lonely = SmContext {
+            resident_blocks: 1,
+            hiding_warps: 1.0,
+            bandwidth_pressure: 0.0,
+        };
+        let crowded = SmContext {
+            resident_blocks: 8,
+            hiding_warps: 8.0,
+            bandwidth_pressure: 0.0,
+        };
+        let t1 = block_timing(&dev(), &block, &l2, &lonely);
+        let t8 = block_timing(&dev(), &block, &l2, &crowded);
+        assert!(
+            t8.memory_cycles < t1.memory_cycles / 2.0,
+            "8 warps must hide much more: {} vs {}",
+            t8.memory_cycles,
+            t1.memory_cycles
+        );
+    }
+
+    #[test]
+    fn bandwidth_floor_binds_for_huge_streaming_blocks() {
+        let block = TraceBuilder::new(256, 256).build();
+        let l2 = BlockL2 {
+            hit_transactions: 0,
+            miss_transactions: 1_000_000,
+            read_bytes: 128_000_000,
+            write_bytes: 0,
+        };
+        let ctx = SmContext {
+            resident_blocks: 8,
+            hiding_warps: 64.0,
+            bandwidth_pressure: 0.0,
+        };
+        let t = block_timing(&dev(), &block, &l2, &ctx);
+        let bw_cycles =
+            128e6 / dev().l2_bytes_per_cycle_per_sm() + 128e6 / dev().dram_bytes_per_cycle_per_sm();
+        assert!((t.memory_cycles - bw_cycles).abs() / bw_cycles < 1e-9);
+    }
+
+    #[test]
+    fn contention_inflates_above_knee_only() {
+        let d = dev();
+        assert_eq!(contention_factor(&d, 0.0), 1.0);
+        assert_eq!(contention_factor(&d, d.cost.contention_knee), 1.0);
+        let mid = contention_factor(&d, 1.0);
+        let high = contention_factor(&d, 2.0);
+        assert!(mid > 1.0);
+        assert!(high > mid);
+        assert!(contention_factor(&d, 100.0) <= 12.0);
+    }
+
+    #[test]
+    fn sync_stalls_proportional_to_ineffective_fraction() {
+        let block = TraceBuilder::new(256, 8).compute(1000).barriers(1).build();
+        let ctx = SmContext::solo(1);
+        let t = block_timing(&dev(), &block, &no_mem_l2(), &ctx);
+        let expect = (1.0 - 8.0 / 256.0) * t.compute_cycles.max(t.memory_cycles);
+        assert!((t.sync_stall_cycles - expect).abs() < 1e-6);
+        // without barriers, no sync stall is recorded
+        let nb = TraceBuilder::new(256, 8).compute(1000).build();
+        assert_eq!(
+            block_timing(&dev(), &nb, &no_mem_l2(), &ctx).sync_stall_cycles,
+            0.0
+        );
+    }
+
+    #[test]
+    fn atomics_add_serialization() {
+        let none = TraceBuilder::new(256, 256).compute(10).build();
+        let some = TraceBuilder::new(256, 256)
+            .compute(10)
+            .atomic_scatter(crate::trace::RegionId(0), 0, 1 << 20, 10_000, 8, 2.0)
+            .build();
+        let ctx = SmContext::solo(8);
+        let a = block_timing(&dev(), &none, &no_mem_l2(), &ctx);
+        let b = block_timing(&dev(), &some, &no_mem_l2(), &ctx);
+        assert!(b.duration > a.duration);
+        // throughput bound: 10k atomics / 8 banks; the conflict chain
+        // (2 × cost) is far shorter here.
+        let expect = 10_000.0 * dev().cost.atomic_cycles / 8.0;
+        assert!((b.atomic_cycles - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn duration_includes_block_overhead() {
+        let empty = TraceBuilder::new(32, 32).build();
+        let ctx = SmContext::solo(1);
+        let t = block_timing(&dev(), &empty, &no_mem_l2(), &ctx);
+        assert!((t.duration - dev().cost.block_overhead_cycles).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests of the performance model's monotonicity and
+//! conservation laws: whatever the cost constants, these relations must
+//! hold or the model cannot be trusted for A/B comparisons.
+
+use br_gpu_sim::device::DeviceConfig;
+use br_gpu_sim::l2cache::{BlockL2, L2Cache};
+use br_gpu_sim::scheduler::schedule;
+use br_gpu_sim::sim::GpuSimulator;
+use br_gpu_sim::timing::{block_timing, SmContext};
+use br_gpu_sim::trace::{KernelLaunch, MemoryLayout, TraceBuilder};
+use proptest::prelude::*;
+
+fn dev() -> DeviceConfig {
+    DeviceConfig::titan_xp()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// More per-thread compute never shortens a block.
+    #[test]
+    fn compute_is_monotone(base in 1u64..100_000, extra in 1u64..100_000,
+                           threads_log in 5u32..10) {
+        let threads = 1u32 << threads_log;
+        let ctx = SmContext::solo(threads / 32);
+        let l2 = BlockL2::default();
+        let t1 = block_timing(&dev(), &TraceBuilder::new(threads, threads).compute(base).build(), &l2, &ctx);
+        let t2 = block_timing(&dev(), &TraceBuilder::new(threads, threads).compute(base + extra).build(), &l2, &ctx);
+        prop_assert!(t2.duration >= t1.duration);
+    }
+
+    /// Converting hits to misses never speeds a block up.
+    #[test]
+    fn misses_cost_at_least_hits(hits in 0u64..50_000, misses in 0u64..50_000) {
+        let block = TraceBuilder::new(256, 256).build();
+        let ctx = SmContext::solo(8);
+        let all_hit = BlockL2 {
+            hit_transactions: hits + misses,
+            miss_transactions: 0,
+            read_bytes: (hits + misses) * 128,
+            write_bytes: 0,
+        };
+        let mixed = BlockL2 {
+            hit_transactions: hits,
+            miss_transactions: misses,
+            read_bytes: (hits + misses) * 128,
+            write_bytes: 0,
+        };
+        let t_hit = block_timing(&dev(), &block, &all_hit, &ctx);
+        let t_mix = block_timing(&dev(), &block, &mixed, &ctx);
+        prop_assert!(t_mix.duration >= t_hit.duration - 1e-9);
+    }
+
+    /// More hiding warps never slow the memory path down.
+    #[test]
+    fn hiding_is_monotone(warps_a in 1u32..64, warps_b in 1u32..64,
+                          transactions in 1u64..100_000) {
+        let (lo, hi) = (warps_a.min(warps_b), warps_a.max(warps_b));
+        let block = TraceBuilder::new(256, 256).build();
+        let l2 = BlockL2 {
+            hit_transactions: 0,
+            miss_transactions: transactions,
+            read_bytes: transactions * 128,
+            write_bytes: 0,
+        };
+        let t_lo = block_timing(&dev(), &block, &l2, &SmContext {
+            resident_blocks: 1, hiding_warps: lo as f64, bandwidth_pressure: 0.0 });
+        let t_hi = block_timing(&dev(), &block, &l2, &SmContext {
+            resident_blocks: 1, hiding_warps: hi as f64, bandwidth_pressure: 0.0 });
+        prop_assert!(t_hi.memory_cycles <= t_lo.memory_cycles + 1e-9);
+    }
+
+    /// Bandwidth pressure only ever inflates durations.
+    #[test]
+    fn contention_is_monotone(rho_a in 0.0f64..4.0, rho_b in 0.0f64..4.0,
+                              transactions in 1u64..10_000) {
+        let (lo, hi) = (rho_a.min(rho_b), rho_a.max(rho_b));
+        let block = TraceBuilder::new(256, 256).build();
+        let l2 = BlockL2 {
+            hit_transactions: transactions,
+            miss_transactions: transactions,
+            read_bytes: transactions * 256,
+            write_bytes: 0,
+        };
+        let mk = |rho| SmContext { resident_blocks: 4, hiding_warps: 16.0, bandwidth_pressure: rho };
+        let t_lo = block_timing(&dev(), &block, &l2, &mk(lo));
+        let t_hi = block_timing(&dev(), &block, &l2, &mk(hi));
+        prop_assert!(t_hi.duration >= t_lo.duration - 1e-9);
+    }
+
+    /// A bigger cache never hits less on the same access stream.
+    #[test]
+    fn cache_capacity_is_monotone(ranges in proptest::collection::vec((0u64..1u64<<18, 1u64..8192), 1..20)) {
+        let mut layout = MemoryLayout::new();
+        let region = layout.alloc(1 << 19);
+        let mk_seg = |off: u64, len: u64| br_gpu_sim::trace::MemSegment {
+            region,
+            offset: off.min((1 << 19) - 1),
+            bytes: len.min((1 << 19) - off.min((1 << 19) - 1)).max(1),
+            pattern: br_gpu_sim::trace::AccessPattern::Coalesced,
+            write: false,
+            atomic: false,
+        };
+        let mut small = L2Cache::new(16 * 1024, 128, 8);
+        let mut big = L2Cache::new(512 * 1024, 128, 8);
+        let (mut h_small, mut h_big) = (0u64, 0u64);
+        for &(off, len) in &ranges {
+            let seg = mk_seg(off, len);
+            h_small += small.stream_segment(&layout, &seg).0;
+            h_big += big.stream_segment(&layout, &seg).0;
+        }
+        prop_assert!(h_big >= h_small, "big {h_big} < small {h_small}");
+    }
+
+    /// Scheduling is work-conserving and bounded by the two classic lower
+    /// bounds, for any durations and SM count.
+    #[test]
+    fn scheduling_bounds(durations in proptest::collection::vec(0.0f64..1e6, 0..300),
+                         sms in 1u32..256) {
+        let r = schedule(&durations, sms);
+        let total: f64 = durations.iter().sum();
+        let longest = durations.iter().copied().fold(0.0, f64::max);
+        let scale = total.max(1.0);
+        prop_assert!((r.sm_busy.iter().sum::<f64>() - total).abs() < 1e-9 * scale);
+        prop_assert!(r.makespan >= longest - 1e-9);
+        prop_assert!(r.makespan >= total / sms as f64 - 1e-9 * scale);
+        // Greedy list scheduling is 2-competitive.
+        prop_assert!(r.makespan <= total / sms as f64 + longest + 1e-9 * scale);
+    }
+
+    /// The full simulator is deterministic for arbitrary block mixes.
+    #[test]
+    fn simulator_is_deterministic(seeds in proptest::collection::vec(0u64..1000, 1..40)) {
+        let mut layout = MemoryLayout::new();
+        let region = layout.alloc(1 << 22);
+        let blocks: Vec<_> = seeds
+            .iter()
+            .map(|&s| {
+                TraceBuilder::new(32 * (1 + (s % 8) as u32), 1 + (s % 200) as u32)
+                    .compute(s * 17 + 1)
+                    .read(region, (s * 4096) % (1 << 21), 1 + s * 13 % 8192)
+                    .barriers((s % 3) as u32)
+                    .build()
+            })
+            .collect();
+        let launch = KernelLaunch::new("prop", blocks);
+        let sim = GpuSimulator::new(dev());
+        let p1 = sim.run(&launch, &layout);
+        let p2 = sim.run(&launch, &layout);
+        prop_assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,108 @@
+//! Error type shared by all sparse-matrix constructors and I/O.
+
+use std::fmt;
+
+/// Errors produced by sparse-matrix construction, conversion, and I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// A structural invariant of a compressed format was violated.
+    ///
+    /// The string names the invariant (e.g. "ptr must be non-decreasing").
+    InvalidStructure(String),
+    /// An entry's coordinates lie outside the declared matrix shape.
+    IndexOutOfBounds {
+        /// Row coordinate of the offending entry.
+        row: usize,
+        /// Column coordinate of the offending entry.
+        col: usize,
+        /// Number of matrix rows.
+        nrows: usize,
+        /// Number of matrix columns.
+        ncols: usize,
+    },
+    /// Two operands have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Human-readable name of the operation.
+        op: &'static str,
+        /// Shape of the left operand.
+        lhs: (usize, usize),
+        /// Shape of the right operand.
+        rhs: (usize, usize),
+    },
+    /// A Matrix Market stream could not be parsed.
+    ParseError {
+        /// 1-based line number where parsing failed.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// An underlying I/O error, carried as a string to keep the type `Clone`.
+    Io(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::InvalidStructure(msg) => write!(f, "invalid sparse structure: {msg}"),
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows,
+                ncols,
+            } => write!(
+                f,
+                "entry ({row}, {col}) out of bounds for {nrows}x{ncols} matrix"
+            ),
+            SparseError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            SparseError::ParseError { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SparseError::IndexOutOfBounds {
+            row: 5,
+            col: 7,
+            nrows: 4,
+            ncols: 4,
+        };
+        assert!(e.to_string().contains("(5, 7)"));
+        assert!(e.to_string().contains("4x4"));
+
+        let e = SparseError::ShapeMismatch {
+            op: "spgemm",
+            lhs: (3, 4),
+            rhs: (5, 6),
+        };
+        assert!(e.to_string().contains("spgemm"));
+        assert!(e.to_string().contains("3x4"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing.mtx");
+        let e: SparseError = io.into();
+        assert!(matches!(e, SparseError::Io(_)));
+        assert!(e.to_string().contains("missing.mtx"));
+    }
+}

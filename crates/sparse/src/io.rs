@@ -1,0 +1,301 @@
+//! Matrix Market (`.mtx`) exchange-format I/O.
+//!
+//! The paper evaluates on SuiteSparse and SNAP matrices distributed in this
+//! format. The reader supports the `matrix coordinate` variants actually
+//! present in those collections: `real` / `integer` / `pattern` values with
+//! `general` / `symmetric` / `skew-symmetric` symmetry. Pattern entries get
+//! value `1`; symmetric entries are mirrored (diagonal not duplicated).
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+use crate::{CooMatrix, CsrMatrix, Result};
+
+/// Value field of the Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MmField {
+    Real,
+    Integer,
+    Pattern,
+}
+
+/// Symmetry field of the Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MmSymmetry {
+    General,
+    Symmetric,
+    SkewSymmetric,
+}
+
+/// Reads a Matrix Market *coordinate* matrix from any reader.
+pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<CooMatrix<T>> {
+    let mut lines = BufReader::new(reader).lines().enumerate();
+
+    // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
+    let (line_no, header) = loop {
+        match lines.next() {
+            Some((n, line)) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break (n + 1, line);
+                }
+            }
+            None => {
+                return Err(SparseError::ParseError {
+                    line: 0,
+                    message: "empty stream".to_string(),
+                })
+            }
+        }
+    };
+    let tokens: Vec<String> = header
+        .split_whitespace()
+        .map(|t| t.to_ascii_lowercase())
+        .collect();
+    if tokens.len() < 5 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
+        return Err(SparseError::ParseError {
+            line: line_no,
+            message: format!("not a MatrixMarket matrix header: {header:?}"),
+        });
+    }
+    if tokens[2] != "coordinate" {
+        return Err(SparseError::ParseError {
+            line: line_no,
+            message: format!("unsupported format {:?} (only coordinate)", tokens[2]),
+        });
+    }
+    let field = match tokens[3].as_str() {
+        "real" => MmField::Real,
+        "integer" => MmField::Integer,
+        "pattern" => MmField::Pattern,
+        other => {
+            return Err(SparseError::ParseError {
+                line: line_no,
+                message: format!("unsupported value field {other:?}"),
+            })
+        }
+    };
+    let symmetry = match tokens[4].as_str() {
+        "general" => MmSymmetry::General,
+        "symmetric" => MmSymmetry::Symmetric,
+        "skew-symmetric" => MmSymmetry::SkewSymmetric,
+        other => {
+            return Err(SparseError::ParseError {
+                line: line_no,
+                message: format!("unsupported symmetry {other:?}"),
+            })
+        }
+    };
+
+    // Size line: first non-comment, non-blank line after the header.
+    let (size_line_no, size_line) = loop {
+        match lines.next() {
+            Some((n, line)) => {
+                let line = line?;
+                let t = line.trim();
+                if !t.is_empty() && !t.starts_with('%') {
+                    break (n + 1, line);
+                }
+            }
+            None => {
+                return Err(SparseError::ParseError {
+                    line: line_no,
+                    message: "missing size line".to_string(),
+                })
+            }
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| {
+            t.parse::<usize>().map_err(|e| SparseError::ParseError {
+                line: size_line_no,
+                message: format!("bad size token {t:?}: {e}"),
+            })
+        })
+        .collect::<Result<_>>()?;
+    if dims.len() != 3 {
+        return Err(SparseError::ParseError {
+            line: size_line_no,
+            message: format!("size line must have 3 fields, got {}", dims.len()),
+        });
+    }
+    let (nrows, ncols, declared_nnz) = (dims[0], dims[1], dims[2]);
+
+    let cap = match symmetry {
+        MmSymmetry::General => declared_nnz,
+        _ => declared_nnz * 2,
+    };
+    let mut coo = CooMatrix::with_capacity(nrows, ncols, cap);
+    let mut seen = 0usize;
+    for (n, line) in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse_idx = |tok: Option<&str>, n: usize| -> Result<usize> {
+            let tok = tok.ok_or(SparseError::ParseError {
+                line: n + 1,
+                message: "missing index".to_string(),
+            })?;
+            tok.parse::<usize>().map_err(|e| SparseError::ParseError {
+                line: n + 1,
+                message: format!("bad index {tok:?}: {e}"),
+            })
+        };
+        let r1 = parse_idx(it.next(), n)?;
+        let c1 = parse_idx(it.next(), n)?;
+        if r1 == 0 || c1 == 0 {
+            return Err(SparseError::ParseError {
+                line: n + 1,
+                message: "MatrixMarket indices are 1-based; found 0".to_string(),
+            });
+        }
+        let v = match field {
+            MmField::Pattern => T::ONE,
+            MmField::Real | MmField::Integer => {
+                let tok = it.next().ok_or(SparseError::ParseError {
+                    line: n + 1,
+                    message: "missing value".to_string(),
+                })?;
+                let f = tok.parse::<f64>().map_err(|e| SparseError::ParseError {
+                    line: n + 1,
+                    message: format!("bad value {tok:?}: {e}"),
+                })?;
+                T::from_f64(f)
+            }
+        };
+        let (r, c) = (r1 - 1, c1 - 1);
+        coo.push(r as u32, c as u32, v)?;
+        match symmetry {
+            MmSymmetry::General => {}
+            MmSymmetry::Symmetric if r != c => coo.push(c as u32, r as u32, v)?,
+            MmSymmetry::SkewSymmetric if r != c => coo.push(c as u32, r as u32, -v)?,
+            _ => {}
+        }
+        seen += 1;
+    }
+    if seen != declared_nnz {
+        return Err(SparseError::ParseError {
+            line: 0,
+            message: format!("header declares {declared_nnz} entries, found {seen}"),
+        });
+    }
+    Ok(coo)
+}
+
+/// Reads a Matrix Market file from disk and compresses it to CSR.
+pub fn read_matrix_market_file<T: Scalar, P: AsRef<Path>>(path: P) -> Result<CsrMatrix<T>> {
+    let file = File::open(path.as_ref())?;
+    Ok(read_matrix_market::<T, _>(file)?.to_csr())
+}
+
+/// Writes a CSR matrix as `matrix coordinate real general`.
+pub fn write_matrix_market<T: Scalar, W: Write>(m: &CsrMatrix<T>, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by blockreorg/br-sparse")?;
+    writeln!(w, "{} {} {}", m.nrows(), m.ncols(), m.nnz())?;
+    for (r, c, v) in m.iter() {
+        writeln!(w, "{} {} {:e}", r + 1, c + 1, v.to_f64())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a CSR matrix to a `.mtx` file on disk.
+pub fn write_matrix_market_file<T: Scalar, P: AsRef<Path>>(
+    m: &CsrMatrix<T>,
+    path: P,
+) -> Result<()> {
+    let file = File::create(path.as_ref())?;
+    write_matrix_market(m, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_general_real() {
+        let text =
+            "%%MatrixMarket matrix coordinate real general\n% comment\n3 3 2\n1 1 2.5\n3 2 -1.0\n";
+        let m = read_matrix_market::<f64, _>(text.as_bytes())
+            .unwrap()
+            .to_csr();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 0), 2.5);
+        assert_eq!(m.get(2, 1), -1.0);
+    }
+
+    #[test]
+    fn reads_pattern_as_ones() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n2 1\n";
+        let m = read_matrix_market::<f64, _>(text.as_bytes())
+            .unwrap()
+            .to_csr();
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn symmetric_mirrors_off_diagonal_only() {
+        let text =
+            "%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n1 1 1.0\n2 1 2.0\n3 2 3.0\n";
+        let m = read_matrix_market::<f64, _>(text.as_bytes())
+            .unwrap()
+            .to_csr();
+        assert_eq!(m.nnz(), 5); // diagonal once, off-diagonals mirrored
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 0), 2.0);
+        assert_eq!(m.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn skew_symmetric_negates_mirror() {
+        let text = "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 4.0\n";
+        let m = read_matrix_market::<f64, _>(text.as_bytes())
+            .unwrap()
+            .to_csr();
+        assert_eq!(m.get(1, 0), 4.0);
+        assert_eq!(m.get(0, 1), -4.0);
+    }
+
+    #[test]
+    fn rejects_wrong_header() {
+        assert!(read_matrix_market::<f64, _>(
+            "%%MatrixMarket matrix array real general\n1 1\n".as_bytes()
+        )
+        .is_err());
+        assert!(read_matrix_market::<f64, _>("garbage\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_nnz_mismatch() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n";
+        assert!(read_matrix_market::<f64, _>(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_based_indices() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+        assert!(read_matrix_market::<f64, _>(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let m =
+            CsrMatrix::try_new(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.5, -2.0, 0.25]).unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).unwrap();
+        let back = read_matrix_market::<f64, _>(buf.as_slice())
+            .unwrap()
+            .to_csr();
+        assert!(m.approx_eq(&back, 1e-12));
+    }
+}

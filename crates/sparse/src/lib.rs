@@ -1,0 +1,42 @@
+//! # br-sparse — sparse matrix substrate
+//!
+//! Sparse matrix formats and reference algorithms used throughout the
+//! Block Reorganizer reproduction:
+//!
+//! * [`CooMatrix`] — coordinate (triplet) format, the assembly format.
+//! * [`CsrMatrix`] — compressed sparse row, the canonical compute format.
+//! * [`CscMatrix`] — compressed sparse column; the outer-product scheme reads
+//!   columns of `A`, so `A` is held in CSC during expansion.
+//! * Matrix Market I/O ([`io`]) so genuine SuiteSparse/SNAP files can be used
+//!   where available.
+//! * CPU reference kernels ([`ops`]) — most importantly a sequential
+//!   Gustavson spGEMM that acts as the correctness oracle for every simulated
+//!   GPU kernel in the workspace.
+//! * Distribution statistics ([`stats`]) — degree skew metrics used for
+//!   dataset characterisation (regular vs power-law, Table II).
+//!
+//! Index convention: column indices are `u32` (matching what the paper's
+//! CUDA kernels would use on-device); row/column pointer arrays are `usize`.
+//! Values are generic over [`Scalar`] (`f32` or `f64`).
+
+#![warn(missing_docs)]
+
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod dense;
+pub mod error;
+pub mod io;
+pub mod ops;
+pub mod scalar;
+pub mod stats;
+
+pub use coo::CooMatrix;
+pub use csc::CscMatrix;
+pub use csr::CsrMatrix;
+pub use dense::DenseMatrix;
+pub use error::SparseError;
+pub use scalar::Scalar;
+
+/// Result alias for fallible sparse-matrix operations.
+pub type Result<T> = std::result::Result<T, SparseError>;

@@ -1,0 +1,80 @@
+//! Floating-point operation accounting.
+//!
+//! The paper reports absolute performance in GFLOPS (Figure 9). The
+//! convention — shared by cuSPARSE and the spGEMM literature — counts one
+//! multiply and one add per intermediate product: `flops = 2 · nnz(Ĉ)`.
+
+use crate::ops::symbolic::intermediate_nnz;
+use crate::scalar::Scalar;
+use crate::{CsrMatrix, Result};
+
+/// Number of multiply operations in `A · B` (`= nnz(Ĉ)`).
+pub fn multiply_ops<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Result<u64> {
+    intermediate_nnz(a, b)
+}
+
+/// FLOP count of `A · B` under the `2 · nnz(Ĉ)` convention.
+pub fn multiply_flops<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Result<u64> {
+    Ok(2 * intermediate_nnz(a, b)?)
+}
+
+/// Compression factor `nnz(Ĉ) / nnz(C)`: how many intermediate products
+/// merge into each output entry. Graph-squaring workloads (`C = A²` on
+/// power-law graphs) have high compression; `C = AB` on independent R-MAT
+/// pairs is close to 1 (Section VI-D of the paper).
+pub fn compression_factor<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    c: &CsrMatrix<T>,
+) -> Result<f64> {
+    let inter = intermediate_nnz(a, b)? as f64;
+    let out = c.nnz().max(1) as f64;
+    Ok(inter / out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::spgemm_gustavson;
+
+    fn dense2() -> CsrMatrix<f64> {
+        CsrMatrix::try_new(
+            2,
+            2,
+            vec![0, 2, 4],
+            vec![0, 1, 0, 1],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn flops_of_full_2x2_is_16() {
+        let m = dense2();
+        // 4 inner products of 2 terms: 8 multiplies, 8 adds.
+        assert_eq!(multiply_ops(&m, &m).unwrap(), 8);
+        assert_eq!(multiply_flops(&m, &m).unwrap(), 16);
+    }
+
+    #[test]
+    fn compression_factor_dense_square() {
+        let m = dense2();
+        let c = spgemm_gustavson(&m, &m).unwrap();
+        // 8 intermediates merge into 4 outputs → factor 2.
+        assert_eq!(compression_factor(&m, &m, &c).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn diagonal_has_unit_compression() {
+        let i = CsrMatrix::<f64>::identity(5);
+        let c = spgemm_gustavson(&i, &i).unwrap();
+        assert_eq!(compression_factor(&i, &i, &c).unwrap(), 1.0);
+        assert_eq!(multiply_flops(&i, &i).unwrap(), 10);
+    }
+
+    #[test]
+    fn empty_product_has_zero_flops() {
+        let z = CsrMatrix::<f64>::zeros(4, 4);
+        assert_eq!(multiply_flops(&z, &z).unwrap(), 0);
+    }
+}

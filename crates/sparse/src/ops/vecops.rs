@@ -1,0 +1,79 @@
+//! Sparse matrix–vector products, used by the graph-analytics examples
+//! (PageRank-style ranking is one of the motivating applications in the
+//! paper's introduction).
+
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+use crate::{CsrMatrix, Result};
+
+/// `y = A · x`.
+pub fn spmv<T: Scalar>(a: &CsrMatrix<T>, x: &[T]) -> Result<Vec<T>> {
+    if x.len() != a.ncols() {
+        return Err(SparseError::ShapeMismatch {
+            op: "spmv",
+            lhs: (a.nrows(), a.ncols()),
+            rhs: (x.len(), 1),
+        });
+    }
+    Ok((0..a.nrows())
+        .map(|r| {
+            let (cols, vals) = a.row(r);
+            cols.iter()
+                .zip(vals)
+                .map(|(&c, &v)| v * x[c as usize])
+                .sum()
+        })
+        .collect())
+}
+
+/// `y = Aᵀ · x` without materialising the transpose (scatter formulation).
+#[allow(clippy::needless_range_loop)] // r indexes both the matrix rows and x
+pub fn spmv_transpose<T: Scalar>(a: &CsrMatrix<T>, x: &[T]) -> Result<Vec<T>> {
+    if x.len() != a.nrows() {
+        return Err(SparseError::ShapeMismatch {
+            op: "spmv_transpose",
+            lhs: (a.ncols(), a.nrows()),
+            rhs: (x.len(), 1),
+        });
+    }
+    let mut y = vec![T::ZERO; a.ncols()];
+    for r in 0..a.nrows() {
+        let (cols, vals) = a.row(r);
+        let xr = x[r];
+        for (&c, &v) in cols.iter().zip(vals) {
+            y[c as usize] += v * xr;
+        }
+    }
+    Ok(y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> CsrMatrix<f64> {
+        // [[1, 0, 2], [0, 3, 0]]
+        CsrMatrix::try_new(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0]).unwrap()
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let y = spmv(&m(), &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(y, vec![7.0, 6.0]);
+    }
+
+    #[test]
+    fn spmv_transpose_matches_explicit_transpose() {
+        let a = m();
+        let x = vec![5.0, 7.0];
+        let via_scatter = spmv_transpose(&a, &x).unwrap();
+        let via_t = spmv(&a.transpose(), &x).unwrap();
+        assert_eq!(via_scatter, via_t);
+    }
+
+    #[test]
+    fn wrong_vector_length_rejected() {
+        assert!(spmv(&m(), &[1.0]).is_err());
+        assert!(spmv_transpose(&m(), &[1.0, 2.0, 3.0]).is_err());
+    }
+}

@@ -1,0 +1,107 @@
+//! Numeric element trait.
+//!
+//! The workspace only ever needs real floating-point elements (the paper
+//! multiplies edge-weight matrices), so [`Scalar`] is deliberately small:
+//! enough arithmetic for expansion/merge kernels plus conversions used by
+//! generators and test oracles.
+
+use std::fmt::Debug;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub};
+
+/// A real scalar usable as a sparse-matrix element.
+///
+/// Implemented for `f32` and `f64`. All simulated GPU kernels and CPU
+/// references are generic over this trait so that results can be checked in
+/// `f64` while kernels may run in GPU-realistic `f32`.
+pub trait Scalar:
+    Copy
+    + Debug
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + MulAssign
+    + Sum
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Lossy conversion from `f64` (used by generators and I/O).
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64` (used by oracles and statistics).
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+
+    /// `true` when `|self - other| <= tol` in `f64` arithmetic.
+    fn approx_eq(self, other: Self, tol: f64) -> bool {
+        (self.to_f64() - other.to_f64()).abs() <= tol
+    }
+}
+
+macro_rules! impl_scalar {
+    ($t:ty) => {
+        impl Scalar for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+
+            #[inline]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+        }
+    };
+}
+
+impl_scalar!(f32);
+impl_scalar!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities() {
+        assert_eq!(f64::ZERO + f64::ONE, 1.0);
+        assert_eq!(f32::ONE * f32::ONE, 1.0);
+    }
+
+    #[test]
+    fn conversions_roundtrip_for_small_integers() {
+        for v in [-3.0, 0.0, 1.0, 1024.0] {
+            assert_eq!(f32::from_f64(v).to_f64(), v);
+            assert_eq!(f64::from_f64(v).to_f64(), v);
+        }
+    }
+
+    #[test]
+    fn approx_eq_respects_tolerance() {
+        assert!(1.0f64.approx_eq(1.0 + 1e-12, 1e-9));
+        assert!(!1.0f64.approx_eq(1.1, 1e-9));
+    }
+
+    #[test]
+    fn abs_matches_std() {
+        assert_eq!(Scalar::abs(-2.5f64), 2.5);
+        assert_eq!(Scalar::abs(2.5f32), 2.5);
+    }
+}

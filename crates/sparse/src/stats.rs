@@ -1,0 +1,243 @@
+//! Degree-distribution statistics for sparse networks.
+//!
+//! The paper's whole premise is that sparse networks have *power-law* degree
+//! distributions — "a few rows with large numbers of non-zero elements while
+//! a large number of rows have a few". These metrics quantify that skew so
+//! the dataset registry can verify its surrogates fall in the intended
+//! distribution class (regular Florida-style vs skewed SNAP-style).
+
+use crate::scalar::Scalar;
+use crate::CsrMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a matrix's row-degree distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegreeStats {
+    /// Number of rows.
+    pub n: usize,
+    /// Total nnz.
+    pub nnz: usize,
+    /// Mean row degree.
+    pub mean: f64,
+    /// Maximum row degree.
+    pub max: usize,
+    /// Ratio `max / mean` — the paper's skew in its crudest form.
+    pub max_over_mean: f64,
+    /// Gini coefficient of the degree sequence in `[0, 1)`;
+    /// 0 = perfectly regular, → 1 = all edges on one hub.
+    pub gini: f64,
+    /// Coefficient of variation (stddev / mean).
+    pub cv: f64,
+    /// Fraction of rows with degree < 32 (the warp size) — precisely the
+    /// rows that make outer-product blocks *underloaded* (Fig. 3(b)).
+    pub frac_below_warp: f64,
+}
+
+impl DegreeStats {
+    /// Computes statistics from an explicit degree sequence.
+    pub fn from_degrees(degrees: &[usize]) -> DegreeStats {
+        let n = degrees.len();
+        let nnz: usize = degrees.iter().sum();
+        if n == 0 {
+            return DegreeStats {
+                n: 0,
+                nnz: 0,
+                mean: 0.0,
+                max: 0,
+                max_over_mean: 0.0,
+                gini: 0.0,
+                cv: 0.0,
+                frac_below_warp: 0.0,
+            };
+        }
+        let mean = nnz as f64 / n as f64;
+        let max = degrees.iter().copied().max().unwrap_or(0);
+        let var = degrees
+            .iter()
+            .map(|&d| {
+                let diff = d as f64 - mean;
+                diff * diff
+            })
+            .sum::<f64>()
+            / n as f64;
+        let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+
+        // Gini via the sorted-rank formula: G = (2·Σ i·xᵢ)/(n·Σ xᵢ) − (n+1)/n.
+        let mut sorted: Vec<usize> = degrees.to_vec();
+        sorted.sort_unstable();
+        let gini = if nnz == 0 {
+            0.0
+        } else {
+            let weighted: f64 = sorted
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
+                .sum();
+            (2.0 * weighted) / (n as f64 * nnz as f64) - (n as f64 + 1.0) / n as f64
+        };
+        let below = degrees.iter().filter(|&&d| d < 32).count();
+        DegreeStats {
+            n,
+            nnz,
+            mean,
+            max,
+            max_over_mean: if mean > 0.0 { max as f64 / mean } else { 0.0 },
+            gini,
+            cv,
+            frac_below_warp: below as f64 / n as f64,
+        }
+    }
+
+    /// Row-degree statistics of a CSR matrix.
+    pub fn of_rows<T: Scalar>(m: &CsrMatrix<T>) -> DegreeStats {
+        Self::from_degrees(&m.row_degrees())
+    }
+
+    /// Column-degree statistics of a CSR matrix (single counting pass).
+    pub fn of_cols<T: Scalar>(m: &CsrMatrix<T>) -> DegreeStats {
+        let mut deg = vec![0usize; m.ncols()];
+        for &c in m.idx() {
+            deg[c as usize] += 1;
+        }
+        Self::from_degrees(&deg)
+    }
+
+    /// Heuristic classification used by the dataset registry: a matrix is
+    /// "skewed" when its degree Gini exceeds 0.5 or max/mean exceeds 50 —
+    /// thresholds that cleanly separate the paper's SNAP sets (youtube,
+    /// loc-gowalla, as-caida, …) from its Florida mesh matrices.
+    pub fn is_skewed(&self) -> bool {
+        self.gini > 0.5 || self.max_over_mean > 50.0
+    }
+}
+
+/// Maximum-likelihood estimate of a discrete power-law exponent `γ` for
+/// degrees ≥ `xmin` (Clauset–Shalizi–Newman continuous approximation:
+/// `γ̂ = 1 + n / Σ ln(xᵢ / (xmin − ½))`).
+///
+/// Returns `None` when fewer than 10 degrees reach `xmin` — too few tail
+/// samples for the estimate to mean anything. Social networks land around
+/// `γ ∈ (2, 3)`; regular meshes have no meaningful fit (huge γ̂).
+pub fn power_law_exponent(degrees: &[usize], xmin: usize) -> Option<f64> {
+    let xmin = xmin.max(1);
+    let tail: Vec<f64> = degrees
+        .iter()
+        .filter(|&&d| d >= xmin)
+        .map(|&d| d as f64)
+        .collect();
+    if tail.len() < 10 {
+        return None;
+    }
+    let denom: f64 = tail.iter().map(|&x| (x / (xmin as f64 - 0.5)).ln()).sum();
+    if denom <= 0.0 {
+        return None;
+    }
+    Some(1.0 + tail.len() as f64 / denom)
+}
+
+/// Log-binned degree histogram: bucket `k` counts rows with degree in
+/// `[2ᵏ, 2ᵏ⁺¹)` (bucket 0 holds degrees 0 and 1). This is the paper's
+/// Figure 3(b) axis.
+pub fn log2_degree_histogram(degrees: &[usize]) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for &d in degrees {
+        let bucket = if d <= 1 {
+            0
+        } else {
+            (usize::BITS - d.leading_zeros()) as usize - 1
+        };
+        if hist.len() <= bucket {
+            hist.resize(bucket + 1, 0);
+        }
+        hist[bucket] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_sequence_has_zero_gini() {
+        let s = DegreeStats::from_degrees(&[4, 4, 4, 4]);
+        assert!(s.gini.abs() < 1e-12);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.max_over_mean, 1.0);
+        assert!(!s.is_skewed());
+    }
+
+    #[test]
+    fn hub_sequence_is_skewed() {
+        let mut deg = vec![1usize; 999];
+        deg.push(100_000);
+        let s = DegreeStats::from_degrees(&deg);
+        assert!(s.gini > 0.9);
+        assert!(s.is_skewed());
+        assert!(s.frac_below_warp > 0.99);
+    }
+
+    #[test]
+    fn empty_input_is_all_zero() {
+        let s = DegreeStats::from_degrees(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.gini, 0.0);
+    }
+
+    #[test]
+    fn gini_is_scale_invariant() {
+        let a = DegreeStats::from_degrees(&[1, 2, 3, 4]);
+        let b = DegreeStats::from_degrees(&[10, 20, 30, 40]);
+        assert!((a.gini - b.gini).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_and_col_stats_of_symmetric_matrix_agree() {
+        let m =
+            CsrMatrix::<f64>::try_new(3, 3, vec![0, 2, 4, 6], vec![1, 2, 0, 2, 0, 1], vec![1.0; 6])
+                .unwrap();
+        assert_eq!(DegreeStats::of_rows(&m), DegreeStats::of_cols(&m));
+    }
+
+    #[test]
+    fn log_histogram_buckets() {
+        // degrees: 0,1 -> bucket 0; 2,3 -> bucket 1; 4..7 -> bucket 2; 32 -> bucket 5
+        let h = log2_degree_histogram(&[0, 1, 2, 3, 4, 7, 32]);
+        assert_eq!(h[0], 2);
+        assert_eq!(h[1], 2);
+        assert_eq!(h[2], 2);
+        assert_eq!(h[5], 1);
+        assert_eq!(h.len(), 6);
+    }
+
+    #[test]
+    fn power_law_mle_recovers_known_exponent() {
+        // Sample a discrete power law with gamma = 2.5 via inverse CDF.
+        let gamma: f64 = 2.5;
+        let xmin = 2usize;
+        let mut degrees = Vec::new();
+        let mut u = 0.05f64;
+        for _ in 0..20_000 {
+            u = (u * 69.069 + 0.3819) % 1.0; // deterministic LCG-ish stream
+            let x = (xmin as f64 - 0.5) * (1.0 - u).powf(-1.0 / (gamma - 1.0));
+            degrees.push(x.round() as usize);
+        }
+        let est = power_law_exponent(&degrees, xmin).expect("plenty of samples");
+        assert!(
+            (est - gamma).abs() < 0.15,
+            "MLE should recover gamma=2.5: got {est}"
+        );
+    }
+
+    #[test]
+    fn power_law_mle_needs_enough_tail() {
+        assert!(power_law_exponent(&[1, 1, 2, 50], 10).is_none());
+        assert!(power_law_exponent(&[], 1).is_none());
+    }
+
+    #[test]
+    fn frac_below_warp_counts_strictly_less_than_32() {
+        let s = DegreeStats::from_degrees(&[31, 32, 33]);
+        assert!((s.frac_below_warp - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

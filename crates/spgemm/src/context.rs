@@ -1,0 +1,172 @@
+//! Per-problem symbolic context shared by every method.
+//!
+//! The paper's Block Reorganizer "first precalculates the workload sizes of
+//! all blocks" (Section IV-B); the baselines need the same quantities to
+//! size their launches. Computing them once per `(A, B)` pair and sharing
+//! across the seven methods keeps the benchmark harness honest (identical
+//! inputs) and fast.
+
+use br_sparse::error::SparseError;
+use br_sparse::ops::symbolic::{block_products, row_intermediate_nnz, symbolic_nnz};
+use br_sparse::{CscMatrix, CsrMatrix, Result, Scalar};
+
+/// Symbolic and structural facts about one multiplication `C = A · B`.
+#[derive(Debug, Clone)]
+pub struct ProblemContext<T> {
+    /// Left operand in CSR (rows drive the row-product scheme).
+    pub a: CsrMatrix<T>,
+    /// Left operand in CSC (columns drive the outer-product scheme).
+    pub a_csc: CscMatrix<T>,
+    /// Right operand in CSR.
+    pub b: CsrMatrix<T>,
+    /// Outer-product block workloads: `nnz(a₌ᵢ)·nnz(bᵢ₌)` per inner index.
+    pub block_products: Vec<u64>,
+    /// Intermediate products landing in each output row (duplicates in).
+    pub row_products: Vec<u64>,
+    /// Unique output entries per row (`nnz(C)` rowwise).
+    pub row_unique: Vec<usize>,
+    /// `nnz(Ĉ)` — total intermediate products.
+    pub intermediate_total: u64,
+    /// `nnz(C)`.
+    pub output_total: usize,
+    /// FLOP count under the `2·nnz(Ĉ)` convention.
+    pub flops: u64,
+}
+
+impl<T: Scalar> ProblemContext<T> {
+    /// Builds the context; fails on shape mismatch.
+    pub fn new(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Result<Self> {
+        if a.ncols() != b.nrows() {
+            return Err(SparseError::ShapeMismatch {
+                op: "spgemm",
+                lhs: (a.nrows(), a.ncols()),
+                rhs: (b.nrows(), b.ncols()),
+            });
+        }
+        let blocks = block_products(a, b)?;
+        let rows = row_intermediate_nnz(a, b)?;
+        let unique = symbolic_nnz(a, b)?;
+        let intermediate_total: u64 = blocks.iter().sum();
+        let output_total: usize = unique.iter().sum();
+        Ok(ProblemContext {
+            a: a.clone(),
+            a_csc: a.to_csc(),
+            b: b.clone(),
+            block_products: blocks,
+            row_products: rows,
+            row_unique: unique,
+            intermediate_total,
+            output_total,
+            flops: 2 * intermediate_total,
+            // (fields above)
+        })
+    }
+
+    /// Number of output rows.
+    pub fn nrows(&self) -> usize {
+        self.a.nrows()
+    }
+
+    /// Number of output columns.
+    pub fn ncols(&self) -> usize {
+        self.b.ncols()
+    }
+
+    /// Inner dimension (outer-product pair count before reorganization).
+    pub fn inner_dim(&self) -> usize {
+        self.a.ncols()
+    }
+
+    /// Effective threads of outer-product pair `i` — `nnz(bᵢ₌)`, the number
+    /// of row elements each of which is handled by one thread.
+    pub fn pair_effective_threads(&self, i: usize) -> usize {
+        self.b.row_nnz(i)
+    }
+
+    /// Per-thread work of outer-product pair `i` — `nnz(a₌ᵢ)`.
+    pub fn pair_thread_work(&self, i: usize) -> usize {
+        self.a_csc.col_nnz(i)
+    }
+
+    /// Exclusive prefix sum of `block_products` — block-major `Ĉ` offsets
+    /// (in elements) for the outer-product scheme.
+    pub fn chat_block_offsets(&self) -> Vec<u64> {
+        let mut off = Vec::with_capacity(self.block_products.len() + 1);
+        let mut acc = 0u64;
+        off.push(0);
+        for &p in &self.block_products {
+            acc += p;
+            off.push(acc);
+        }
+        off
+    }
+
+    /// Exclusive prefix sum of `row_products` — row-major `Ĉ` offsets.
+    pub fn chat_row_offsets(&self) -> Vec<u64> {
+        let mut off = Vec::with_capacity(self.row_products.len() + 1);
+        let mut acc = 0u64;
+        off.push(0);
+        for &p in &self.row_products {
+            acc += p;
+            off.push(acc);
+        }
+        off
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> ProblemContext<f64> {
+        // [[1, 0, 2], [0, 3, 0], [4, 5, 0]] squared.
+        let a = CsrMatrix::try_new(
+            3,
+            3,
+            vec![0, 2, 3, 5],
+            vec![0, 2, 1, 0, 1],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        )
+        .unwrap();
+        ProblemContext::new(&a, &a).unwrap()
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        let c = ctx();
+        assert_eq!(c.intermediate_total, 8);
+        assert_eq!(c.flops, 16);
+        assert_eq!(c.row_products.iter().sum::<u64>(), c.intermediate_total);
+        assert_eq!(c.row_unique.iter().sum::<usize>(), c.output_total);
+        assert!(c.output_total <= c.intermediate_total as usize);
+    }
+
+    #[test]
+    fn pair_views_match_csc_and_csr() {
+        let c = ctx();
+        for i in 0..c.inner_dim() {
+            assert_eq!(
+                c.block_products[i],
+                (c.pair_thread_work(i) * c.pair_effective_threads(i)) as u64
+            );
+        }
+    }
+
+    #[test]
+    fn offsets_are_prefix_sums() {
+        let c = ctx();
+        let off = c.chat_block_offsets();
+        assert_eq!(off[0], 0);
+        assert_eq!(*off.last().unwrap(), c.intermediate_total);
+        assert!(off.windows(2).all(|w| w[0] <= w[1]));
+        let roff = c.chat_row_offsets();
+        assert_eq!(*roff.last().unwrap(), c.intermediate_total);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = CsrMatrix::<f64>::zeros(2, 3);
+        let b = CsrMatrix::<f64>::zeros(2, 3);
+        assert!(ProblemContext::new(&a, &b).is_err());
+    }
+}

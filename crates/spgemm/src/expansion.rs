@@ -1,0 +1,7 @@
+//! Expansion-phase trace generators.
+
+pub mod outer;
+pub mod row;
+
+pub use outer::outer_expansion_launch;
+pub use row::row_expansion_launch;

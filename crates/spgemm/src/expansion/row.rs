@@ -1,0 +1,159 @@
+//! Row-product expansion — the paper's baseline scheme (Figure 2 left).
+//!
+//! One thread block per row `i` of `A`; thread `t` takes element `a_ik` and
+//! walks row `b_k*`. Because `nnz(b_k*)` varies wildly on power-law data,
+//! lanes of the same warp finish at very different times — the
+//! **thread-level load imbalance** that motivates the outer product
+//! (Section III-A). We capture it as the `lane_imbalance` multiplier:
+//! the warp runs at the speed of its slowest lane.
+//!
+//! `Ĉ` is produced in row-major (single-row) form, which is what makes the
+//! row product's merge cheaper than the outer product's (Section II-C).
+
+use crate::context::ProblemContext;
+use crate::workspace::{Workspace, ELEM_BYTES};
+use br_gpu_sim::trace::{BlockTrace, KernelLaunch, TraceBuilder};
+use br_sparse::Scalar;
+
+/// Builds the row-product expansion launch: one block per non-empty row of
+/// `A`, `block_size` threads each (use 32 for a warp-per-row scheme).
+#[allow(clippy::needless_range_loop)] // r is the row id, used across several per-row arrays
+pub fn row_expansion_launch<T: Scalar>(
+    ctx: &ProblemContext<T>,
+    ws: &Workspace,
+    block_size: u32,
+) -> KernelLaunch {
+    let chat_rows = ctx.chat_row_offsets();
+    let mut blocks = Vec::new();
+    for r in 0..ctx.nrows() {
+        if ctx.row_products[r] == 0 {
+            continue;
+        }
+        blocks.push(row_block(ctx, ws, r, chat_rows[r], block_size));
+    }
+    KernelLaunch::new("row-expansion", blocks)
+}
+
+fn row_block<T: Scalar>(
+    ctx: &ProblemContext<T>,
+    ws: &Workspace,
+    r: usize,
+    chat_elem_offset: u64,
+    block_size: u32,
+) -> BlockTrace {
+    let (a_cols, _) = ctx.a.row(r);
+    let k = a_cols.len() as u64;
+    let products = ctx.row_products[r];
+
+    // Lane imbalance: each lane's work is nnz(b_row) of its assignment.
+    let mut max_work = 0u64;
+    for &col in a_cols {
+        max_work = max_work.max(ctx.b.row_nnz(col as usize) as u64);
+    }
+    let mean_work = products as f64 / k.max(1) as f64;
+    let imbalance = if mean_work > 0.0 {
+        (max_work as f64 / mean_work).max(1.0)
+    } else {
+        1.0
+    };
+
+    let effective = k.min(block_size as u64) as u32;
+    let coarsen = k.div_ceil(block_size as u64).max(1);
+    let mut tb = TraceBuilder::new(block_size, effective)
+        .compute(((mean_work).ceil() as u64) * coarsen)
+        .lane_imbalance(imbalance)
+        .read(ws.a_data, ws.a_row_offset(ctx, r), k * ELEM_BYTES)
+        .barriers(1)
+        // Products append row-major: coalesced within the row's slot.
+        .write(
+            ws.chat,
+            chat_elem_offset * ELEM_BYTES,
+            products * ELEM_BYTES,
+        );
+    // Each lane reads its own row of B — one coalesced segment per distinct
+    // referenced row, preserving cross-block L2 reuse of hot B rows.
+    for &col in a_cols {
+        let nnz_b = ctx.b.row_nnz(col as usize) as u64;
+        if nnz_b > 0 {
+            tb = tb.read(
+                ws.b_data,
+                ws.b_row_offset(ctx, col as usize),
+                nnz_b * ELEM_BYTES,
+            );
+        }
+    }
+    tb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_sparse::CsrMatrix;
+
+    fn skewed_ctx() -> ProblemContext<f64> {
+        // Row 0 of B has 4 nnz, rows 1..3 have 1 → lanes referencing row 0
+        // dominate their warp.
+        let b = CsrMatrix::try_new(
+            4,
+            4,
+            vec![0, 4, 5, 6, 7],
+            vec![0, 1, 2, 3, 0, 1, 2],
+            vec![1.0; 7],
+        )
+        .unwrap();
+        // A row 0 references all four rows of B.
+        let a =
+            CsrMatrix::try_new(4, 4, vec![0, 4, 4, 4, 4], vec![0, 1, 2, 3], vec![1.0; 4]).unwrap();
+        ProblemContext::new(&a, &b).unwrap()
+    }
+
+    #[test]
+    fn one_block_per_productive_row() {
+        let c = skewed_ctx();
+        let ws = Workspace::for_context(&c);
+        let k = row_expansion_launch(&c, &ws, 256);
+        assert_eq!(k.blocks.len(), 1); // only row 0 produces anything
+    }
+
+    #[test]
+    fn lane_imbalance_reflects_b_row_skew() {
+        let c = skewed_ctx();
+        let ws = Workspace::for_context(&c);
+        let k = row_expansion_launch(&c, &ws, 256);
+        // works: [4,1,1,1] → max 4, mean 7/4 → imbalance = 16/7
+        let b = &k.blocks[0];
+        assert!((b.lane_imbalance - 4.0 / (7.0 / 4.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reads_one_segment_per_referenced_b_row() {
+        let c = skewed_ctx();
+        let ws = Workspace::for_context(&c);
+        let k = row_expansion_launch(&c, &ws, 256);
+        let reads = k.blocks[0].segments.iter().filter(|s| !s.write).count();
+        // 1 for the A row + 4 B rows
+        assert_eq!(reads, 5);
+    }
+
+    #[test]
+    fn chat_written_row_major_and_complete() {
+        let c = skewed_ctx();
+        let ws = Workspace::for_context(&c);
+        let k = row_expansion_launch(&c, &ws, 256);
+        let written: u64 = k.blocks.iter().map(|b| b.bytes_written()).sum();
+        assert_eq!(written, c.intermediate_total * ELEM_BYTES);
+        assert!(k.blocks.iter().all(|b| b.atomics == 0));
+    }
+
+    #[test]
+    fn uniform_matrix_has_no_divergence() {
+        let i = CsrMatrix::<f64>::identity(16);
+        let c = ProblemContext::new(&i, &i).unwrap();
+        let ws = Workspace::for_context(&c);
+        let k = row_expansion_launch(&c, &ws, 32);
+        assert!(k
+            .blocks
+            .iter()
+            .all(|b| (b.lane_imbalance - 1.0).abs() < 1e-12));
+    }
+}

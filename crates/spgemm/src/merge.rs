@@ -1,0 +1,7 @@
+//! Merge-phase trace generators.
+
+pub mod esc;
+pub mod gustavson;
+
+pub use esc::esc_merge_launches;
+pub use gustavson::gustavson_merge_launch;

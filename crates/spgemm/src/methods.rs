@@ -1,0 +1,10 @@
+//! The spGEMM method zoo — one module per Figure 8 bar (the Block
+//! Reorganizer itself lives in `crates/core`).
+
+pub mod ac_like;
+pub mod bhsparse_like;
+pub mod cusp_esc;
+pub mod cusparse_like;
+pub mod mkl_like;
+pub mod outer_product;
+pub mod row_product;

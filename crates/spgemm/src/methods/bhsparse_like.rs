@@ -1,0 +1,166 @@
+//! bhSPARSE-like spGEMM (Liu & Vinter, IPDPS'14): hybrid row-product with
+//! upper-bound binning.
+//!
+//! Rows are binned by their intermediate-product upper bound; small bins
+//! merge entirely in shared memory (heap/bitonic — no global atomics),
+//! medium bins use a larger on-chip buffer, and only the heaviest rows fall
+//! back to global-memory merging. This fixes much of cuSPARSE's
+//! hub-serialization but keeps the row product's thread-level imbalance —
+//! the paper measures it at ~0.55× the row-product baseline overall, and
+//! notably strong on *relatively dense* regular matrices.
+
+use crate::context::ProblemContext;
+use crate::numeric::{default_threads, spgemm_sort_reduce_parallel};
+use crate::pipeline::{assemble_run, SpgemmRun};
+use crate::workspace::{Workspace, ELEM_BYTES};
+use br_gpu_sim::device::DeviceConfig;
+use br_gpu_sim::trace::{KernelLaunch, TraceBuilder};
+use br_sparse::{Result, Scalar};
+
+/// Upper-bound bin boundaries on intermediate products per row.
+/// (bhSPARSE proper uses 38 bins; four groups capture the cost regimes.)
+pub const BIN_BOUNDS: [u64; 3] = [32, 512, 4096];
+
+/// Runs the bhSPARSE-like method.
+#[allow(clippy::needless_range_loop)] // r is the row id, used across several per-row arrays
+pub fn run<T: Scalar>(ctx: &ProblemContext<T>, device: &DeviceConfig) -> Result<SpgemmRun<T>> {
+    let ws = Workspace::for_context(ctx);
+    let chat_rows = ctx.chat_row_offsets();
+
+    // Binning pass: a cheap kernel scanning row upper bounds.
+    let n = ctx.nrows() as u64;
+    let bin_kernel = KernelLaunch::new(
+        "bhsparse-binning",
+        vec![TraceBuilder::new(256, 256)
+            .compute(n.div_ceil(256).max(1))
+            .read(ws.a_ptr, 0, (n + 1) * 8)
+            .barriers(1)
+            .build()],
+    );
+
+    // One merged expansion+merge kernel per bin group, as in bhSPARSE.
+    let mut bins: [Vec<br_gpu_sim::trace::BlockTrace>; 4] = Default::default();
+    let mut c_written = 0u64; // running offset into C (element units)
+    for r in 0..ctx.nrows() {
+        let products = ctx.row_products[r];
+        if products == 0 {
+            continue;
+        }
+        let unique = ctx.row_unique[r] as u64;
+        let k = ctx.a.row_nnz(r) as u64;
+        let (a_cols, _) = ctx.a.row(r);
+        let mut max_work = 0u64;
+        for &col in a_cols {
+            max_work = max_work.max(ctx.b.row_nnz(col as usize) as u64);
+        }
+        let mean_work = products as f64 / k.max(1) as f64;
+        let imbalance = (max_work as f64 / mean_work.max(1e-12)).max(1.0);
+
+        let bin = BIN_BOUNDS.iter().position(|&b| products <= b).unwrap_or(3);
+        let (threads, smem, global_merge) = match bin {
+            0 => (64u32, 2 * 1024u32, false),
+            1 => (256, 8 * 1024, false),
+            2 => (256, 24 * 1024, false),
+            _ => (512, 0, true),
+        };
+        let effective = k.min(threads as u64) as u32;
+        let coarsen = k.div_ceil(threads as u64).max(1);
+        // bhSPARSE's per-row merge is ESC with a bitonic network: the array
+        // is padded to the next power of two of the *upper bound* (bitonic
+        // needs 2^k inputs; bhSPARSE sizes by upper bound, not actual nnz)
+        // and every element passes O(log² n) comparator stages.
+        let padded = products.max(2).next_power_of_two();
+        let log_ub = padded.trailing_zeros() as u64;
+        let sort_macs = (padded * log_ub * log_ub).div_ceil(threads as u64);
+        let mut tb = TraceBuilder::new(threads, effective)
+            .compute((mean_work.ceil() as u64) * coarsen + sort_macs)
+            .lane_imbalance(imbalance)
+            .read(ws.a_data, ws.a_row_offset(ctx, r), k * ELEM_BYTES)
+            .shared_mem(smem)
+            .barriers(2 + (log_ub * log_ub) as u32)
+            .write(ws.c_data, c_written * ELEM_BYTES, unique * ELEM_BYTES)
+            // Every bin stages the expanded products through its
+            // upper-bound-sized global scratch before sorting.
+            .write(ws.chat, chat_rows[r] * ELEM_BYTES, products * ELEM_BYTES)
+            .read(ws.chat, chat_rows[r] * ELEM_BYTES, products * ELEM_BYTES);
+        for &col in a_cols {
+            let nnz_b = ctx.b.row_nnz(col as usize) as u64;
+            if nnz_b > 0 {
+                tb = tb.read(
+                    ws.b_data,
+                    ws.b_row_offset(ctx, col as usize),
+                    nnz_b * ELEM_BYTES,
+                );
+            }
+        }
+        if global_merge {
+            // Heaviest rows additionally accumulate through global memory.
+            let (acc_off, acc_len) = ws.accum_slice(r);
+            tb = tb.atomic_scatter(
+                ws.accum,
+                acc_off,
+                acc_len,
+                products,
+                8,
+                products as f64 / unique.max(1) as f64,
+            );
+        }
+        bins[bin].push(tb.build());
+        c_written += unique;
+    }
+
+    let mut launches = vec![bin_kernel];
+    for (i, blocks) in bins.into_iter().enumerate() {
+        if !blocks.is_empty() {
+            launches.push(KernelLaunch::new(format!("bhsparse-bin{i}-merge"), blocks));
+        }
+    }
+
+    let result = spgemm_sort_reduce_parallel(&ctx.a, &ctx.b, default_threads())?;
+    Ok(assemble_run(
+        "bhSPARSE", result, &launches, &ws.layout, device, 0.0, ctx.flops,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::cusparse_like;
+    use br_datasets::rmat::{rmat, RmatConfig};
+
+    #[test]
+    fn beats_cusparse_on_regular_dense_rows() {
+        // bhSPARSE's home turf (Figure 8's Florida column, and the sparsity
+        // sweep in Figure 16(a)): regular matrices with moderately dense
+        // rows, where its binning fits everything in shared memory while
+        // cuSPARSE still pays global hash probes per product.
+        let dev = DeviceConfig::titan_xp();
+        let a = br_datasets::mesh::banded(3000, 300, 40, 5).to_csr();
+        let ctx = ProblemContext::new(&a, &a).unwrap();
+        let bh = run(&ctx, &dev).unwrap();
+        let cu = cusparse_like::run(&ctx, &dev).unwrap();
+        assert!(
+            bh.total_ms < cu.total_ms,
+            "binning should beat warp-per-row hashing: {} vs {}",
+            bh.total_ms,
+            cu.total_ms
+        );
+    }
+
+    #[test]
+    fn small_rows_avoid_global_atomics() {
+        let dev = DeviceConfig::titan_xp();
+        // Sparse uniform matrix: every row's upper bound is tiny.
+        let a = rmat(RmatConfig::uniform(9, 3, 6)).to_csr();
+        let ctx = ProblemContext::new(&a, &a).unwrap();
+        let r = run(&ctx, &dev).unwrap();
+        let total_atomics: u64 = r
+            .profiles
+            .iter()
+            .map(|p| p.l2.write_bytes) // proxy: bin kernels write only C
+            .sum::<u64>();
+        assert!(total_atomics > 0);
+        // All rows should land in the shared-memory bins.
+        assert!(r.profiles.iter().all(|p| !p.name.contains("bin3")));
+    }
+}

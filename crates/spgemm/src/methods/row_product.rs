@@ -1,0 +1,79 @@
+//! Row-product baseline: Gustavson expansion + dense-accumulator merge.
+//!
+//! This is the method every Figure 8/9 number is normalized against.
+//! Expansion is one 256-thread block per row of `A` (divergent lanes on
+//! skewed data); the merge enjoys row-major `Ĉ` (coalesced reads), which is
+//! the row product's structural advantage over the plain outer product.
+
+use crate::context::ProblemContext;
+use crate::expansion::row::row_expansion_launch;
+use crate::merge::gustavson::gustavson_merge_launch;
+use crate::numeric::{default_threads, spgemm_parallel};
+use crate::pipeline::{assemble_run, SpgemmRun};
+use crate::workspace::Workspace;
+use br_gpu_sim::device::DeviceConfig;
+use br_sparse::{Result, Scalar};
+
+/// Expansion/merge block size.
+pub const BLOCK_SIZE: u32 = 256;
+
+/// Runs the row-product baseline.
+pub fn run<T: Scalar>(ctx: &ProblemContext<T>, device: &DeviceConfig) -> Result<SpgemmRun<T>> {
+    let ws = Workspace::for_context(ctx);
+    let expansion = row_expansion_launch(ctx, &ws, BLOCK_SIZE);
+    let merge = gustavson_merge_launch(ctx, &ws, BLOCK_SIZE, true, |_| 0);
+    let result = spgemm_parallel(&ctx.a, &ctx.b, default_threads())?;
+    Ok(assemble_run(
+        "row-product",
+        result,
+        &[expansion, merge],
+        &ws.layout,
+        device,
+        0.0,
+        ctx.flops,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_datasets::rmat::{rmat, RmatConfig};
+
+    #[test]
+    fn skewed_data_diverges_lanes_uniform_does_not() {
+        use crate::expansion::row::row_expansion_launch;
+        use crate::workspace::Workspace;
+        let uniform = rmat(RmatConfig::uniform(9, 8, 5)).to_csr();
+        let skewed = rmat(RmatConfig::graph500(9, 8, 5)).to_csr();
+        let mean_imbalance = |m: &br_sparse::CsrMatrix<f64>| {
+            let ctx = ProblemContext::new(m, m).unwrap();
+            let ws = Workspace::for_context(&ctx);
+            let k = row_expansion_launch(&ctx, &ws, BLOCK_SIZE);
+            // Work-weighted mean of the per-block divergence multiplier.
+            let (mut num, mut den) = (0.0, 0.0);
+            for b in &k.blocks {
+                let w = b.compute_per_thread as f64 * b.effective_threads as f64;
+                num += b.lane_imbalance * w;
+                den += w;
+            }
+            num / den
+        };
+        let iu = mean_imbalance(&uniform);
+        let is = mean_imbalance(&skewed);
+        assert!(
+            is > 1.5 * iu,
+            "power-law hubs must diverge warps: skewed {is} vs uniform {iu}"
+        );
+    }
+
+    #[test]
+    fn two_kernels_expansion_then_merge() {
+        let dev = DeviceConfig::titan_xp();
+        let a = rmat(RmatConfig::uniform(7, 4, 2)).to_csr();
+        let ctx = ProblemContext::new(&a, &a).unwrap();
+        let r = run(&ctx, &dev).unwrap();
+        assert_eq!(r.profiles.len(), 2);
+        assert!(r.profiles[0].name.contains("expansion"));
+        assert!(r.profiles[1].name.contains("merge"));
+    }
+}

@@ -1,0 +1,345 @@
+//! Three independent numeric mergers.
+//!
+//! Each simulated method owes the user a *real* result, and each family of
+//! methods accumulates intermediate products differently: Gustavson-style
+//! kernels use a dense accumulator (SPA), cuSPARSE-style kernels a hash
+//! table, and ESC a sort + segmented reduction. We implement all three so
+//! that every method's arithmetic path is genuinely exercised and checked
+//! against the others (and against the dense oracle) rather than sharing
+//! one implementation.
+//!
+//! All three produce canonical (sorted-row) CSR.
+
+use br_sparse::ops::spgemm_gustavson;
+use br_sparse::{CsrMatrix, Result, Scalar};
+
+/// Dense-accumulator (SPA) merge — delegates to the crate-level reference,
+/// which is exactly this algorithm.
+pub fn spgemm_dense_spa<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Result<CsrMatrix<T>> {
+    spgemm_gustavson(a, b)
+}
+
+/// Expand–sort–reduce merge (the ESC numeric path): per output row, gather
+/// all `(column, value)` products, sort by column, reduce adjacent runs.
+pub fn spgemm_sort_reduce<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Result<CsrMatrix<T>> {
+    check_shapes(a, b)?;
+    let mut ptr = Vec::with_capacity(a.nrows() + 1);
+    let mut idx: Vec<u32> = Vec::new();
+    let mut val: Vec<T> = Vec::new();
+    ptr.push(0usize);
+    let mut products: Vec<(u32, T)> = Vec::new();
+    for r in 0..a.nrows() {
+        products.clear();
+        let (a_cols, a_vals) = a.row(r);
+        for (&k, &a_rk) in a_cols.iter().zip(a_vals) {
+            let (b_cols, b_vals) = b.row(k as usize);
+            products.extend(
+                b_cols
+                    .iter()
+                    .zip(b_vals)
+                    .map(|(&j, &b_kj)| (j, a_rk * b_kj)),
+            );
+        }
+        // Stable sort keeps products in B-row generation order within a
+        // column, matching the SPA accumulation order bit-for-bit for the
+        // common case of left-to-right addition.
+        products.sort_by_key(|&(j, _)| j);
+        let mut i = 0;
+        while i < products.len() {
+            let (j, mut acc) = products[i];
+            let mut k = i + 1;
+            while k < products.len() && products[k].0 == j {
+                acc += products[k].1;
+                k += 1;
+            }
+            idx.push(j);
+            val.push(acc);
+            i = k;
+        }
+        ptr.push(idx.len());
+    }
+    Ok(CsrMatrix::from_parts_unchecked(
+        a.nrows(),
+        b.ncols(),
+        ptr,
+        idx,
+        val,
+    ))
+}
+
+/// Hash merge (the cuSPARSE-style numeric path): per output row, accumulate
+/// into an open-addressing table sized to the next power of two above the
+/// row's upper bound, then gather and sort.
+pub fn spgemm_hash<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Result<CsrMatrix<T>> {
+    check_shapes(a, b)?;
+    let mut ptr = Vec::with_capacity(a.nrows() + 1);
+    let mut idx: Vec<u32> = Vec::new();
+    let mut val: Vec<T> = Vec::new();
+    ptr.push(0usize);
+
+    for r in 0..a.nrows() {
+        let (a_cols, a_vals) = a.row(r);
+        let upper: usize = a_cols
+            .iter()
+            .map(|&k| b.row_nnz(k as usize))
+            .sum::<usize>()
+            .max(1);
+        let cap = (upper * 2).next_power_of_two();
+        let mask = cap - 1;
+        let mut keys: Vec<u32> = vec![u32::MAX; cap];
+        let mut vals: Vec<T> = vec![T::ZERO; cap];
+        let mut used: Vec<usize> = Vec::new();
+        for (&k, &a_rk) in a_cols.iter().zip(a_vals) {
+            let (b_cols, b_vals) = b.row(k as usize);
+            for (&j, &b_kj) in b_cols.iter().zip(b_vals) {
+                // Multiplicative hashing with linear probing — the standard
+                // GPU spGEMM table design.
+                let mut slot = (j as usize).wrapping_mul(0x9E37_79B1) & mask;
+                loop {
+                    if keys[slot] == j {
+                        vals[slot] += a_rk * b_kj;
+                        break;
+                    }
+                    if keys[slot] == u32::MAX {
+                        keys[slot] = j;
+                        vals[slot] = a_rk * b_kj;
+                        used.push(slot);
+                        break;
+                    }
+                    slot = (slot + 1) & mask;
+                }
+            }
+        }
+        let mut row: Vec<(u32, T)> = used.iter().map(|&s| (keys[s], vals[s])).collect();
+        row.sort_unstable_by_key(|&(j, _)| j);
+        for (j, v) in row {
+            idx.push(j);
+            val.push(v);
+        }
+        ptr.push(idx.len());
+    }
+    Ok(CsrMatrix::from_parts_unchecked(
+        a.nrows(),
+        b.ncols(),
+        ptr,
+        idx,
+        val,
+    ))
+}
+
+/// Multithreaded dense-accumulator Gustavson: output rows are independent,
+/// so row ranges are distributed over `threads` crossbeam-scoped workers,
+/// each with its own accumulator. Produces bit-identical results to
+/// [`spgemm_dense_spa`] (same per-row accumulation order) — this is the
+/// fast oracle path for large benchmark runs, and also what the MKL-like
+/// baseline *functionally* computes.
+pub fn spgemm_parallel<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    threads: usize,
+) -> Result<CsrMatrix<T>> {
+    spgemm_parallel_with(a, b, threads, spgemm_dense_spa)
+}
+
+/// Parallel sort-reduce merge (the ESC arithmetic path, multithreaded).
+pub fn spgemm_sort_reduce_parallel<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    threads: usize,
+) -> Result<CsrMatrix<T>> {
+    spgemm_parallel_with(a, b, threads, spgemm_sort_reduce)
+}
+
+/// Parallel hash merge (the cuSPARSE arithmetic path, multithreaded).
+pub fn spgemm_hash_parallel<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    threads: usize,
+) -> Result<CsrMatrix<T>> {
+    spgemm_parallel_with(a, b, threads, spgemm_hash)
+}
+
+/// A sensible default worker count for the numeric mergers.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Row-partitioned parallel driver: any per-row merger distributes over
+/// `threads` crossbeam-scoped workers and is stitched back together.
+fn spgemm_parallel_with<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    threads: usize,
+    merger: impl Fn(&CsrMatrix<T>, &CsrMatrix<T>) -> Result<CsrMatrix<T>> + Copy + Send + Sync,
+) -> Result<CsrMatrix<T>> {
+    check_shapes(a, b)?;
+    let threads = threads.max(1).min(a.nrows().max(1));
+    if threads == 1 || a.nrows() < 256 {
+        return merger(a, b);
+    }
+
+    // Static row partition balanced by intermediate products, so one hub
+    // region doesn't serialize the whole run.
+    let weights: Vec<u64> = (0..a.nrows())
+        .map(|r| {
+            let (cols, _) = a.row(r);
+            cols.iter().map(|&k| b.row_nnz(k as usize) as u64).sum()
+        })
+        .collect();
+    let total: u64 = weights.iter().sum();
+    let per_part = total / threads as u64 + 1;
+    let mut bounds = vec![0usize];
+    let mut acc = 0u64;
+    for (r, &w) in weights.iter().enumerate() {
+        acc += w;
+        if acc >= per_part && bounds.len() < threads {
+            bounds.push(r + 1);
+            acc = 0;
+        }
+    }
+    bounds.push(a.nrows());
+
+    // Each worker produces the (ptr, idx, val) triple of its row range.
+    type Part<T> = (Vec<usize>, Vec<u32>, Vec<T>);
+    let mut parts: Vec<Option<Part<T>>> = Vec::new();
+    parts.resize_with(bounds.len() - 1, || None);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..bounds.len() - 1 {
+            let (lo, hi) = (bounds[w], bounds[w + 1]);
+            handles.push(scope.spawn(move |_| -> Part<T> {
+                let slice = a.row_slice(lo..hi);
+                let c = merger(&slice, b).expect("shapes already validated");
+                let (_, _, ptr, idx, val) = c.into_parts();
+                (ptr, idx, val)
+            }));
+        }
+        for (w, h) in handles.into_iter().enumerate() {
+            parts[w] = Some(h.join().expect("worker must not panic"));
+        }
+    })
+    .expect("scope must not panic");
+
+    // Stitch the per-range outputs back together.
+    let mut ptr = Vec::with_capacity(a.nrows() + 1);
+    let mut idx = Vec::new();
+    let mut val = Vec::new();
+    ptr.push(0usize);
+    for part in parts.into_iter().map(|p| p.expect("worker filled")) {
+        let (p_ptr, p_idx, p_val) = part;
+        let base = idx.len();
+        ptr.extend(p_ptr.iter().skip(1).map(|&x| base + x));
+        idx.extend(p_idx);
+        val.extend(p_val);
+    }
+    Ok(CsrMatrix::from_parts_unchecked(
+        a.nrows(),
+        b.ncols(),
+        ptr,
+        idx,
+        val,
+    ))
+}
+
+fn check_shapes<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Result<()> {
+    if a.ncols() != b.nrows() {
+        return Err(br_sparse::SparseError::ShapeMismatch {
+            op: "spgemm",
+            lhs: (a.nrows(), a.ncols()),
+            rhs: (b.nrows(), b.ncols()),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_datasets::rmat::{rmat, RmatConfig};
+
+    fn sample() -> CsrMatrix<f64> {
+        rmat(RmatConfig::snap_like(7, 6, 42)).to_csr()
+    }
+
+    #[test]
+    fn all_three_mergers_agree_on_structure_and_values() {
+        let a = sample();
+        let spa = spgemm_dense_spa(&a, &a).unwrap();
+        let esc = spgemm_sort_reduce(&a, &a).unwrap();
+        let hash = spgemm_hash(&a, &a).unwrap();
+        assert_eq!(spa.ptr(), esc.ptr());
+        assert_eq!(spa.idx(), esc.idx());
+        assert_eq!(spa.ptr(), hash.ptr());
+        assert_eq!(spa.idx(), hash.idx());
+        assert!(spa.approx_eq(&esc, 1e-9));
+        assert!(spa.approx_eq(&hash, 1e-9));
+    }
+
+    #[test]
+    fn rectangular_agreement() {
+        let a = rmat(RmatConfig::uniform(6, 4, 1).with_dim(50).with_edges(150)).to_csr();
+        let b = rmat(RmatConfig::uniform(6, 4, 2).with_dim(50).with_edges(120)).to_csr();
+        let spa = spgemm_dense_spa(&a, &b).unwrap();
+        let esc = spgemm_sort_reduce(&a, &b).unwrap();
+        let hash = spgemm_hash(&a, &b).unwrap();
+        assert!(spa.approx_eq(&esc, 1e-9));
+        assert!(spa.approx_eq(&hash, 1e-9));
+    }
+
+    #[test]
+    fn empty_and_identity_edge_cases() {
+        let z = CsrMatrix::<f64>::zeros(4, 4);
+        assert_eq!(spgemm_sort_reduce(&z, &z).unwrap().nnz(), 0);
+        assert_eq!(spgemm_hash(&z, &z).unwrap().nnz(), 0);
+        let i = CsrMatrix::<f64>::identity(5);
+        assert!(spgemm_hash(&i, &i).unwrap().approx_eq(&i, 1e-15));
+        assert!(spgemm_sort_reduce(&i, &i).unwrap().approx_eq(&i, 1e-15));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = CsrMatrix::<f64>::zeros(2, 3);
+        assert!(spgemm_sort_reduce(&a, &a).is_err());
+        assert!(spgemm_hash(&a, &a).is_err());
+        assert!(spgemm_parallel(&a, &a, 4).is_err());
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_sequential() {
+        let a = rmat(RmatConfig::graph500(9, 8, 77)).to_csr();
+        let seq = spgemm_dense_spa(&a, &a).unwrap();
+        for threads in [1, 2, 3, 8, 20] {
+            let par = spgemm_parallel(&a, &a, threads).unwrap();
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_handles_hub_concentrated_work() {
+        // All the work lives in one row: partitioning must still cover
+        // every row exactly once.
+        let n = 600;
+        let mut ptr = vec![0usize; n + 1];
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        ptr[1] = n;
+        for r in 1..n {
+            idx.push(0);
+            ptr[r + 1] = ptr[r] + 1;
+        }
+        let a = CsrMatrix::try_new(n, n, ptr, idx, vec![1.0; 2 * n - 1]).unwrap();
+        let par = spgemm_parallel(&a, &a, 8).unwrap();
+        let seq = spgemm_dense_spa(&a, &a).unwrap();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn parallel_small_input_falls_back_to_sequential() {
+        let i = CsrMatrix::<f64>::identity(10);
+        assert_eq!(
+            spgemm_parallel(&i, &i, 16).unwrap(),
+            spgemm_dense_spa(&i, &i).unwrap()
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Auto-tuning the Block Reorganizer for a specific matrix — the extension
+//! the paper's "it is difficult to find an optimal point for each matrix"
+//! remarks ask for.
+//!
+//! Run with: `cargo run --release --example autotune`
+
+use block_reorganizer::{tune, WorkloadReport};
+use blockreorg::prelude::*;
+use blockreorg::spgemm::ProblemContext;
+
+fn main() {
+    let spec = RealWorldRegistry::get("as-caida").expect("registry dataset");
+    let a = spec.generate(blockreorg::datasets::ScaleFactor::Div(32));
+    let device = DeviceConfig::titan_xp();
+    let ctx = ProblemContext::new(&a, &a).expect("square shapes agree");
+
+    println!(
+        "dataset: {} surrogate ({} nodes, {} edges)\n",
+        spec.name,
+        a.nrows(),
+        a.nnz()
+    );
+    println!(
+        "{}\n",
+        WorkloadReport::of(&ctx, &ReorganizerConfig::default(), &device)
+    );
+
+    let result = tune(&ctx, &device).expect("square shapes agree");
+    println!(
+        "tuned in {} simulated runs: {:.3} ms -> {:.3} ms ({:.2}x over default)",
+        result.evaluations,
+        result.default_ms,
+        result.best_ms,
+        result.gain()
+    );
+    println!(
+        "best config: alpha={}, policy={:?}, limiting_units={}",
+        result.config.alpha, result.config.split_policy, result.config.limiting_units
+    );
+
+    // The tuned config still computes the exact product.
+    let run = BlockReorganizer::new(result.config)
+        .multiply_ctx(&ctx, &device)
+        .expect("square shapes agree");
+    let oracle = spgemm_gustavson(&a, &a).expect("square shapes agree");
+    assert!(run.result.approx_eq(&oracle, 1e-9));
+    println!("\ntuned result verified against the CPU reference ✓");
+}

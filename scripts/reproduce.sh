@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper's evaluation section into
+# results/ (text + JSON). Default scale is 1/16 of published sizes; pass
+# e.g. "--scale full" to override (forwarded to every binary).
+#
+# Usage: scripts/reproduce.sh [--scale tiny|default|full|<divisor>]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p br-bench
+mkdir -p results
+
+BINARIES=(
+  table1_systems table2_datasets table3_synthetic
+  fig03a_sm_variance fig03b_block_histogram fig03c_phase_split
+  fig08_speedup fig09_gflops fig10_ablation fig11_lbi fig12_l2_split
+  fig13_sync_stalls fig14_l2_limit fig15_scalability
+  fig16a_synthetic_a2 fig16b_synthetic_ab walkthrough_youtube
+  ablation_params ext_sm_scaling
+)
+
+for bin in "${BINARIES[@]}"; do
+  echo "=== ${bin} ==="
+  ./target/release/"${bin}" "$@" --json "results/${bin}.json" \
+    | tee "results/${bin}.txt"
+done
+
+echo "all results written to results/"

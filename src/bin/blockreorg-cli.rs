@@ -1,0 +1,248 @@
+//! `blockreorg-cli` — run any spGEMM method on a Matrix Market file, a
+//! registry surrogate, or a generated matrix, on any modelled device.
+//!
+//! ```text
+//! USAGE:
+//!   blockreorg-cli --input <file.mtx> | --dataset <name> | --rmat <scale,ef>
+//!                  [--method <name>] [--device <name>] [--scale <div>]
+//!                  [--square | --pair-with <file.mtx>] [--verify] [--list]
+//!
+//! EXAMPLES:
+//!   blockreorg-cli --dataset youtube --method reorganizer --verify --report
+//!   blockreorg-cli --rmat 14,8 --method all --device v100
+//!   blockreorg-cli --input my.mtx --method cusparse
+//!   blockreorg-cli --list
+//! ```
+
+use blockreorg::datasets::registry::ScaleFactor;
+use blockreorg::prelude::*;
+use blockreorg::sparse::io::read_matrix_market_file;
+use blockreorg::spgemm::pipeline::run_method;
+use blockreorg::spgemm::ProblemContext;
+use std::process::exit;
+
+struct Options {
+    input: Option<String>,
+    dataset: Option<String>,
+    rmat: Option<(u32, usize)>,
+    pair_with: Option<String>,
+    method: String,
+    device: String,
+    scale: usize,
+    verify: bool,
+    report: bool,
+    tune: bool,
+}
+
+fn usage_and_exit(msg: &str) -> ! {
+    eprintln!("error: {msg}\n");
+    eprintln!("usage: blockreorg-cli (--input <mtx> | --dataset <name> | --rmat <scale,ef>)");
+    eprintln!(
+        "                      [--method row|outer|cusparse|cusp|bhsparse|mkl|reorganizer|all]"
+    );
+    eprintln!("                      [--device titanxp|v100|2080ti] [--scale <divisor>]");
+    eprintln!("                      [--pair-with <mtx>] [--verify] [--report] [--tune] [--list]");
+    exit(2)
+}
+
+fn parse_options() -> Options {
+    let mut o = Options {
+        input: None,
+        dataset: None,
+        rmat: None,
+        pair_with: None,
+        method: "reorganizer".to_string(),
+        device: "titanxp".to_string(),
+        scale: 16,
+        verify: false,
+        report: false,
+        tune: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let next = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next()
+            .unwrap_or_else(|| usage_and_exit(&format!("missing value for {flag}")))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--input" => o.input = Some(next(&mut args, "--input")),
+            "--dataset" => o.dataset = Some(next(&mut args, "--dataset")),
+            "--pair-with" => o.pair_with = Some(next(&mut args, "--pair-with")),
+            "--method" => o.method = next(&mut args, "--method"),
+            "--device" => o.device = next(&mut args, "--device"),
+            "--verify" => o.verify = true,
+            "--report" => o.report = true,
+            "--tune" => o.tune = true,
+            "--square" => {} // the default
+            "--scale" => {
+                o.scale = next(&mut args, "--scale")
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("--scale must be a positive integer"))
+            }
+            "--rmat" => {
+                let v = next(&mut args, "--rmat");
+                let parts: Vec<&str> = v.split(',').collect();
+                if parts.len() != 2 {
+                    usage_and_exit("--rmat expects <scale,edge-factor>");
+                }
+                let s = parts[0]
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("bad rmat scale"));
+                let ef = parts[1]
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("bad rmat edge factor"));
+                o.rmat = Some((s, ef));
+            }
+            "--list" => {
+                println!("registry datasets (Table II):");
+                for spec in RealWorldRegistry::all() {
+                    println!(
+                        "  {:<18} {:?}  dim {:>9}  nnz(A) {:>11}",
+                        spec.name, spec.class, spec.paper_dim, spec.paper_nnz_a
+                    );
+                }
+                exit(0)
+            }
+            other => usage_and_exit(&format!("unknown flag {other:?}")),
+        }
+    }
+    o
+}
+
+fn load_a(o: &Options) -> CsrMatrix<f64> {
+    if let Some(path) = &o.input {
+        read_matrix_market_file::<f64, _>(path)
+            .unwrap_or_else(|e| usage_and_exit(&format!("cannot read {path}: {e}")))
+    } else if let Some(name) = &o.dataset {
+        RealWorldRegistry::get(name)
+            .unwrap_or_else(|| usage_and_exit(&format!("unknown dataset {name:?} (try --list)")))
+            .generate(ScaleFactor::Div(o.scale))
+    } else if let Some((scale, ef)) = o.rmat {
+        rmat(RmatConfig::graph500(scale, ef, 42)).to_csr()
+    } else {
+        usage_and_exit("one of --input / --dataset / --rmat is required")
+    }
+}
+
+fn device_of(name: &str) -> DeviceConfig {
+    match name.to_ascii_lowercase().as_str() {
+        "titanxp" | "titan-xp" | "pascal" => DeviceConfig::titan_xp(),
+        "v100" | "volta" => DeviceConfig::tesla_v100(),
+        "2080ti" | "turing" => DeviceConfig::rtx_2080_ti(),
+        other => usage_and_exit(&format!("unknown device {other:?}")),
+    }
+}
+
+fn method_of(name: &str) -> Option<SpgemmMethod> {
+    match name.to_ascii_lowercase().as_str() {
+        "row" | "row-product" => Some(SpgemmMethod::RowProduct),
+        "outer" | "outer-product" => Some(SpgemmMethod::OuterProduct),
+        "cusparse" => Some(SpgemmMethod::CusparseLike),
+        "cusp" => Some(SpgemmMethod::CuspEsc),
+        "bhsparse" => Some(SpgemmMethod::BhsparseLike),
+        "mkl" => Some(SpgemmMethod::MklLike),
+        _ => None,
+    }
+}
+
+fn report(name: &str, total_ms: f64, gflops: f64, nnz_c: usize) {
+    println!(
+        "{:<20} {:>10.3} ms  {:>8.2} GFLOPS  nnz(C) = {}",
+        name, total_ms, gflops, nnz_c
+    );
+}
+
+fn main() {
+    let o = parse_options();
+    let a = load_a(&o);
+    let b = match &o.pair_with {
+        Some(path) => read_matrix_market_file::<f64, _>(path)
+            .unwrap_or_else(|e| usage_and_exit(&format!("cannot read {path}: {e}"))),
+        None => a.clone(),
+    };
+    let device = device_of(&o.device);
+    println!(
+        "A: {}x{}, nnz {} | B: {}x{}, nnz {} | device: {}\n",
+        a.nrows(),
+        a.ncols(),
+        a.nnz(),
+        b.nrows(),
+        b.ncols(),
+        b.nnz(),
+        device.name
+    );
+    let ctx = ProblemContext::new(&a, &b)
+        .unwrap_or_else(|e| usage_and_exit(&format!("incompatible shapes: {e}")));
+
+    if o.report {
+        let report =
+            block_reorganizer::WorkloadReport::of(&ctx, &ReorganizerConfig::default(), &device);
+        println!("{report}\n");
+    }
+
+    let oracle = if o.verify {
+        Some(spgemm_gustavson(&a, &b).expect("shapes validated above"))
+    } else {
+        None
+    };
+    let check = |result: &CsrMatrix<f64>| {
+        if let Some(oracle) = &oracle {
+            assert!(result.approx_eq(oracle, 1e-9), "verification FAILED");
+            println!("  verified against CPU reference ✓");
+        }
+    };
+
+    let run_one = |m: SpgemmMethod| {
+        let run = run_method(&ctx, m, &device).expect("shapes validated above");
+        report(m.name(), run.total_ms, run.gflops(), run.result.nnz());
+        check(&run.result);
+    };
+    let run_reorg = || {
+        let config = if o.tune {
+            let t = block_reorganizer::tune(&ctx, &device).expect("shapes validated above");
+            println!(
+                "tuned in {} runs: {:.3} ms -> {:.3} ms (alpha={}, policy={:?}, units={})",
+                t.evaluations,
+                t.default_ms,
+                t.best_ms,
+                t.config.alpha,
+                t.config.split_policy,
+                t.config.limiting_units
+            );
+            t.config
+        } else {
+            ReorganizerConfig::default()
+        };
+        let run = BlockReorganizer::new(config)
+            .multiply_ctx(&ctx, &device)
+            .expect("shapes validated above");
+        report(
+            "Block-Reorganizer",
+            run.total_ms,
+            run.gflops(),
+            run.result.nnz(),
+        );
+        println!(
+            "  dominators {} | low performers {} | gathered {} | limited rows {}",
+            run.stats.dominators,
+            run.stats.low_performers,
+            run.stats.gathered_blocks,
+            run.stats.limited_rows
+        );
+        check(&run.result);
+    };
+
+    match o.method.to_ascii_lowercase().as_str() {
+        "all" => {
+            for m in SpgemmMethod::all() {
+                run_one(m);
+            }
+            run_reorg();
+        }
+        "reorganizer" | "block-reorganizer" => run_reorg(),
+        name => match method_of(name) {
+            Some(m) => run_one(m),
+            None => usage_and_exit(&format!("unknown method {name:?}")),
+        },
+    }
+}

@@ -1,0 +1,156 @@
+//! Adversarial structural edge cases through the full stack: degenerate
+//! shapes, extreme skew patterns, and the pathological matrices that break
+//! naive block bookkeeping (empty rows, dense hubs, strict triangles).
+
+use blockreorg::prelude::*;
+use blockreorg::spgemm::pipeline::run_method;
+use blockreorg::spgemm::ProblemContext;
+
+fn verify_all(a: &CsrMatrix<f64>, b: &CsrMatrix<f64>) {
+    let dev = DeviceConfig::titan_xp();
+    let ctx = ProblemContext::new(a, b).expect("shapes agree");
+    let oracle = spgemm_gustavson(a, b).expect("shapes agree");
+    for m in SpgemmMethod::all() {
+        let run = run_method(&ctx, m, &dev).expect("valid shapes");
+        assert!(
+            run.result.approx_eq(&oracle, 1e-9),
+            "{} diverged on edge case",
+            m.name()
+        );
+    }
+    let run = BlockReorganizer::new(ReorganizerConfig::default())
+        .multiply_ctx(&ctx, &dev)
+        .expect("valid shapes");
+    assert!(run.result.approx_eq(&oracle, 1e-9), "reorganizer diverged");
+}
+
+/// n×n with one full row r0 and one full column c0.
+fn cross(n: usize, r0: usize, c0: usize) -> CsrMatrix<f64> {
+    let mut coo = CooMatrix::new(n, n);
+    for j in 0..n {
+        coo.push(r0 as u32, j as u32, 1.0 + j as f64 * 0.01)
+            .unwrap();
+    }
+    for i in 0..n {
+        if i != r0 {
+            coo.push(i as u32, c0 as u32, 2.0 - i as f64 * 0.01)
+                .unwrap();
+        }
+    }
+    coo.to_csr()
+}
+
+#[test]
+fn arrow_matrix_hub_row_and_column() {
+    // One dominator pair (the full column × the full row) plus a tail of
+    // single-entry pairs — the most extreme classification split possible.
+    verify_all(&cross(200, 0, 0), &cross(200, 0, 0));
+}
+
+#[test]
+fn off_center_cross_and_mismatched_hubs() {
+    let a = cross(150, 40, 90);
+    let b = cross(150, 90, 40);
+    verify_all(&a, &b);
+}
+
+#[test]
+fn single_row_and_single_column_matrices() {
+    // 1×n times n×1 → 1×1 dense dot product.
+    let n = 300;
+    let row = CsrMatrix::try_new(
+        1,
+        n,
+        vec![0, n],
+        (0..n as u32).collect(),
+        (0..n).map(|i| 1.0 + i as f64).collect(),
+    )
+    .unwrap();
+    let col = CsrMatrix::try_new(
+        n,
+        1,
+        (0..=n).collect(),
+        vec![0u32; n],
+        (0..n).map(|i| 2.0 - i as f64 * 0.001).collect(),
+    )
+    .unwrap();
+    verify_all(&row, &col);
+    // n×1 times 1×n → rank-1 n×n (one enormous outer-product pair).
+    verify_all(&col, &row);
+}
+
+#[test]
+fn strictly_triangular_chain() {
+    // Superdiagonal shift matrix: A² is the double shift; nilpotent
+    // structure exercises rows that produce nothing.
+    let n = 128;
+    let shift = CsrMatrix::try_new(
+        n,
+        n,
+        (0..=n).map(|r| r.min(n - 1)).collect(),
+        (1..n as u32).collect(),
+        vec![1.0; n - 1],
+    )
+    .unwrap();
+    verify_all(&shift, &shift);
+    let c = spgemm_gustavson(&shift, &shift).unwrap();
+    assert_eq!(c.nnz(), n - 2);
+}
+
+#[test]
+fn mostly_empty_matrix_with_sparse_survivors() {
+    let n = 500;
+    let mut coo = CooMatrix::new(n, n);
+    // entries only every 97th row
+    for r in (0..n).step_by(97) {
+        coo.push(r as u32, ((r * 31) % n) as u32, 1.5).unwrap();
+        coo.push(r as u32, ((r * 57) % n) as u32, -0.5).unwrap();
+    }
+    verify_all(&coo.to_csr(), &coo.to_csr());
+}
+
+#[test]
+fn wide_and_tall_rectangles() {
+    let wide = rmat(RmatConfig::uniform(9, 2, 3).with_dim(40).with_edges(70)); // built on 512 grid, clipped
+    let wide = wide.to_csr(); // 40×40
+    let tall = wide.transpose();
+    verify_all(&wide, &tall);
+}
+
+#[test]
+fn values_with_cancellation_keep_symbolic_structure() {
+    // a row of +1/-1 times a column of 1s → exact zero, still stored.
+    let a = CsrMatrix::try_new(2, 2, vec![0, 2, 2], vec![0, 1], vec![1.0, -1.0]).unwrap();
+    let b = CsrMatrix::try_new(2, 2, vec![0, 1, 2], vec![0, 0], vec![1.0, 1.0]).unwrap();
+    let dev = DeviceConfig::titan_xp();
+    let run = BlockReorganizer::new(ReorganizerConfig::default())
+        .multiply(&a, &b, &dev)
+        .unwrap();
+    assert_eq!(run.result.nnz(), 1);
+    assert_eq!(run.result.get(0, 0), 0.0);
+    // prune() is the user-facing way to drop it
+    assert_eq!(run.result.prune(1e-12).nnz(), 0);
+}
+
+#[test]
+fn f32_scalar_path_works_end_to_end() {
+    // The whole stack is generic over Scalar; run the f32 instantiation.
+    let mut coo = CooMatrix::<f32>::new(64, 64);
+    let mut x = 1u64;
+    for _ in 0..400 {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let r = (x >> 33) % 64;
+        let c = (x >> 13) % 64;
+        coo.push(r as u32, c as u32, 0.5 + (x % 100) as f32 / 100.0)
+            .unwrap();
+    }
+    let a = coo.to_csr();
+    let dev = DeviceConfig::rtx_2080_ti();
+    let run = BlockReorganizer::new(ReorganizerConfig::default())
+        .multiply(&a, &a, &dev)
+        .unwrap();
+    let oracle = spgemm_gustavson(&a, &a).unwrap();
+    assert!(run.result.approx_eq(&oracle, 1e-3)); // f32 tolerance
+}

@@ -1,0 +1,133 @@
+//! Cross-crate integration tests: every simulated method, on every dataset
+//! class, must reproduce the CPU oracle's numeric result, deterministically.
+
+use blockreorg::datasets::registry::ScaleFactor;
+use blockreorg::prelude::*;
+use blockreorg::spgemm::pipeline::run_method;
+use blockreorg::spgemm::ProblemContext;
+
+/// Datasets covering both distribution classes, small enough for CI.
+fn test_specs() -> Vec<DatasetSpec> {
+    ["harbor", "mario002", "as-caida", "emailEnron"]
+        .iter()
+        .map(|n| RealWorldRegistry::get(n).expect("registry dataset"))
+        .collect()
+}
+
+#[test]
+fn all_methods_match_oracle_on_both_dataset_classes() {
+    let dev = DeviceConfig::titan_xp();
+    for spec in test_specs() {
+        let a = spec.generate(ScaleFactor::Div(128));
+        let ctx = ProblemContext::new(&a, &a).expect("square shapes agree");
+        let oracle = spgemm_gustavson(&a, &a).expect("square shapes agree");
+        for m in SpgemmMethod::all() {
+            let run = run_method(&ctx, m, &dev).expect("valid shapes");
+            assert!(
+                run.result.approx_eq(&oracle, 1e-9),
+                "{} wrong on {}",
+                m.name(),
+                spec.name
+            );
+        }
+        let run = BlockReorganizer::new(ReorganizerConfig::default())
+            .multiply_ctx(&ctx, &dev)
+            .expect("valid shapes");
+        assert!(
+            run.result.approx_eq(&oracle, 1e-9),
+            "Block-Reorganizer wrong on {}",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn rectangular_pair_product_matches_oracle() {
+    let dev = DeviceConfig::titan_xp();
+    let a = rmat(RmatConfig::snap_like(9, 6, 1)).to_csr();
+    let b = rmat(RmatConfig::uniform(9, 4, 2)).to_csr();
+    let ctx = ProblemContext::new(&a, &b).expect("shapes agree");
+    let oracle = spgemm_gustavson(&a, &b).expect("shapes agree");
+    for m in SpgemmMethod::all() {
+        let run = run_method(&ctx, m, &dev).expect("valid shapes");
+        assert!(
+            run.result.approx_eq(&oracle, 1e-9),
+            "{} wrong on C=AB",
+            m.name()
+        );
+    }
+    let run = BlockReorganizer::new(ReorganizerConfig::default())
+        .multiply_ctx(&ctx, &dev)
+        .expect("valid shapes");
+    assert!(run.result.approx_eq(&oracle, 1e-9));
+}
+
+#[test]
+fn simulation_is_fully_deterministic() {
+    let dev = DeviceConfig::titan_xp();
+    let spec = RealWorldRegistry::get("slashDot").expect("registry dataset");
+    let a = spec.generate(ScaleFactor::Div(128));
+    let reorg = BlockReorganizer::new(ReorganizerConfig::default());
+    let r1 = reorg.multiply(&a, &a, &dev).expect("valid shapes");
+    let r2 = reorg.multiply(&a, &a, &dev).expect("valid shapes");
+    assert_eq!(r1.total_ms, r2.total_ms);
+    assert_eq!(r1.stats, r2.stats);
+    assert_eq!(r1.result, r2.result);
+    assert_eq!(r1.profiles.len(), r2.profiles.len());
+    for (p1, p2) in r1.profiles.iter().zip(&r2.profiles) {
+        assert_eq!(p1.makespan_cycles, p2.makespan_cycles);
+        assert_eq!(p1.l2, p2.l2);
+    }
+}
+
+#[test]
+fn reorganizer_works_on_every_paper_device() {
+    let spec = RealWorldRegistry::get("epinions").expect("registry dataset");
+    let a = spec.generate(ScaleFactor::Div(128));
+    let oracle = spgemm_gustavson(&a, &a).expect("square shapes agree");
+    for dev in DeviceConfig::all_paper_targets() {
+        let run = BlockReorganizer::new(ReorganizerConfig::default())
+            .multiply(&a, &a, &dev)
+            .expect("valid shapes");
+        assert!(run.result.approx_eq(&oracle, 1e-9), "wrong on {}", dev.name);
+        assert!(run.total_ms > 0.0);
+    }
+}
+
+#[test]
+fn identity_and_empty_edge_cases_run_through_the_whole_stack() {
+    let dev = DeviceConfig::titan_xp();
+    let reorg = BlockReorganizer::new(ReorganizerConfig::default());
+
+    let i = CsrMatrix::<f64>::identity(100);
+    let run = reorg.multiply(&i, &i, &dev).expect("valid shapes");
+    assert!(run.result.approx_eq(&i, 1e-15));
+
+    let z = CsrMatrix::<f64>::zeros(50, 50);
+    let run = reorg.multiply(&z, &z, &dev).expect("valid shapes");
+    assert_eq!(run.result.nnz(), 0);
+
+    // mismatched shapes must error, not panic
+    let a = CsrMatrix::<f64>::zeros(3, 4);
+    let b = CsrMatrix::<f64>::zeros(5, 6);
+    assert!(reorg.multiply(&a, &b, &dev).is_err());
+}
+
+#[test]
+fn matrix_market_roundtrip_through_the_pipeline() {
+    use blockreorg::sparse::io::{read_matrix_market, write_matrix_market};
+    let a = rmat(RmatConfig::uniform(8, 4, 11)).to_csr();
+    let mut buf = Vec::new();
+    write_matrix_market(&a, &mut buf).expect("in-memory write succeeds");
+    let back = read_matrix_market::<f64, _>(buf.as_slice())
+        .expect("own output parses")
+        .to_csr();
+    assert!(a.approx_eq(&back, 1e-12));
+
+    let dev = DeviceConfig::titan_xp();
+    let run = BlockReorganizer::new(ReorganizerConfig::default())
+        .multiply(&back, &back, &dev)
+        .expect("valid shapes");
+    let oracle = spgemm_gustavson(&a, &a).expect("square shapes agree");
+    assert!(run.result.approx_eq(&oracle, 1e-9));
+}

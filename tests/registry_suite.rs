@@ -1,0 +1,74 @@
+//! The full Table II suite, end to end: every one of the 28 surrogates is
+//! generated, classified, multiplied by the Block Reorganizer, and checked
+//! against the CPU oracle — at a small scale so the whole sweep stays
+//! CI-friendly.
+
+use block_reorganizer::WorkloadReport;
+use blockreorg::datasets::registry::{DatasetClass, ScaleFactor};
+use blockreorg::prelude::*;
+use blockreorg::spgemm::ProblemContext;
+
+const SCALE: ScaleFactor = ScaleFactor::Div(256);
+
+#[test]
+fn all_28_surrogates_run_the_full_pipeline_correctly() {
+    let dev = DeviceConfig::titan_xp();
+    let reorg = BlockReorganizer::new(ReorganizerConfig::default());
+    for spec in RealWorldRegistry::all() {
+        let a = spec.generate(SCALE);
+        let oracle = spgemm_gustavson(&a, &a).expect("square shapes");
+        let run = reorg.multiply(&a, &a, &dev).expect("valid shapes");
+        assert!(
+            run.result.approx_eq(&oracle, 1e-9),
+            "{}: wrong result",
+            spec.name
+        );
+        assert!(run.total_ms > 0.0, "{}: zero time", spec.name);
+        assert_eq!(
+            run.result.nnz(),
+            oracle.nnz(),
+            "{}: nnz mismatch",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn classification_tracks_the_declared_dataset_class() {
+    let dev = DeviceConfig::titan_xp();
+    let cfg = ReorganizerConfig::default();
+    let mut skewed_dominator_share = Vec::new();
+    let mut regular_dominator_share = Vec::new();
+    for spec in RealWorldRegistry::all() {
+        let a = spec.generate(SCALE);
+        let ctx = ProblemContext::new(&a, &a).expect("square shapes");
+        if ctx.intermediate_total == 0 {
+            continue;
+        }
+        let report = WorkloadReport::of(&ctx, &cfg, &dev);
+        match spec.class {
+            DatasetClass::Skewed => skewed_dominator_share.push(report.dominators.product_share),
+            DatasetClass::Regular => regular_dominator_share.push(report.dominators.product_share),
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    assert!(
+        mean(&skewed_dominator_share) > mean(&regular_dominator_share),
+        "skewed sets should concentrate work in dominators: {} vs {}",
+        mean(&skewed_dominator_share),
+        mean(&regular_dominator_share)
+    );
+    // Regular FEM surrogates should have (almost) no dominator work at all.
+    assert!(mean(&regular_dominator_share) < 0.15);
+    // Skewed surrogates concentrate a substantial share in a few pairs.
+    assert!(mean(&skewed_dominator_share) > 0.25);
+}
+
+#[test]
+fn surrogate_suite_is_generation_stable() {
+    // Regenerating the whole registry yields identical matrices — the
+    // experiments are exactly reproducible run to run.
+    for spec in RealWorldRegistry::all().into_iter().take(6) {
+        assert_eq!(spec.generate(SCALE), spec.generate(SCALE), "{}", spec.name);
+    }
+}

@@ -1,0 +1,150 @@
+//! Conservation and consistency invariants of the performance model,
+//! checked on *real* kernel launches (not synthetic traces): whatever the
+//! cost constants say, these must hold or the simulator is lying.
+
+use blockreorg::datasets::registry::ScaleFactor;
+use blockreorg::prelude::*;
+use blockreorg::spgemm::pipeline::run_method;
+use blockreorg::spgemm::ProblemContext;
+
+fn test_ctx() -> ProblemContext<f64> {
+    let a = RealWorldRegistry::get("sx-mathoverflow")
+        .expect("registry dataset")
+        .generate(ScaleFactor::Div(64));
+    ProblemContext::new(&a, &a).expect("square shapes")
+}
+
+#[test]
+fn per_sm_busy_time_sums_to_total_block_work() {
+    let dev = DeviceConfig::titan_xp();
+    let run = run_method(&test_ctx(), SpgemmMethod::OuterProduct, &dev).unwrap();
+    for p in &run.profiles {
+        let sm_total: f64 = p.sm_busy.iter().sum();
+        assert!(
+            (sm_total - p.busy_cycles).abs() < 1e-6 * p.busy_cycles.max(1.0),
+            "{}: Σ sm_busy {} != busy {}",
+            p.name,
+            sm_total,
+            p.busy_cycles
+        );
+        assert_eq!(p.sm_busy.len(), dev.num_sms as usize);
+    }
+}
+
+#[test]
+fn makespan_bounds_hold_for_every_kernel() {
+    let dev = DeviceConfig::titan_xp();
+    for m in SpgemmMethod::all() {
+        let run = run_method(&test_ctx(), m, &dev).unwrap();
+        for p in &run.profiles {
+            let max_sm = p.sm_busy.iter().copied().fold(0.0f64, f64::max);
+            // Makespan = max SM time + fixed launch latency.
+            assert!(
+                p.makespan_cycles >= max_sm,
+                "{}: makespan {} < max sm {}",
+                p.name,
+                p.makespan_cycles,
+                max_sm
+            );
+            // And can never beat perfect parallelization of the busy work.
+            let lower = p.busy_cycles / dev.num_sms as f64;
+            assert!(
+                p.makespan_cycles >= lower - 1e-6,
+                "{}: makespan {} below work bound {}",
+                p.name,
+                p.makespan_cycles,
+                lower
+            );
+        }
+    }
+}
+
+#[test]
+fn lbi_is_bounded_and_histogram_counts_blocks() {
+    let dev = DeviceConfig::titan_xp();
+    let run = run_method(&test_ctx(), SpgemmMethod::OuterProduct, &dev).unwrap();
+    for p in &run.profiles {
+        let lbi = p.lbi();
+        assert!((0.0..=1.0 + 1e-9).contains(&lbi), "{}: LBI {lbi}", p.name);
+        let hist_total: usize = p.effective_thread_histogram.iter().sum();
+        assert_eq!(hist_total, p.num_blocks, "{}", p.name);
+    }
+}
+
+#[test]
+fn l2_hits_never_exceed_accesses_and_bytes_match_traffic() {
+    let dev = DeviceConfig::titan_xp();
+    let ctx = test_ctx();
+    for m in SpgemmMethod::all() {
+        let run = run_method(&ctx, m, &dev).unwrap();
+        for p in &run.profiles {
+            assert!(p.l2.hits <= p.l2.accesses, "{}", p.name);
+            assert!(p.l2.hit_rate() <= 1.0);
+        }
+    }
+    // The expansion must read at least both operands once and write all of
+    // Ĉ (logical bytes).
+    let run = run_method(&ctx, SpgemmMethod::OuterProduct, &dev).unwrap();
+    let expansion = &run.profiles[0];
+    let elem = 12u64;
+    assert!(expansion.l2.read_bytes >= (ctx.a.nnz() + ctx.b.nnz()) as u64 * elem / 2);
+    assert_eq!(expansion.l2.write_bytes, ctx.intermediate_total * elem);
+}
+
+#[test]
+fn smaller_l2_means_fewer_hits() {
+    use blockreorg::gpu_sim::device::DeviceConfig as Dev;
+    let ctx = test_ctx();
+    let big = Dev::titan_xp();
+    let small = Dev {
+        l2_bytes: 64 * 1024,
+        ..Dev::titan_xp()
+    };
+    let run_big = run_method(&ctx, SpgemmMethod::OuterProduct, &big).unwrap();
+    let run_small = run_method(&ctx, SpgemmMethod::OuterProduct, &small).unwrap();
+    let hits = |r: &blockreorg::spgemm::SpgemmRun<f64>| -> u64 {
+        r.profiles.iter().map(|p| p.l2.hits).sum()
+    };
+    assert!(
+        hits(&run_small) < hits(&run_big),
+        "shrinking L2 48x must lose hits: {} vs {}",
+        hits(&run_small),
+        hits(&run_big)
+    );
+}
+
+#[test]
+fn more_sms_never_slow_a_kernel_down() {
+    let ctx = test_ctx();
+    let base = DeviceConfig::titan_xp();
+    let double = DeviceConfig {
+        num_sms: 60,
+        // keep per-SM bandwidth share identical
+        dram_bandwidth_gbs: base.dram_bandwidth_gbs * 2.0,
+        l2_bandwidth_gbs: base.l2_bandwidth_gbs * 2.0,
+        l2_bytes: base.l2_bytes * 2,
+        ..base.clone()
+    };
+    let t30 = run_method(&ctx, SpgemmMethod::RowProduct, &base)
+        .unwrap()
+        .total_ms;
+    let t60 = run_method(&ctx, SpgemmMethod::RowProduct, &double)
+        .unwrap()
+        .total_ms;
+    assert!(
+        t60 <= t30 * 1.01,
+        "doubling SMs+bandwidth must not slow down: {t60} vs {t30}"
+    );
+}
+
+#[test]
+fn preprocessing_overhead_is_charged_to_the_reorganizer() {
+    let ctx = test_ctx();
+    let dev = DeviceConfig::titan_xp();
+    let run = BlockReorganizer::new(ReorganizerConfig::default())
+        .multiply_ctx(&ctx, &dev)
+        .unwrap();
+    let kernel_ms: f64 = run.profiles.iter().map(|p| p.time_ms).sum();
+    assert!(run.preprocess_ms > 0.0, "splitting has host-side cost");
+    assert!((run.total_ms - (kernel_ms + run.preprocess_ms)).abs() < 1e-9);
+}
