@@ -35,7 +35,7 @@ pub enum WorkloadClass {
 }
 
 /// Result of precalculation + categorization.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Classification {
     /// Class of every inner-dimension pair.
     pub classes: Vec<WorkloadClass>,

@@ -15,9 +15,10 @@ use br_gpu_sim::trace::{BlockTrace, TraceBuilder};
 use br_sparse::Scalar;
 use br_spgemm::context::ProblemContext;
 use br_spgemm::workspace::{Workspace, ELEM_BYTES};
+use serde::{Deserialize, Serialize};
 
 /// One gathered (combined) block.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CombinedBlock {
     /// Original pair indices packed into this block.
     pub members: Vec<usize>,
@@ -26,7 +27,7 @@ pub struct CombinedBlock {
 }
 
 /// The full gather plan.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct GatherPlan {
     /// Pair indices per bin: bin `n` holds effective threads in
     /// `(2ⁿ⁻¹, 2ⁿ]` (bin 0 holds exactly 1).

@@ -21,6 +21,9 @@
 //! classification → reorganized expansion → limited merge) on the simulated
 //! GPU and returns both the numeric result and per-phase profiles;
 //! [`ablate`] reruns it with each technique toggled for Figure 10.
+//! [`plan::ReorgPlan`] factors all structure-dependent preprocessing into a
+//! reusable, serializable artifact so a serving layer (`br-service`) can
+//! cache it and skip the analysis on repeated multiplications.
 //!
 //! Extensions beyond the paper: [`report::WorkloadReport`] (the Figure 4
 //! bins, inspectable before running anything), [`classify::auto_alpha`]
@@ -36,6 +39,7 @@ pub mod config;
 pub mod gather;
 pub mod limit;
 pub mod pass;
+pub mod plan;
 pub mod report;
 pub mod split;
 pub mod tune;
@@ -44,5 +48,6 @@ pub use ablate::{ablation, AblationReport};
 pub use classify::{Classification, WorkloadClass};
 pub use config::ReorganizerConfig;
 pub use pass::{BlockReorganizer, ReorganizerRun};
+pub use plan::{PlanMode, ReorgPlan};
 pub use report::WorkloadReport;
 pub use tune::{tune, TuneResult};

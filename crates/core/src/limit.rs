@@ -13,11 +13,12 @@
 
 use br_sparse::Scalar;
 use br_spgemm::context::ProblemContext;
+use serde::{Deserialize, Serialize};
 
 use crate::config::ReorganizerConfig;
 
 /// The merge-limiting plan.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LimitPlan {
     /// Per-row flag: `true` ⇒ the row's merge block gets extra shared mem.
     pub limited: Vec<bool>,

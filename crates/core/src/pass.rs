@@ -13,25 +13,18 @@
 
 use br_gpu_sim::device::DeviceConfig;
 use br_gpu_sim::profiler::KernelProfile;
-use br_gpu_sim::trace::KernelLaunch;
+use br_gpu_sim::sim::GpuSimulator;
 use br_sparse::{CsrMatrix, Result, Scalar};
 use br_spgemm::context::ProblemContext;
-use br_spgemm::expansion::outer::outer_pair_block;
-use br_spgemm::merge::gustavson::gustavson_merge_launch;
-use br_spgemm::numeric::{default_threads, spgemm_parallel};
-use br_spgemm::pipeline::{assemble_run, SpgemmRun};
-use br_spgemm::workspace::Workspace;
+use br_spgemm::pipeline::SpgemmRun;
 use serde::{Deserialize, Serialize};
 
-use crate::classify::{precalc_launch, Classification};
 use crate::config::ReorganizerConfig;
-use crate::gather::{combined_block_trace, compacted_block_trace, plan_gathers};
-use crate::limit::LimitPlan;
-use crate::split::{plan_splits, preprocess_ms, split_blocks};
+use crate::plan::{PlanMode, ReorgPlan};
 
 /// Summary statistics of one reorganized run (the Section IV-E walkthrough
 /// numbers: dominator pairs, low performers, limited rows, …).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct ReorgStats {
     /// Pairs classified as dominators.
     pub dominators: usize,
@@ -129,160 +122,46 @@ impl BlockReorganizer {
 
     /// Multiplies using a precomputed [`ProblemContext`] (the benchmark
     /// harness shares one context across all methods).
+    ///
+    /// Equivalent to building a fresh [`ReorgPlan`] and executing it
+    /// [`PlanMode::Cold`] — all preprocessing is charged to this run.
     pub fn multiply_ctx<T: Scalar>(
         &self,
         ctx: &ProblemContext<T>,
         device: &DeviceConfig,
     ) -> Result<ReorganizerRun<T>> {
-        let ws = Workspace::for_context(ctx);
-        let classification = Classification::of(ctx, &self.config);
-        let (expansion, stats, host_ms) = self.build_expansion(ctx, &ws, &classification, device);
-        let limit_plan = LimitPlan::of(ctx, &self.config);
-        let merge = gustavson_merge_launch(ctx, &ws, self.config.block_size, true, |r| {
-            limit_plan.extra_smem(r)
-        });
-
-        let launches = vec![precalc_launch(ctx, &ws), expansion, merge];
-        let run = assemble_run(
-            "Block-Reorganizer",
-            spgemm_parallel(&ctx.a, &ctx.b, default_threads())?,
-            &launches,
-            &ws.layout,
-            device,
-            host_ms,
-            ctx.flops,
-        );
-        Ok(ReorganizerRun {
-            result: run.result,
-            profiles: run.profiles,
-            preprocess_ms: run.preprocess_ms,
-            total_ms: run.total_ms,
-            flops: run.flops,
-            stats: ReorgStats {
-                limited_rows: limit_plan.limited_count(),
-                ..stats
-            },
-        })
+        ReorgPlan::build(ctx, &self.config, device).execute(ctx, device, PlanMode::Cold)
     }
 
-    /// Builds the reorganized expansion launch; returns the launch, the
-    /// stats accumulated so far, and the host preprocessing cost.
-    fn build_expansion<T: Scalar>(
+    /// Builds the reusable preprocessing artifact for this configuration —
+    /// the analysis half of [`BlockReorganizer::multiply_ctx`].
+    pub fn plan<T: Scalar>(&self, ctx: &ProblemContext<T>, device: &DeviceConfig) -> ReorgPlan {
+        ReorgPlan::build(ctx, &self.config, device)
+    }
+
+    /// Multiplies using a previously built (e.g. cached) plan: only the
+    /// expansion and merge kernels run; precalculation and the host-side
+    /// B-Splitting cost are *not* charged, because the plan already paid
+    /// them. Fails if `plan` was built for a different sparsity structure.
+    pub fn multiply_with_plan<T: Scalar>(
         &self,
         ctx: &ProblemContext<T>,
-        ws: &Workspace,
-        classification: &Classification,
+        plan: &ReorgPlan,
         device: &DeviceConfig,
-    ) -> (KernelLaunch, ReorgStats, f64) {
-        let cfg = &self.config;
-        let chat_offsets = ctx.chat_block_offsets();
-        // The reorganizer relocates Ĉ row-major during expansion so the
-        // merge reads coalesced (Section IV-B "row-wise nnz is used to
-        // relocate the outer-product's elements with same row closer
-        // together for faster merge").
-        let row_major = true;
-        let mut blocks = Vec::new();
-        let mut host_ms = 0.0;
-        let mut max_split_factor = 1u32;
-        let mut gathered_blocks = 0usize;
+    ) -> Result<ReorganizerRun<T>> {
+        plan.execute(ctx, device, PlanMode::Cached)
+    }
 
-        // --- dominators: split (or run unmodified when disabled) ---
-        if cfg.enable_split && !classification.dominators.is_empty() {
-            let plans = plan_splits(
-                ctx,
-                &classification.dominators,
-                cfg.split_policy,
-                device,
-                classification.threshold,
-            );
-            host_ms = preprocess_ms(ctx, &plans);
-            for plan in &plans {
-                max_split_factor = max_split_factor.max(plan.factor);
-                blocks.extend(split_blocks(
-                    ctx,
-                    ws,
-                    plan,
-                    chat_offsets[plan.pair],
-                    cfg.block_size,
-                    row_major,
-                ));
-            }
-        } else {
-            for &pair in &classification.dominators {
-                blocks.push(outer_pair_block(
-                    ctx,
-                    ws,
-                    pair,
-                    chat_offsets[pair],
-                    cfg.block_size,
-                    row_major,
-                ));
-            }
-        }
-
-        // --- normal pairs: unmodified outer-product blocks ---
-        for &pair in &classification.normals {
-            blocks.push(outer_pair_block(
-                ctx,
-                ws,
-                pair,
-                chat_offsets[pair],
-                cfg.block_size,
-                row_major,
-            ));
-        }
-
-        // --- low performers: gather (or run unmodified when disabled) ---
-        if cfg.enable_gather && !classification.low_performers.is_empty() {
-            let plan = plan_gathers(ctx, &classification.low_performers, cfg.gather_block);
-            gathered_blocks = plan.combined.len();
-            for c in &plan.combined {
-                blocks.push(combined_block_trace(
-                    ctx,
-                    ws,
-                    c,
-                    &chat_offsets,
-                    cfg.gather_block,
-                    row_major,
-                ));
-            }
-            for &pair in &plan.compacted {
-                blocks.push(compacted_block_trace(
-                    ctx,
-                    ws,
-                    pair,
-                    &chat_offsets,
-                    cfg.gather_block,
-                    row_major,
-                ));
-            }
-        } else {
-            for &pair in &classification.low_performers {
-                blocks.push(outer_pair_block(
-                    ctx,
-                    ws,
-                    pair,
-                    chat_offsets[pair],
-                    cfg.block_size,
-                    row_major,
-                ));
-            }
-        }
-
-        let stats = ReorgStats {
-            dominators: classification.dominators.len(),
-            low_performers: classification.low_performers.len(),
-            normals: classification.normals.len(),
-            expansion_blocks: blocks.len(),
-            gathered_blocks,
-            limited_rows: 0, // filled by the caller
-            max_split_factor,
-        };
-        (
-            KernelLaunch::new("reorganized-expansion", blocks),
-            stats,
-            host_ms,
-        )
+    /// [`BlockReorganizer::multiply_with_plan`] against a caller-owned
+    /// simulator — used by `br-service` workers, which keep one
+    /// [`GpuSimulator`] each.
+    pub fn multiply_with_plan_on<T: Scalar>(
+        &self,
+        sim: &GpuSimulator,
+        ctx: &ProblemContext<T>,
+        plan: &ReorgPlan,
+    ) -> Result<ReorganizerRun<T>> {
+        plan.execute_on(sim, ctx, PlanMode::Cached)
     }
 }
 

@@ -16,6 +16,7 @@ use br_gpu_sim::trace::{BlockTrace, TraceBuilder};
 use br_sparse::Scalar;
 use br_spgemm::context::ProblemContext;
 use br_spgemm::workspace::{Workspace, ELEM_BYTES};
+use serde::{Deserialize, Serialize};
 
 use crate::config::SplitPolicy;
 
@@ -27,7 +28,7 @@ const HOST_COPY_GBS: f64 = 8.0;
 const HOST_PER_DOMINATOR_MS: f64 = 0.002;
 
 /// The split plan of one dominator pair.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SplitPlan {
     /// Original pair index.
     pub pair: usize,

@@ -1,0 +1,357 @@
+//! LRU cache of reorganization plans.
+//!
+//! A [`block_reorganizer::plan::ReorgPlan`] depends only on the operands'
+//! sparsity *structure*, the reorganizer configuration, and the target
+//! device (split factors scale with the SM count). [`PlanKey`] captures
+//! exactly those three inputs, so a cached plan is valid for every request
+//! that maps to the same key — including requests whose matrix *values*
+//! differ, since plans are value-independent.
+//!
+//! The cache is a plain `Mutex<HashMap>` with a monotonic recency tick:
+//! capacities are small (tens of plans), so `O(n)` eviction is cheaper and
+//! simpler than an intrusive list. Plans are handed out as
+//! `Arc<ReorgPlan>`, so concurrent workers share one artifact without
+//! copying, and eviction never invalidates an executing plan.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use block_reorganizer::config::SplitPolicy;
+use block_reorganizer::plan::ReorgPlan;
+use block_reorganizer::ReorganizerConfig;
+use br_spgemm::context::ProblemSignature;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_mix(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(FNV_PRIME)
+}
+
+/// Fingerprint of a [`ReorganizerConfig`] — part of the cache key, because
+/// classification thresholds and split policies change the plan.
+pub fn config_fingerprint(c: &ReorganizerConfig) -> u64 {
+    let policy = match c.split_policy {
+        SplitPolicy::Auto => 1u64 << 32,
+        SplitPolicy::Fixed(f) => (2u64 << 32) | f as u64,
+        SplitPolicy::Greedy => 3u64 << 32,
+    };
+    let toggles =
+        (c.enable_split as u64) | ((c.enable_gather as u64) << 1) | ((c.enable_limit as u64) << 2);
+    [
+        c.alpha.to_bits(),
+        c.beta.to_bits(),
+        c.limiting_units as u64,
+        c.block_size as u64,
+        c.gather_block as u64,
+        policy,
+        toggles,
+    ]
+    .iter()
+    .fold(FNV_OFFSET, |h, &v| fnv_mix(h, v))
+}
+
+/// The full cache key: what a plan is a function of.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Sparsity signature of the operand pair.
+    pub problem: ProblemSignature,
+    /// Target device name (split factors depend on the SM count).
+    pub device: String,
+    /// [`config_fingerprint`] of the reorganizer configuration.
+    pub config: u64,
+}
+
+impl PlanKey {
+    /// Builds the key for one request.
+    pub fn new(problem: ProblemSignature, device: &str, config: &ReorganizerConfig) -> Self {
+        PlanKey {
+            problem,
+            device: device.to_string(),
+            config: config_fingerprint(config),
+        }
+    }
+}
+
+/// Hit/miss/eviction counters of a [`PlanCache`], sampled atomically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found a plan.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Plans evicted to make room.
+    pub evictions: u64,
+    /// Plans currently resident.
+    pub entries: usize,
+    /// Maximum resident plans.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups that hit, in `[0, 1]` (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    plan: Arc<ReorgPlan>,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<PlanKey, Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Thread-safe LRU plan cache.
+pub struct PlanCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` plans (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// Looks up a plan, counting a hit or a miss and refreshing recency.
+    pub fn lookup(&self, key: &PlanKey) -> Option<Arc<ReorgPlan>> {
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let plan = entry.plan.clone();
+                inner.hits += 1;
+                Some(plan)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) a plan, evicting the least-recently-used entry
+    /// if the cache is full.
+    pub fn insert(&self, key: PlanKey, plan: Arc<ReorgPlan>) {
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            if let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&victim);
+                inner.evictions += 1;
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                plan,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("plan cache poisoned");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.map.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Number of resident plans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("plan cache poisoned").map.len()
+    }
+
+    /// True when no plan is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether a key is resident, *without* touching counters or recency
+    /// (test/diagnostic hook).
+    pub fn contains(&self, key: &PlanKey) -> bool {
+        self.inner
+            .lock()
+            .expect("plan cache poisoned")
+            .map
+            .contains_key(key)
+    }
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use block_reorganizer::plan::PlanMode;
+    use br_datasets::rmat::{rmat, RmatConfig};
+    use br_gpu_sim::device::DeviceConfig;
+    use br_spgemm::context::ProblemContext;
+
+    fn plan_for(seed: u64) -> (PlanKey, Arc<ReorgPlan>, ProblemContext<f64>) {
+        let a = rmat(RmatConfig::snap_like(7, 6, seed)).to_csr();
+        let ctx = ProblemContext::new(&a, &a).unwrap();
+        let dev = DeviceConfig::titan_xp();
+        let cfg = ReorganizerConfig::default();
+        let key = PlanKey::new(ctx.signature(), &dev.name, &cfg);
+        let plan = Arc::new(ReorgPlan::build(&ctx, &cfg, &dev));
+        (key, plan, ctx)
+    }
+
+    #[test]
+    fn hit_on_identical_signature_miss_on_different() {
+        let cache = PlanCache::new(8);
+        let (key, plan, _) = plan_for(1);
+        assert!(cache.lookup(&key).is_none());
+        cache.insert(key.clone(), plan);
+        assert!(cache.lookup(&key).is_some());
+        let (other_key, _, _) = plan_for(2);
+        assert!(cache.lookup(&other_key).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 2));
+    }
+
+    #[test]
+    fn value_mutation_hits_structure_mutation_misses() {
+        let cache = PlanCache::new(8);
+        let a = rmat(RmatConfig::snap_like(7, 6, 3)).to_csr();
+        let ctx = ProblemContext::new(&a, &a).unwrap();
+        let dev = DeviceConfig::titan_xp();
+        let cfg = ReorganizerConfig::default();
+        let key = PlanKey::new(ctx.signature(), &dev.name, &cfg);
+        cache.insert(key, Arc::new(ReorgPlan::build(&ctx, &cfg, &dev)));
+
+        // Same structure, new values → same key → hit.
+        let scaled = a.map_values(|v| v + 1.0);
+        let scaled_ctx = ProblemContext::new(&scaled, &scaled).unwrap();
+        let scaled_key = PlanKey::new(scaled_ctx.signature(), &dev.name, &cfg);
+        assert!(cache.lookup(&scaled_key).is_some());
+
+        // Structure mutated (an entry pruned) → different key → miss.
+        let mut val = a.val().to_vec();
+        val[0] = 0.0;
+        let mutated = br_sparse::CsrMatrix::try_new(
+            a.nrows(),
+            a.ncols(),
+            a.ptr().to_vec(),
+            a.idx().to_vec(),
+            val,
+        )
+        .unwrap()
+        .prune(1e-12);
+        let mutated_ctx = ProblemContext::new(&mutated, &mutated).unwrap();
+        let mutated_key = PlanKey::new(mutated_ctx.signature(), &dev.name, &cfg);
+        assert!(cache.lookup(&mutated_key).is_none());
+    }
+
+    #[test]
+    fn different_device_or_config_is_a_different_key() {
+        let (key, _, ctx) = plan_for(4);
+        let v100 = DeviceConfig::tesla_v100();
+        let cfg = ReorganizerConfig::default();
+        let other_dev = PlanKey::new(ctx.signature(), &v100.name, &cfg);
+        assert_ne!(key, other_dev);
+        let strict = ReorganizerConfig {
+            alpha: 64.0,
+            ..Default::default()
+        };
+        let other_cfg = PlanKey::new(ctx.signature(), "NVIDIA TITAN Xp", &strict);
+        assert_ne!(key.config, other_cfg.config);
+    }
+
+    #[test]
+    fn lru_eviction_order_under_small_capacity() {
+        let cache = PlanCache::new(2);
+        let (ka, pa, _) = plan_for(10);
+        let (kb, pb, _) = plan_for(11);
+        let (kc, pc, _) = plan_for(12);
+        cache.insert(ka.clone(), pa);
+        cache.insert(kb.clone(), pb);
+        // Touch A so B becomes the LRU victim.
+        assert!(cache.lookup(&ka).is_some());
+        cache.insert(kc.clone(), pc);
+        assert!(cache.contains(&ka), "recently-used survives");
+        assert!(!cache.contains(&kb), "LRU entry is evicted");
+        assert!(cache.contains(&kc));
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let cache = PlanCache::new(2);
+        let (ka, pa, _) = plan_for(20);
+        let (kb, pb, _) = plan_for(21);
+        cache.insert(ka.clone(), pa.clone());
+        cache.insert(kb, pb);
+        cache.insert(ka, pa);
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cross_thread_reuse_of_one_arc_plan() {
+        let cache = Arc::new(PlanCache::new(4));
+        let (key, plan, ctx) = plan_for(30);
+        cache.insert(key.clone(), plan);
+        let ctx = Arc::new(ctx);
+        let dev = DeviceConfig::titan_xp();
+
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let cache = cache.clone();
+            let key = key.clone();
+            let ctx = ctx.clone();
+            let dev = dev.clone();
+            handles.push(std::thread::spawn(move || {
+                let plan = cache.lookup(&key).expect("plan is resident");
+                let run = plan.execute(&ctx, &dev, PlanMode::Cached).unwrap();
+                (run.result.ptr().to_vec(), run.result.nnz())
+            }));
+        }
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(results.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(cache.stats().hits, 4);
+    }
+}

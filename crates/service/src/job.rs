@@ -1,0 +1,384 @@
+//! Job descriptions, outcomes, and the `blockreorg-cli batch` job-file
+//! format.
+//!
+//! A [`JobRequest`] is what the service executes: an operand pair (shared
+//! `Arc`s, so a batch of repeats holds one copy of the data) plus a
+//! reorganizer configuration. A [`JobSpec`] is the *declarative* form read
+//! from a job file — a matrix source plus a repeat count — which
+//! [`expand_jobs`] realizes into requests.
+//!
+//! Job-file format: one job per line, `key=value` tokens separated by
+//! whitespace, `#` starts a comment. Exactly one source key per line:
+//!
+//! ```text
+//! # 8 repeated squarings of the as-caida surrogate (dim ÷ 16)
+//! dataset=as-caida scale=16 repeat=8
+//! rmat=12,8 seed=42 repeat=4
+//! input=path/to/matrix.mtx pair=path/to/other.mtx
+//! ```
+
+use std::sync::Arc;
+
+use block_reorganizer::pass::ReorgStats;
+use block_reorganizer::ReorganizerConfig;
+use br_datasets::registry::{RealWorldRegistry, ScaleFactor};
+use br_datasets::rmat::{rmat, RmatConfig};
+use br_sparse::io::read_matrix_market_file;
+use br_sparse::CsrMatrix;
+
+/// One multiplication request `C = A · B`.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// Caller-chosen identifier, echoed in the outcome.
+    pub id: u64,
+    /// Human-readable label for reports (dataset name, file stem, …).
+    pub label: String,
+    /// Left operand.
+    pub a: Arc<CsrMatrix<f64>>,
+    /// Right operand.
+    pub b: Arc<CsrMatrix<f64>>,
+    /// Reorganizer configuration for this job.
+    pub config: ReorganizerConfig,
+}
+
+impl JobRequest {
+    /// A squaring request (`C = A²`) under the default configuration.
+    pub fn square(id: u64, a: Arc<CsrMatrix<f64>>) -> Self {
+        JobRequest {
+            id,
+            label: format!("job-{id}"),
+            b: a.clone(),
+            a,
+            config: ReorganizerConfig::default(),
+        }
+    }
+
+    /// A general `A · B` request under the default configuration.
+    pub fn multiply(id: u64, a: Arc<CsrMatrix<f64>>, b: Arc<CsrMatrix<f64>>) -> Self {
+        JobRequest {
+            id,
+            label: format!("job-{id}"),
+            a,
+            b,
+            config: ReorganizerConfig::default(),
+        }
+    }
+
+    /// Replaces the label (builder-style).
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+/// What the service reports for one completed job.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Identifier from the request.
+    pub id: u64,
+    /// Label from the request.
+    pub label: String,
+    /// Index of the worker that executed the job.
+    pub worker: usize,
+    /// Name of the worker's device.
+    pub device: String,
+    /// Whether the reorganization plan came from the cache.
+    pub cache_hit: bool,
+    /// Simulated end-to-end latency in ms (kernels + charged preprocessing).
+    pub total_ms: f64,
+    /// Simulated precalculation-kernel time in ms (0 on cache hits).
+    pub precalc_ms: f64,
+    /// Simulated expansion-kernel time in ms.
+    pub expansion_ms: f64,
+    /// Simulated merge-kernel time in ms.
+    pub merge_ms: f64,
+    /// Host-side B-Splitting preprocessing charged to this job, ms (0 on
+    /// cache hits — the plan already paid it).
+    pub preprocess_ms: f64,
+    /// Wall-clock time the job spent queued, ms.
+    pub queue_ms: f64,
+    /// Wall-clock time the worker spent on the job, ms.
+    pub host_ms: f64,
+    /// Achieved simulated GFLOPS.
+    pub gflops: f64,
+    /// `nnz(C)`.
+    pub nnz_c: usize,
+    /// Reorganization statistics of the executed plan.
+    pub stats: ReorgStats,
+    /// The numeric result.
+    pub result: CsrMatrix<f64>,
+}
+
+/// A failed job.
+#[derive(Debug, Clone)]
+pub struct JobError {
+    /// Identifier from the request.
+    pub id: u64,
+    /// Label from the request.
+    pub label: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+/// Where a job-file line gets its matrix from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatrixSource {
+    /// A Table II registry surrogate at `dim ÷ scale`.
+    Dataset {
+        /// Registry name (`--list` shows all).
+        name: String,
+        /// Dimension divisor.
+        scale: usize,
+    },
+    /// A generated RMAT graph.
+    Rmat {
+        /// log2 of the vertex count.
+        scale: u32,
+        /// Edges per vertex.
+        edge_factor: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// A Matrix Market file on disk.
+    File(String),
+}
+
+impl MatrixSource {
+    /// Short display label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            MatrixSource::Dataset { name, .. } => name.clone(),
+            MatrixSource::Rmat {
+                scale, edge_factor, ..
+            } => format!("rmat-{scale}-{edge_factor}"),
+            MatrixSource::File(path) => {
+                path.rsplit('/').next().unwrap_or(path.as_str()).to_string()
+            }
+        }
+    }
+
+    /// Realizes the matrix, with errors that name the valid choices.
+    pub fn load(&self) -> Result<CsrMatrix<f64>, String> {
+        match self {
+            MatrixSource::Dataset { name, scale } => match RealWorldRegistry::get(name) {
+                Some(spec) => Ok(spec.generate(ScaleFactor::Div(*scale))),
+                None => {
+                    let valid: Vec<&str> =
+                        RealWorldRegistry::all().iter().map(|s| s.name).collect();
+                    Err(format!(
+                        "unknown dataset {name:?}; valid datasets: {}",
+                        valid.join(", ")
+                    ))
+                }
+            },
+            MatrixSource::Rmat {
+                scale,
+                edge_factor,
+                seed,
+            } => Ok(rmat(RmatConfig::graph500(*scale, *edge_factor, *seed)).to_csr()),
+            MatrixSource::File(path) => read_matrix_market_file::<f64, _>(path)
+                .map_err(|e| format!("cannot read {path}: {e}")),
+        }
+    }
+}
+
+/// One parsed job-file line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Left operand source.
+    pub source: MatrixSource,
+    /// Right operand source (`None` ⇒ squaring, `B = A`).
+    pub pair: Option<MatrixSource>,
+    /// How many times to submit the multiplication.
+    pub repeat: u32,
+}
+
+/// Parses a job file; errors carry the 1-based line number.
+pub fn parse_job_file(text: &str) -> Result<Vec<JobSpec>, String> {
+    let mut specs = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        specs.push(parse_job_line(line).map_err(|e| format!("job file line {}: {e}", lineno + 1))?);
+    }
+    if specs.is_empty() {
+        return Err("job file contains no jobs".to_string());
+    }
+    Ok(specs)
+}
+
+fn parse_job_line(line: &str) -> Result<JobSpec, String> {
+    let mut source: Option<MatrixSource> = None;
+    let mut pair: Option<MatrixSource> = None;
+    let mut scale = 16usize;
+    let mut seed = 42u64;
+    let mut repeat = 1u32;
+    let mut dataset: Option<String> = None;
+    let mut rmat_dims: Option<(u32, usize)> = None;
+
+    for token in line.split_whitespace() {
+        let (key, value) = token
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value, got {token:?}"))?;
+        match key {
+            "dataset" => dataset = Some(value.to_string()),
+            "input" => source = Some(MatrixSource::File(value.to_string())),
+            "pair" => pair = Some(MatrixSource::File(value.to_string())),
+            "rmat" => {
+                let (s, ef) = value
+                    .split_once(',')
+                    .ok_or_else(|| "rmat expects <scale,edge-factor>".to_string())?;
+                let s: u32 = s.parse().map_err(|_| format!("bad rmat scale {s:?}"))?;
+                let ef: usize = ef
+                    .parse()
+                    .map_err(|_| format!("bad rmat edge factor {ef:?}"))?;
+                rmat_dims = Some((s, ef));
+            }
+            "scale" => {
+                scale = value
+                    .parse()
+                    .map_err(|_| format!("bad scale {value:?} (positive integer)"))?
+            }
+            "seed" => {
+                seed = value
+                    .parse()
+                    .map_err(|_| format!("bad seed {value:?} (integer)"))?
+            }
+            "repeat" => {
+                repeat = value
+                    .parse()
+                    .map_err(|_| format!("bad repeat {value:?} (positive integer)"))?;
+                if repeat == 0 {
+                    return Err("repeat must be >= 1".to_string());
+                }
+            }
+            other => {
+                return Err(format!(
+                    "unknown key {other:?} (valid: dataset, input, pair, rmat, scale, seed, repeat)"
+                ))
+            }
+        }
+    }
+
+    if let Some(name) = dataset {
+        if source.is_some() || rmat_dims.is_some() {
+            return Err("give exactly one of dataset / input / rmat".to_string());
+        }
+        source = Some(MatrixSource::Dataset { name, scale });
+    }
+    if let Some((s, ef)) = rmat_dims {
+        if source.is_some() {
+            return Err("give exactly one of dataset / input / rmat".to_string());
+        }
+        source = Some(MatrixSource::Rmat {
+            scale: s,
+            edge_factor: ef,
+            seed,
+        });
+    }
+    let source = source.ok_or_else(|| "missing source (dataset= / input= / rmat=)".to_string())?;
+    Ok(JobSpec {
+        source,
+        pair,
+        repeat,
+    })
+}
+
+/// Realizes specs into requests. Repeats of one spec share the same `Arc`'d
+/// operands, so the service sees structurally identical submissions — the
+/// plan-cache amortization case.
+pub fn expand_jobs(
+    specs: &[JobSpec],
+    config: ReorganizerConfig,
+) -> Result<Vec<JobRequest>, String> {
+    let mut jobs = Vec::new();
+    let mut id = 0u64;
+    for spec in specs {
+        let a = Arc::new(spec.source.load()?);
+        let b = match &spec.pair {
+            Some(src) => Arc::new(src.load()?),
+            None => a.clone(),
+        };
+        let base = spec.source.label();
+        for k in 0..spec.repeat {
+            jobs.push(JobRequest {
+                id,
+                label: format!("{base}[{}/{}]", k + 1, spec.repeat),
+                a: a.clone(),
+                b: b.clone(),
+                config,
+            });
+            id += 1;
+        }
+    }
+    Ok(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_dataset_rmat_and_comments() {
+        let text = "\n# comment\ndataset=as-caida scale=8 repeat=3  # trailing\nrmat=7,6 seed=9\n";
+        let specs = parse_job_file(text).unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(
+            specs[0],
+            JobSpec {
+                source: MatrixSource::Dataset {
+                    name: "as-caida".into(),
+                    scale: 8
+                },
+                pair: None,
+                repeat: 3,
+            }
+        );
+        assert_eq!(
+            specs[1].source,
+            MatrixSource::Rmat {
+                scale: 7,
+                edge_factor: 6,
+                seed: 9
+            }
+        );
+        assert_eq!(specs[1].repeat, 1);
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_line_numbers() {
+        assert!(parse_job_file("").is_err());
+        let err = parse_job_file("dataset=a rmat=7,6").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        let err = parse_job_file("# fine\nbogus=1").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(parse_job_file("repeat=2").is_err(), "source is mandatory");
+        assert!(parse_job_file("dataset=x repeat=0").is_err());
+    }
+
+    #[test]
+    fn unknown_dataset_error_lists_valid_choices() {
+        let err = MatrixSource::Dataset {
+            name: "nope".into(),
+            scale: 16,
+        }
+        .load()
+        .unwrap_err();
+        assert!(err.contains("unknown dataset"), "{err}");
+        assert!(err.contains("as-caida"), "must list valid names: {err}");
+    }
+
+    #[test]
+    fn expand_shares_operands_across_repeats() {
+        let specs = parse_job_file("rmat=6,4 repeat=3").unwrap();
+        let jobs = expand_jobs(&specs, ReorganizerConfig::default()).unwrap();
+        assert_eq!(jobs.len(), 3);
+        assert!(Arc::ptr_eq(&jobs[0].a, &jobs[1].a));
+        assert!(Arc::ptr_eq(&jobs[1].a, &jobs[2].a));
+        assert!(Arc::ptr_eq(&jobs[0].a, &jobs[0].b), "square by default");
+        assert_eq!(jobs[2].label, "rmat-6-4[3/3]");
+        assert_eq!(jobs[2].id, 2);
+    }
+}

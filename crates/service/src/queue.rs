@@ -1,0 +1,180 @@
+//! A blocking multi-producer/multi-consumer job queue.
+//!
+//! Std-only (`Mutex` + `Condvar` over a `VecDeque`): producers [`push`],
+//! workers block in [`pop`] until an item arrives or the queue is
+//! [`close`]d and drained. The queue also tracks the high-water depth for
+//! [`crate::stats::ServiceStats`].
+//!
+//! [`push`]: JobQueue::push
+//! [`pop`]: JobQueue::pop
+//! [`close`]: JobQueue::close
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    max_depth: usize,
+}
+
+/// Blocking FIFO shared by submitters and the worker pool.
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    nonempty: Condvar,
+}
+
+impl<T> JobQueue<T> {
+    /// An open, empty queue.
+    pub fn new() -> Self {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+                max_depth: 0,
+            }),
+            nonempty: Condvar::new(),
+        }
+    }
+
+    /// Enqueues an item and wakes one waiting worker.
+    ///
+    /// Returns `false` (dropping the item) if the queue is already closed.
+    pub fn push(&self, item: T) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return false;
+        }
+        inner.items.push_back(item);
+        inner.max_depth = inner.max_depth.max(inner.items.len());
+        drop(inner);
+        self.nonempty.notify_one();
+        true
+    }
+
+    /// Blocks for the next item; `None` once the queue is closed *and*
+    /// drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.nonempty.wait(inner).unwrap();
+        }
+    }
+
+    /// Marks the queue closed and wakes every waiter. Already-queued items
+    /// are still delivered.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.nonempty.notify_all();
+    }
+
+    /// Current number of queued items.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Largest depth ever observed.
+    pub fn max_depth(&self) -> usize {
+        self.inner.lock().unwrap().max_depth
+    }
+
+    /// Whether the queue has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap().closed
+    }
+}
+
+impl<T> Default for JobQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for JobQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().unwrap();
+        f.debug_struct("JobQueue")
+            .field("depth", &inner.items.len())
+            .field("max_depth", &inner.max_depth)
+            .field("closed", &inner.closed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_and_high_water_mark() {
+        let q = JobQueue::new();
+        for i in 0..5 {
+            assert!(q.push(i));
+        }
+        assert_eq!(q.depth(), 5);
+        assert_eq!(q.max_depth(), 5);
+        let drained: Vec<i32> =
+            std::iter::from_fn(|| if q.depth() > 0 { q.pop() } else { None }).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.max_depth(), 5, "high-water mark survives draining");
+    }
+
+    #[test]
+    fn close_unblocks_waiters_and_rejects_pushes() {
+        let q: Arc<JobQueue<u32>> = Arc::new(JobQueue::new());
+        let waiter = {
+            let q = q.clone();
+            thread::spawn(move || q.pop())
+        };
+        q.close();
+        assert_eq!(waiter.join().unwrap(), None);
+        assert!(!q.push(7), "closed queue rejects new work");
+    }
+
+    #[test]
+    fn queued_items_survive_close() {
+        let q: JobQueue<&str> = JobQueue::new();
+        q.push("a");
+        q.close();
+        assert_eq!(q.pop(), Some("a"), "drain continues after close");
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn many_workers_consume_each_item_exactly_once() {
+        let q: Arc<JobQueue<u64>> = Arc::new(JobQueue::new());
+        let n = 200u64;
+        for i in 0..n {
+            q.push(i);
+        }
+        q.close();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    let mut sum = 0u64;
+                    let mut count = 0u64;
+                    while let Some(v) = q.pop() {
+                        sum += v;
+                        count += 1;
+                    }
+                    (sum, count)
+                })
+            })
+            .collect();
+        let (sum, count) = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .fold((0, 0), |(s, c), (s2, c2)| (s + s2, c + c2));
+        assert_eq!(count, n);
+        assert_eq!(sum, n * (n - 1) / 2);
+    }
+}

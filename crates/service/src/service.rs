@@ -1,0 +1,297 @@
+//! The job service: submission API, worker pool, and result collection.
+//!
+//! [`SpgemmService::start`] spawns one worker thread per configured device;
+//! each worker owns a [`GpuSimulator`] and pulls jobs from a shared
+//! [`JobQueue`]. Workers consult the shared [`PlanCache`] before running:
+//! a hit executes in [`PlanMode::Cached`] (no precalculation kernel, no
+//! host-side B-Splitting charge), a miss builds the [`ReorgPlan`], publishes
+//! it, and executes cold. The numeric result is identical either way — the
+//! plan captures only structure-dependent decisions.
+
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+use block_reorganizer::plan::{PlanMode, ReorgPlan};
+use br_gpu_sim::device::DeviceConfig;
+use br_gpu_sim::sim::GpuSimulator;
+use br_spgemm::context::ProblemContext;
+
+use crate::cache::{PlanCache, PlanKey};
+use crate::job::{JobError, JobOutcome, JobRequest};
+use crate::queue::JobQueue;
+use crate::stats::{ServiceStats, WorkerStats};
+
+/// How to provision the service.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// One worker is spawned per entry; duplicates give several workers on
+    /// the same device model.
+    pub devices: Vec<DeviceConfig>,
+    /// Plan-cache capacity (entries; clamped to ≥ 1).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    /// One Titan Xp worker (the paper's primary target) and room for 32
+    /// cached plans.
+    fn default() -> Self {
+        ServiceConfig {
+            devices: vec![DeviceConfig::titan_xp()],
+            cache_capacity: 32,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// `workers` identical workers on one device model.
+    pub fn uniform(device: DeviceConfig, workers: usize, cache_capacity: usize) -> Self {
+        ServiceConfig {
+            devices: vec![device; workers.max(1)],
+            cache_capacity,
+        }
+    }
+}
+
+/// Everything a finished batch reports.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Successful jobs, in submission order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Failed jobs, in completion order.
+    pub failures: Vec<JobError>,
+    /// The aggregate report.
+    pub stats: ServiceStats,
+}
+
+struct QueuedJob {
+    request: JobRequest,
+    enqueued: Instant,
+}
+
+// Boxed: an outcome (with its result matrix) dwarfs an error.
+enum Completion {
+    Ok(Box<JobOutcome>),
+    Err(JobError),
+}
+
+struct WorkerReport {
+    worker: usize,
+    device: String,
+    jobs: usize,
+    busy_ms: f64,
+}
+
+/// A running worker pool. Submit jobs, then [`drain`](Self::drain) to
+/// collect all results and the final report.
+pub struct SpgemmService {
+    queue: Arc<JobQueue<QueuedJob>>,
+    cache: Arc<PlanCache>,
+    workers: Vec<JoinHandle<WorkerReport>>,
+    results: mpsc::Receiver<Completion>,
+    started: Instant,
+    submitted: usize,
+}
+
+impl SpgemmService {
+    /// Spawns the worker pool and returns a service accepting submissions.
+    pub fn start(config: ServiceConfig) -> Self {
+        let queue: Arc<JobQueue<QueuedJob>> = Arc::new(JobQueue::new());
+        let cache = Arc::new(PlanCache::new(config.cache_capacity));
+        let (tx, rx) = mpsc::channel();
+        let workers = config
+            .devices
+            .into_iter()
+            .enumerate()
+            .map(|(index, device)| {
+                let queue = queue.clone();
+                let cache = cache.clone();
+                let tx = tx.clone();
+                thread::Builder::new()
+                    .name(format!("br-service-worker-{index}"))
+                    .spawn(move || worker_loop(index, device, queue, cache, tx))
+                    .expect("failed to spawn service worker")
+            })
+            .collect();
+        SpgemmService {
+            queue,
+            cache,
+            workers,
+            results: rx,
+            started: Instant::now(),
+            submitted: 0,
+        }
+    }
+
+    /// Enqueues a job; `false` if the service is already draining.
+    pub fn submit(&mut self, job: JobRequest) -> bool {
+        let accepted = self.queue.push(QueuedJob {
+            request: job,
+            enqueued: Instant::now(),
+        });
+        if accepted {
+            self.submitted += 1;
+        }
+        accepted
+    }
+
+    /// Shared plan cache (inspectable mid-run).
+    pub fn cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
+    /// Jobs currently waiting for a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// Runs a whole batch: submit everything, drain, report.
+    pub fn run_batch(config: ServiceConfig, jobs: Vec<JobRequest>) -> BatchOutcome {
+        let mut service = Self::start(config);
+        for job in jobs {
+            service.submit(job);
+        }
+        service.drain()
+    }
+
+    /// Closes the queue, waits for every worker to finish, and assembles
+    /// the batch report.
+    pub fn drain(self) -> BatchOutcome {
+        let SpgemmService {
+            queue,
+            cache,
+            workers,
+            results,
+            started,
+            submitted,
+        } = self;
+        queue.close();
+        let reports: Vec<WorkerReport> = workers
+            .into_iter()
+            .map(|h| h.join().expect("service worker panicked"))
+            .collect();
+        let mut outcomes = Vec::with_capacity(submitted);
+        let mut failures = Vec::new();
+        while let Ok(done) = results.try_recv() {
+            match done {
+                Completion::Ok(outcome) => outcomes.push(*outcome),
+                Completion::Err(err) => failures.push(err),
+            }
+        }
+        outcomes.sort_by_key(|o| o.id);
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        let worker_stats = reports
+            .into_iter()
+            .map(|r| WorkerStats {
+                worker: r.worker,
+                device: r.device,
+                jobs: r.jobs,
+                busy_ms: r.busy_ms,
+                utilization: if wall_ms > 0.0 {
+                    (r.busy_ms / wall_ms).min(1.0)
+                } else {
+                    0.0
+                },
+            })
+            .collect();
+        let stats = ServiceStats::from_outcomes(
+            &outcomes,
+            failures.len(),
+            wall_ms,
+            cache.stats(),
+            queue.max_depth(),
+            worker_stats,
+        );
+        BatchOutcome {
+            outcomes,
+            failures,
+            stats,
+        }
+    }
+}
+
+fn worker_loop(
+    index: usize,
+    device: DeviceConfig,
+    queue: Arc<JobQueue<QueuedJob>>,
+    cache: Arc<PlanCache>,
+    tx: mpsc::Sender<Completion>,
+) -> WorkerReport {
+    let sim = GpuSimulator::new(device.clone());
+    let mut jobs = 0usize;
+    let mut busy_ms = 0.0f64;
+    while let Some(queued) = queue.pop() {
+        let queue_ms = queued.enqueued.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        let done = execute_job(index, &device, &sim, &cache, queued.request, queue_ms, t0);
+        busy_ms += t0.elapsed().as_secs_f64() * 1e3;
+        jobs += 1;
+        if tx.send(done).is_err() {
+            break; // collector is gone; nothing left to report to
+        }
+    }
+    WorkerReport {
+        worker: index,
+        device: device.name,
+        jobs,
+        busy_ms,
+    }
+}
+
+fn execute_job(
+    worker: usize,
+    device: &DeviceConfig,
+    sim: &GpuSimulator,
+    cache: &PlanCache,
+    job: JobRequest,
+    queue_ms: f64,
+    t0: Instant,
+) -> Completion {
+    let fail = |message: String| {
+        Completion::Err(JobError {
+            id: job.id,
+            label: job.label.clone(),
+            message,
+        })
+    };
+    let ctx = match ProblemContext::new(&job.a, &job.b) {
+        Ok(ctx) => ctx,
+        Err(e) => return fail(format!("invalid operands: {e}")),
+    };
+    let key = PlanKey::new(ctx.signature(), &device.name, &job.config);
+    let (plan, cache_hit) = match cache.lookup(&key) {
+        Some(plan) => (plan, true),
+        None => {
+            let plan = Arc::new(ReorgPlan::build(&ctx, &job.config, device));
+            cache.insert(key, plan.clone());
+            (plan, false)
+        }
+    };
+    let mode = if cache_hit {
+        PlanMode::Cached
+    } else {
+        PlanMode::Cold
+    };
+    let run = match plan.execute_on(sim, &ctx, mode) {
+        Ok(run) => run,
+        Err(e) => return fail(format!("execution failed: {e}")),
+    };
+    Completion::Ok(Box::new(JobOutcome {
+        id: job.id,
+        label: job.label,
+        worker,
+        device: device.name.clone(),
+        cache_hit,
+        total_ms: run.total_ms,
+        precalc_ms: run.phase_ms("precalc"),
+        expansion_ms: run.phase_ms("expansion"),
+        merge_ms: run.phase_ms("merge"),
+        preprocess_ms: run.preprocess_ms,
+        queue_ms,
+        host_ms: t0.elapsed().as_secs_f64() * 1e3,
+        gflops: run.gflops(),
+        nnz_c: run.result.nnz(),
+        stats: run.stats,
+        result: run.result,
+    }))
+}

@@ -1,0 +1,213 @@
+//! Aggregate statistics for one service run.
+
+use crate::cache::CacheStats;
+use crate::job::JobOutcome;
+
+/// Utilization of one worker (one simulated device).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerStats {
+    /// Worker index.
+    pub worker: usize,
+    /// Device the worker simulates.
+    pub device: String,
+    /// Jobs the worker completed.
+    pub jobs: usize,
+    /// Wall-clock ms the worker spent executing jobs.
+    pub busy_ms: f64,
+    /// `busy_ms / wall_ms` of the whole run, in `[0, 1]`.
+    pub utilization: f64,
+}
+
+/// Everything `blockreorg-cli batch` prints after a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStats {
+    /// Jobs that completed successfully.
+    pub jobs: usize,
+    /// Jobs that failed.
+    pub failures: usize,
+    /// Wall-clock duration of the batch, ms.
+    pub wall_ms: f64,
+    /// Plan-cache counters at the end of the run.
+    pub cache: CacheStats,
+    /// Highest queue depth observed.
+    pub max_queue_depth: usize,
+    /// Mean simulated end-to-end latency across all jobs, ms.
+    pub mean_total_ms: f64,
+    /// Mean simulated latency of cache-miss (cold) jobs, ms.
+    pub mean_cold_ms: f64,
+    /// Mean simulated latency of cache-hit (warm) jobs, ms.
+    pub mean_warm_ms: f64,
+    /// Summed simulated precalculation-kernel time, ms.
+    pub precalc_ms: f64,
+    /// Summed simulated expansion-kernel time, ms.
+    pub expansion_ms: f64,
+    /// Summed simulated merge-kernel time, ms.
+    pub merge_ms: f64,
+    /// Summed host-side preprocessing charged to jobs, ms.
+    pub preprocess_ms: f64,
+    /// Mean wall-clock queue wait, ms.
+    pub mean_queue_ms: f64,
+    /// Per-worker utilization.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl ServiceStats {
+    /// Builds the report from completed outcomes and run-level counters.
+    pub fn from_outcomes(
+        outcomes: &[JobOutcome],
+        failures: usize,
+        wall_ms: f64,
+        cache: CacheStats,
+        max_queue_depth: usize,
+        workers: Vec<WorkerStats>,
+    ) -> Self {
+        let mean = |values: &[f64]| {
+            if values.is_empty() {
+                0.0
+            } else {
+                values.iter().sum::<f64>() / values.len() as f64
+            }
+        };
+        let totals: Vec<f64> = outcomes.iter().map(|o| o.total_ms).collect();
+        let cold: Vec<f64> = outcomes
+            .iter()
+            .filter(|o| !o.cache_hit)
+            .map(|o| o.total_ms)
+            .collect();
+        let warm: Vec<f64> = outcomes
+            .iter()
+            .filter(|o| o.cache_hit)
+            .map(|o| o.total_ms)
+            .collect();
+        let queue: Vec<f64> = outcomes.iter().map(|o| o.queue_ms).collect();
+        ServiceStats {
+            jobs: outcomes.len(),
+            failures,
+            wall_ms,
+            cache,
+            max_queue_depth,
+            mean_total_ms: mean(&totals),
+            mean_cold_ms: mean(&cold),
+            mean_warm_ms: mean(&warm),
+            precalc_ms: outcomes.iter().map(|o| o.precalc_ms).sum(),
+            expansion_ms: outcomes.iter().map(|o| o.expansion_ms).sum(),
+            merge_ms: outcomes.iter().map(|o| o.merge_ms).sum(),
+            preprocess_ms: outcomes.iter().map(|o| o.preprocess_ms).sum(),
+            mean_queue_ms: mean(&queue),
+            workers,
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "batch: {} jobs ({} failed) in {:.2} ms wall",
+            self.jobs, self.failures, self.wall_ms
+        )?;
+        writeln!(
+            f,
+            "cache: {} hits / {} misses ({:.1}% hit rate), {} evictions, {}/{} entries",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate() * 100.0,
+            self.cache.evictions,
+            self.cache.entries,
+            self.cache.capacity
+        )?;
+        writeln!(
+            f,
+            "latency (simulated): mean {:.4} ms  cold {:.4} ms  warm {:.4} ms",
+            self.mean_total_ms, self.mean_cold_ms, self.mean_warm_ms
+        )?;
+        writeln!(
+            f,
+            "phases (summed): precalc {:.4} ms  expansion {:.4} ms  merge {:.4} ms  host preprocess {:.4} ms",
+            self.precalc_ms, self.expansion_ms, self.merge_ms, self.preprocess_ms
+        )?;
+        writeln!(
+            f,
+            "queue: max depth {}, mean wait {:.2} ms",
+            self.max_queue_depth, self.mean_queue_ms
+        )?;
+        for w in &self.workers {
+            writeln!(
+                f,
+                "worker {} ({}): {} jobs, busy {:.2} ms, utilization {:.1}%",
+                w.worker,
+                w.device,
+                w.jobs,
+                w.busy_ms,
+                w.utilization * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use block_reorganizer::pass::ReorgStats;
+    use br_sparse::CsrMatrix;
+
+    fn outcome(hit: bool, total: f64, queue: f64) -> JobOutcome {
+        JobOutcome {
+            id: 0,
+            label: "t".into(),
+            worker: 0,
+            device: "Titan Xp".into(),
+            cache_hit: hit,
+            total_ms: total,
+            precalc_ms: if hit { 0.0 } else { 1.0 },
+            expansion_ms: 2.0,
+            merge_ms: 3.0,
+            preprocess_ms: if hit { 0.0 } else { 0.5 },
+            queue_ms: queue,
+            host_ms: 1.0,
+            gflops: 1.0,
+            nnz_c: 0,
+            stats: ReorgStats::default(),
+            result: CsrMatrix::<f64>::zeros(1, 1),
+        }
+    }
+
+    #[test]
+    fn aggregates_cold_and_warm_separately() {
+        let outcomes = vec![outcome(false, 10.0, 1.0), outcome(true, 4.0, 3.0)];
+        let stats = ServiceStats::from_outcomes(
+            &outcomes,
+            1,
+            100.0,
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0,
+                entries: 1,
+                capacity: 4,
+            },
+            2,
+            vec![],
+        );
+        assert_eq!(stats.jobs, 2);
+        assert_eq!(stats.failures, 1);
+        assert!((stats.mean_total_ms - 7.0).abs() < 1e-12);
+        assert!((stats.mean_cold_ms - 10.0).abs() < 1e-12);
+        assert!((stats.mean_warm_ms - 4.0).abs() < 1e-12);
+        assert!((stats.precalc_ms - 1.0).abs() < 1e-12);
+        assert!((stats.preprocess_ms - 0.5).abs() < 1e-12);
+        assert!((stats.mean_queue_ms - 2.0).abs() < 1e-12);
+        let text = stats.to_string();
+        assert!(text.contains("hit rate"), "{text}");
+        assert!(text.contains("max depth 2"), "{text}");
+    }
+
+    #[test]
+    fn empty_run_does_not_divide_by_zero() {
+        let stats = ServiceStats::from_outcomes(&[], 0, 0.0, CacheStats::default(), 0, vec![]);
+        assert_eq!(stats.mean_total_ms, 0.0);
+        assert_eq!(stats.mean_cold_ms, 0.0);
+        assert_eq!(stats.mean_warm_ms, 0.0);
+    }
+}

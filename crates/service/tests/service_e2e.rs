@@ -1,0 +1,198 @@
+//! End-to-end tests for the spGEMM job service: plan-cache amortization
+//! (the ISSUE acceptance criterion) and cold-vs-cached result equality.
+
+use std::sync::Arc;
+
+use block_reorganizer::{BlockReorganizer, ReorganizerConfig};
+use br_datasets::registry::{RealWorldRegistry, ScaleFactor};
+use br_datasets::rmat::{rmat, RmatConfig};
+use br_gpu_sim::device::DeviceConfig;
+use br_service::prelude::*;
+use br_sparse::CsrMatrix;
+use br_spgemm::context::ProblemContext;
+
+fn assert_bit_identical(lhs: &CsrMatrix<f64>, rhs: &CsrMatrix<f64>, what: &str) {
+    assert_eq!(lhs.nrows(), rhs.nrows(), "{what}: row count");
+    assert_eq!(lhs.ncols(), rhs.ncols(), "{what}: col count");
+    assert_eq!(lhs.ptr(), rhs.ptr(), "{what}: row pointers");
+    assert_eq!(lhs.idx(), rhs.idx(), "{what}: column indices");
+    let lbits: Vec<u64> = lhs.val().iter().map(|v| v.to_bits()).collect();
+    let rbits: Vec<u64> = rhs.val().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(lbits, rbits, "{what}: values must match bit for bit");
+}
+
+/// Cached-plan execution must produce bit-identical C to a cold run — on a
+/// registry dataset and on an RMAT instance (ISSUE satellite 4).
+#[test]
+fn cached_execution_is_bit_identical_to_cold() {
+    let registry = RealWorldRegistry::get("as-caida")
+        .expect("registry dataset")
+        .generate(ScaleFactor::Tiny);
+    let random = rmat(RmatConfig::graph500(8, 8, 1234)).to_csr();
+
+    for (name, a) in [("as-caida", registry), ("rmat-8-8", random)] {
+        let a = Arc::new(a);
+        let batch = SpgemmService::run_batch(
+            ServiceConfig::default(),
+            vec![
+                JobRequest::square(0, a.clone()),
+                JobRequest::square(1, a.clone()),
+            ],
+        );
+        assert!(batch.failures.is_empty(), "{name}: {:?}", batch.failures);
+        assert_eq!(batch.outcomes.len(), 2, "{name}");
+        let cold = &batch.outcomes[0];
+        let warm = &batch.outcomes[1];
+        assert!(!cold.cache_hit, "{name}: first run must be a miss");
+        assert!(warm.cache_hit, "{name}: second run must hit the cache");
+        assert_bit_identical(&cold.result, &warm.result, name);
+
+        // And against a plain one-shot pass outside the service.
+        let reorg = BlockReorganizer::new(ReorganizerConfig::default());
+        let ctx = ProblemContext::new(&a, &a).unwrap();
+        let oneshot = reorg.multiply_ctx(&ctx, &DeviceConfig::titan_xp()).unwrap();
+        assert_bit_identical(&oneshot.result, &warm.result, name);
+    }
+}
+
+/// ISSUE acceptance criterion: a batch of N ≥ 8 repeated multiplications
+/// reports ≥ 1 cache hit per repeat and a lower mean simulated latency than
+/// N cold runs.
+#[test]
+fn repeated_batch_amortizes_preprocessing() {
+    const N: usize = 8;
+    let a = Arc::new(rmat(RmatConfig::graph500(9, 8, 7)).to_csr());
+    let jobs: Vec<JobRequest> = (0..N as u64)
+        .map(|id| JobRequest::square(id, a.clone()))
+        .collect();
+
+    // Single worker so hit/miss counts are deterministic.
+    let config = ServiceConfig::uniform(DeviceConfig::titan_xp(), 1, 8);
+    let batch = SpgemmService::run_batch(config, jobs);
+    assert!(batch.failures.is_empty(), "{:?}", batch.failures);
+    assert_eq!(batch.outcomes.len(), N);
+    assert_eq!(
+        batch.stats.cache.hits,
+        (N - 1) as u64,
+        "every repeat after the first reuses the plan"
+    );
+    assert_eq!(batch.stats.cache.misses, 1);
+    let hits = batch.outcomes.iter().filter(|o| o.cache_hit).count();
+    assert_eq!(hits, N - 1);
+
+    // Baseline: N independent cold runs of the same multiplication.
+    let reorg = BlockReorganizer::new(ReorganizerConfig::default());
+    let ctx = ProblemContext::new(&a, &a).unwrap();
+    let device = DeviceConfig::titan_xp();
+    let cold_mean = (0..N)
+        .map(|_| reorg.multiply_ctx(&ctx, &device).unwrap().total_ms)
+        .sum::<f64>()
+        / N as f64;
+
+    assert!(
+        batch.stats.mean_total_ms < cold_mean,
+        "cached batch must beat cold runs: batch mean {} ms vs cold mean {} ms",
+        batch.stats.mean_total_ms,
+        cold_mean
+    );
+    // Warm jobs skip the precalc kernel and the host preprocessing charge.
+    for warm in batch.outcomes.iter().filter(|o| o.cache_hit) {
+        assert_eq!(warm.precalc_ms, 0.0);
+        assert_eq!(warm.preprocess_ms, 0.0);
+    }
+}
+
+/// Several workers race on one queue: every job completes exactly once,
+/// results stay correct, and the shared cache serves all workers.
+#[test]
+fn multi_worker_pool_completes_every_job_correctly() {
+    const N: u64 = 12;
+    let a = Arc::new(rmat(RmatConfig::snap_like(8, 6, 3)).to_csr());
+    let b = Arc::new(rmat(RmatConfig::snap_like(8, 6, 4)).to_csr());
+
+    let mut jobs = Vec::new();
+    for id in 0..N {
+        if id % 2 == 0 {
+            jobs.push(JobRequest::square(id, a.clone()));
+        } else {
+            jobs.push(JobRequest::multiply(id, a.clone(), b.clone()));
+        }
+    }
+    let config = ServiceConfig::uniform(DeviceConfig::titan_xp(), 4, 8);
+    let batch = SpgemmService::run_batch(config, jobs);
+    assert!(batch.failures.is_empty(), "{:?}", batch.failures);
+    assert_eq!(batch.outcomes.len(), N as usize);
+    let ids: Vec<u64> = batch.outcomes.iter().map(|o| o.id).collect();
+    assert_eq!(ids, (0..N).collect::<Vec<u64>>(), "each job exactly once");
+
+    // Reference results computed serially.
+    let reorg = BlockReorganizer::new(ReorganizerConfig::default());
+    let device = DeviceConfig::titan_xp();
+    let ctx_sq = ProblemContext::new(&a, &a).unwrap();
+    let ctx_ab = ProblemContext::new(&a, &b).unwrap();
+    let ref_sq = reorg.multiply_ctx(&ctx_sq, &device).unwrap().result;
+    let ref_ab = reorg.multiply_ctx(&ctx_ab, &device).unwrap().result;
+    for outcome in &batch.outcomes {
+        let reference = if outcome.id % 2 == 0 {
+            &ref_sq
+        } else {
+            &ref_ab
+        };
+        assert_bit_identical(reference, &outcome.result, &outcome.label);
+    }
+    // Two distinct structures, all workers share one cache. Workers racing
+    // on a not-yet-published plan can each miss once, so the exact miss
+    // count is bounded by the pool size, not equal to the structure count.
+    let cache = batch.stats.cache;
+    assert_eq!(cache.hits + cache.misses, N, "one lookup per job");
+    assert!(cache.misses >= 2, "{cache:?}");
+    assert!(cache.misses <= 2 * 4, "{cache:?}");
+    assert!(cache.hits >= 1, "{cache:?}");
+    assert_eq!(batch.stats.jobs, N as usize);
+    let worker_jobs: usize = batch.stats.workers.iter().map(|w| w.jobs).sum();
+    assert_eq!(worker_jobs, N as usize);
+}
+
+/// A heterogeneous pool (different device models) still answers correctly;
+/// plans are cached per device name.
+#[test]
+fn heterogeneous_devices_cache_plans_per_device() {
+    let a = Arc::new(rmat(RmatConfig::graph500(8, 6, 11)).to_csr());
+    let jobs: Vec<JobRequest> = (0..8).map(|id| JobRequest::square(id, a.clone())).collect();
+    let config = ServiceConfig {
+        devices: vec![DeviceConfig::titan_xp(), DeviceConfig::tesla_v100()],
+        cache_capacity: 8,
+    };
+    let batch = SpgemmService::run_batch(config, jobs);
+    assert!(batch.failures.is_empty(), "{:?}", batch.failures);
+    assert_eq!(batch.outcomes.len(), 8);
+    // Same structure on two device models ⇒ at most one plan per device.
+    assert!(batch.stats.cache.misses <= 2, "{:?}", batch.stats.cache);
+    assert!(batch.stats.cache.hits >= 6, "{:?}", batch.stats.cache);
+    for pair in batch.outcomes.windows(2) {
+        assert_bit_identical(&pair[0].result, &pair[1].result, "device-agnostic C");
+    }
+}
+
+/// Failures are reported, not panicked: mismatched shapes surface in
+/// `failures` with the offending job's id, and good jobs still complete.
+#[test]
+fn bad_jobs_fail_gracefully_without_poisoning_the_batch() {
+    let a = Arc::new(rmat(RmatConfig::graph500(7, 6, 5)).to_csr());
+    let skinny = Arc::new(CsrMatrix::<f64>::zeros(3, 3));
+    let jobs = vec![
+        JobRequest::square(0, a.clone()),
+        JobRequest::multiply(1, a.clone(), skinny), // shape mismatch
+        JobRequest::square(2, a.clone()),
+    ];
+    let batch = SpgemmService::run_batch(ServiceConfig::default(), jobs);
+    assert_eq!(batch.outcomes.len(), 2);
+    assert_eq!(batch.failures.len(), 1);
+    assert_eq!(batch.failures[0].id, 1);
+    assert_eq!(batch.stats.failures, 1);
+    assert_bit_identical(
+        &batch.outcomes[0].result,
+        &batch.outcomes[1].result,
+        "surviving jobs",
+    );
+}

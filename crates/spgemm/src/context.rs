@@ -9,6 +9,77 @@
 use br_sparse::error::SparseError;
 use br_sparse::ops::symbolic::{block_products, row_intermediate_nnz, symbolic_nnz};
 use br_sparse::{CscMatrix, CsrMatrix, Result, Scalar};
+use serde::{Deserialize, Serialize};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One FNV-1a-style mixing step over a 64-bit word.
+fn fnv_mix(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(FNV_PRIME)
+}
+
+/// A compact fingerprint of one matrix's *sparsity structure*: dimensions,
+/// nnz, and a hash of the row-pointer and column-index arrays.
+///
+/// Two matrices with equal signatures have identical structure (up to hash
+/// collision), so any structure-derived plan — workload classification,
+/// B-Splitting/B-Gathering index rewrites, B-Limiting row flags — built for
+/// one is valid for the other. Values are deliberately excluded: plans do
+/// not depend on them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MatrixSignature {
+    /// Number of rows.
+    pub nrows: u64,
+    /// Number of columns.
+    pub ncols: u64,
+    /// Number of stored entries.
+    pub nnz: u64,
+    /// FNV-1a hash over the row-pointer and column-index arrays.
+    pub structure_hash: u64,
+}
+
+impl MatrixSignature {
+    /// Computes the signature of a CSR matrix.
+    pub fn of<T: Scalar>(m: &CsrMatrix<T>) -> Self {
+        let mut h = FNV_OFFSET;
+        for &p in m.ptr() {
+            h = fnv_mix(h, p as u64);
+        }
+        for &j in m.idx() {
+            h = fnv_mix(h, j as u64);
+        }
+        MatrixSignature {
+            nrows: m.nrows() as u64,
+            ncols: m.ncols() as u64,
+            nnz: m.nnz() as u64,
+            structure_hash: h,
+        }
+    }
+}
+
+/// Signature of one multiplication `C = A · B`: the operand signatures.
+///
+/// This is the key under which reorganization plans are cached and reused
+/// (`br-service`): repeated multiplications of structurally identical
+/// operands map to the same `ProblemSignature`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProblemSignature {
+    /// Signature of the left operand.
+    pub a: MatrixSignature,
+    /// Signature of the right operand.
+    pub b: MatrixSignature,
+}
+
+impl ProblemSignature {
+    /// Computes the signature of an operand pair.
+    pub fn of<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Self {
+        ProblemSignature {
+            a: MatrixSignature::of(a),
+            b: MatrixSignature::of(b),
+        }
+    }
+}
 
 /// Symbolic and structural facts about one multiplication `C = A · B`.
 #[derive(Debug, Clone)]
@@ -101,6 +172,12 @@ impl<T: Scalar> ProblemContext<T> {
         off
     }
 
+    /// Structural signature of this problem — the plan-cache key used by
+    /// `br-service` (computed from the operands' pointer/index arrays).
+    pub fn signature(&self) -> ProblemSignature {
+        ProblemSignature::of(&self.a, &self.b)
+    }
+
     /// Exclusive prefix sum of `row_products` — row-major `Ĉ` offsets.
     pub fn chat_row_offsets(&self) -> Vec<u64> {
         let mut off = Vec::with_capacity(self.row_products.len() + 1);
@@ -168,5 +245,37 @@ mod tests {
         let a = CsrMatrix::<f64>::zeros(2, 3);
         let b = CsrMatrix::<f64>::zeros(2, 3);
         assert!(ProblemContext::new(&a, &b).is_err());
+    }
+
+    #[test]
+    fn signature_ignores_values_but_sees_structure() {
+        let c = ctx();
+        let sig = c.signature();
+        // Same structure, different values → same signature.
+        let scaled = c.a.map_values(|v| v * 3.0);
+        assert_eq!(MatrixSignature::of(&scaled), sig.a);
+        // Different structure (one entry pruned) → different signature.
+        let mut val = c.a.val().to_vec();
+        val[0] = 0.0;
+        let pruned = CsrMatrix::try_new(
+            c.a.nrows(),
+            c.a.ncols(),
+            c.a.ptr().to_vec(),
+            c.a.idx().to_vec(),
+            val,
+        )
+        .unwrap()
+        .prune(1e-12);
+        assert_ne!(MatrixSignature::of(&pruned), sig.a);
+    }
+
+    #[test]
+    fn signature_is_deterministic_and_shape_sensitive() {
+        let c = ctx();
+        assert_eq!(c.signature(), c.signature());
+        let z3 = CsrMatrix::<f64>::zeros(3, 3);
+        let z4 = CsrMatrix::<f64>::zeros(4, 4);
+        assert_ne!(MatrixSignature::of(&z3), MatrixSignature::of(&z4));
+        assert_eq!(MatrixSignature::of(&z3).nnz, 0);
     }
 }

@@ -113,7 +113,30 @@ pub fn assemble_run<T: Scalar>(
     preprocess_ms: f64,
     flops: u64,
 ) -> SpgemmRun<T> {
-    let sim = GpuSimulator::new(device.clone());
+    assemble_run_on(
+        &GpuSimulator::new(device.clone()),
+        method,
+        result,
+        launches,
+        layout,
+        preprocess_ms,
+        flops,
+    )
+}
+
+/// [`assemble_run`] against a caller-owned simulator — the `br-service`
+/// worker pool keeps one [`GpuSimulator`] per worker and executes many
+/// prebuilt launch sequences (reorganization plans) against it. Each call
+/// still starts from a cold L2, matching [`GpuSimulator::run_sequence`].
+pub fn assemble_run_on<T: Scalar>(
+    sim: &GpuSimulator,
+    method: &str,
+    result: CsrMatrix<T>,
+    launches: &[KernelLaunch],
+    layout: &MemoryLayout,
+    preprocess_ms: f64,
+    flops: u64,
+) -> SpgemmRun<T> {
     let profiles = sim.run_sequence(launches, layout);
     let kernel_ms: f64 = profiles.iter().map(|p| p.time_ms).sum();
     SpgemmRun {

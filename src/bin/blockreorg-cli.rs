@@ -1,25 +1,35 @@
 //! `blockreorg-cli` — run any spGEMM method on a Matrix Market file, a
-//! registry surrogate, or a generated matrix, on any modelled device.
+//! registry surrogate, or a generated matrix, on any modelled device; or
+//! run a whole batch of jobs through the `br-service` worker pool.
 //!
 //! ```text
 //! USAGE:
 //!   blockreorg-cli --input <file.mtx> | --dataset <name> | --rmat <scale,ef>
 //!                  [--method <name>] [--device <name>] [--scale <div>]
 //!                  [--square | --pair-with <file.mtx>] [--verify] [--list]
+//!   blockreorg-cli batch --jobs <file> [--device <d1,d2,..>] [--workers <n>]
+//!                  [--cache <entries>]
 //!
 //! EXAMPLES:
 //!   blockreorg-cli --dataset youtube --method reorganizer --verify --report
 //!   blockreorg-cli --rmat 14,8 --method all --device v100
-//!   blockreorg-cli --input my.mtx --method cusparse
+//!   blockreorg-cli batch --jobs jobs.txt --device titanxp --workers 4
 //!   blockreorg-cli --list
 //! ```
+//!
+//! Exit codes: 0 success, 1 runtime failure (I/O, failed jobs, failed
+//! verification), 2 usage error.
 
 use blockreorg::datasets::registry::ScaleFactor;
 use blockreorg::prelude::*;
+use blockreorg::service::job::{expand_jobs, parse_job_file};
 use blockreorg::sparse::io::read_matrix_market_file;
 use blockreorg::spgemm::pipeline::run_method;
 use blockreorg::spgemm::ProblemContext;
 use std::process::exit;
+
+const METHOD_CHOICES: &str = "row, outer, cusparse, cusp, bhsparse, mkl, reorganizer, all";
+const DEVICE_CHOICES: &str = "titanxp, v100, 2080ti";
 
 struct Options {
     input: Option<String>,
@@ -34,18 +44,43 @@ struct Options {
     tune: bool,
 }
 
+struct BatchOptions {
+    jobs: Option<String>,
+    devices: String,
+    workers: usize,
+    cache: usize,
+}
+
+fn print_usage() {
+    println!("usage: blockreorg-cli (--input <mtx> | --dataset <name> | --rmat <scale,ef>)");
+    println!("                      [--method {METHOD_CHOICES}]");
+    println!("                      [--device {DEVICE_CHOICES}] [--scale <divisor>]");
+    println!("                      [--pair-with <mtx>] [--verify] [--report] [--tune] [--list]");
+    println!("       blockreorg-cli batch --jobs <file> [--device <d1,d2,..>] [--workers <n>]");
+    println!("                      [--cache <entries>]");
+    println!();
+    println!("batch mode runs every job in <file> through the br-service worker pool");
+    println!("(one simulated device per worker) with an LRU reorganization-plan cache,");
+    println!("then prints per-phase latency, cache hit rate, and per-device utilization.");
+    println!("Job-file lines: 'dataset=<name> [scale=<div>] [repeat=<n>]',");
+    println!("'rmat=<scale,ef> [seed=<n>] [repeat=<n>]', or 'input=<mtx> [pair=<mtx>]';");
+    println!("'#' starts a comment.");
+    println!();
+    println!("exit codes: 0 success, 1 runtime failure, 2 usage error");
+}
+
 fn usage_and_exit(msg: &str) -> ! {
     eprintln!("error: {msg}\n");
-    eprintln!("usage: blockreorg-cli (--input <mtx> | --dataset <name> | --rmat <scale,ef>)");
-    eprintln!(
-        "                      [--method row|outer|cusparse|cusp|bhsparse|mkl|reorganizer|all]"
-    );
-    eprintln!("                      [--device titanxp|v100|2080ti] [--scale <divisor>]");
-    eprintln!("                      [--pair-with <mtx>] [--verify] [--report] [--tune] [--list]");
+    print_usage();
     exit(2)
 }
 
-fn parse_options() -> Options {
+fn runtime_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    exit(1)
+}
+
+fn parse_options(args: &mut dyn Iterator<Item = String>) -> Options {
     let mut o = Options {
         input: None,
         dataset: None,
@@ -58,29 +93,28 @@ fn parse_options() -> Options {
         report: false,
         tune: false,
     };
-    let mut args = std::env::args().skip(1);
-    let next = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
-        args.next()
-            .unwrap_or_else(|| usage_and_exit(&format!("missing value for {flag}")))
-    };
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--input" => o.input = Some(next(&mut args, "--input")),
-            "--dataset" => o.dataset = Some(next(&mut args, "--dataset")),
-            "--pair-with" => o.pair_with = Some(next(&mut args, "--pair-with")),
-            "--method" => o.method = next(&mut args, "--method"),
-            "--device" => o.device = next(&mut args, "--device"),
+            "-h" | "--help" => {
+                print_usage();
+                exit(0)
+            }
+            "--input" => o.input = Some(next_value(args, "--input")),
+            "--dataset" => o.dataset = Some(next_value(args, "--dataset")),
+            "--pair-with" => o.pair_with = Some(next_value(args, "--pair-with")),
+            "--method" => o.method = next_value(args, "--method"),
+            "--device" => o.device = next_value(args, "--device"),
             "--verify" => o.verify = true,
             "--report" => o.report = true,
             "--tune" => o.tune = true,
             "--square" => {} // the default
             "--scale" => {
-                o.scale = next(&mut args, "--scale")
+                o.scale = next_value(args, "--scale")
                     .parse()
                     .unwrap_or_else(|_| usage_and_exit("--scale must be a positive integer"))
             }
             "--rmat" => {
-                let v = next(&mut args, "--rmat");
+                let v = next_value(args, "--rmat");
                 let parts: Vec<&str> = v.split(',').collect();
                 if parts.len() != 2 {
                     usage_and_exit("--rmat expects <scale,edge-factor>");
@@ -109,13 +143,58 @@ fn parse_options() -> Options {
     o
 }
 
+fn parse_batch_options(args: &mut dyn Iterator<Item = String>) -> BatchOptions {
+    let mut o = BatchOptions {
+        jobs: None,
+        devices: "titanxp".to_string(),
+        workers: 0,
+        cache: 32,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                print_usage();
+                exit(0)
+            }
+            "--jobs" => o.jobs = Some(next_value(args, "--jobs")),
+            "--device" => o.devices = next_value(args, "--device"),
+            "--workers" => {
+                o.workers = next_value(args, "--workers")
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("--workers must be a positive integer"));
+                if o.workers == 0 {
+                    usage_and_exit("--workers must be >= 1");
+                }
+            }
+            "--cache" => {
+                o.cache = next_value(args, "--cache")
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("--cache must be a positive integer"));
+            }
+            other => usage_and_exit(&format!("unknown flag {other:?} in batch mode")),
+        }
+    }
+    o
+}
+
+fn next_value(args: &mut dyn Iterator<Item = String>, flag: &str) -> String {
+    args.next()
+        .unwrap_or_else(|| usage_and_exit(&format!("missing value for {flag}")))
+}
+
 fn load_a(o: &Options) -> CsrMatrix<f64> {
     if let Some(path) = &o.input {
         read_matrix_market_file::<f64, _>(path)
-            .unwrap_or_else(|e| usage_and_exit(&format!("cannot read {path}: {e}")))
+            .unwrap_or_else(|e| runtime_error(&format!("cannot read {path}: {e}")))
     } else if let Some(name) = &o.dataset {
         RealWorldRegistry::get(name)
-            .unwrap_or_else(|| usage_and_exit(&format!("unknown dataset {name:?} (try --list)")))
+            .unwrap_or_else(|| {
+                let valid: Vec<&str> = RealWorldRegistry::all().iter().map(|s| s.name).collect();
+                usage_and_exit(&format!(
+                    "unknown dataset {name:?}; valid datasets: {}",
+                    valid.join(", ")
+                ))
+            })
             .generate(ScaleFactor::Div(o.scale))
     } else if let Some((scale, ef)) = o.rmat {
         rmat(RmatConfig::graph500(scale, ef, 42)).to_csr()
@@ -129,7 +208,9 @@ fn device_of(name: &str) -> DeviceConfig {
         "titanxp" | "titan-xp" | "pascal" => DeviceConfig::titan_xp(),
         "v100" | "volta" => DeviceConfig::tesla_v100(),
         "2080ti" | "turing" => DeviceConfig::rtx_2080_ti(),
-        other => usage_and_exit(&format!("unknown device {other:?}")),
+        other => usage_and_exit(&format!(
+            "unknown device {other:?}; valid devices: {DEVICE_CHOICES}"
+        )),
     }
 }
 
@@ -152,12 +233,82 @@ fn report(name: &str, total_ms: f64, gflops: f64, nnz_c: usize) {
     );
 }
 
+fn run_batch_mode(o: BatchOptions) -> ! {
+    let path = o
+        .jobs
+        .unwrap_or_else(|| usage_and_exit("batch mode requires --jobs <file>"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| runtime_error(&format!("cannot read job file {path}: {e}")));
+    let specs = parse_job_file(&text).unwrap_or_else(|e| runtime_error(&e));
+    let jobs =
+        expand_jobs(&specs, ReorganizerConfig::default()).unwrap_or_else(|e| runtime_error(&e));
+
+    let mut devices: Vec<DeviceConfig> = o.devices.split(',').map(device_of).collect();
+    if o.workers > 0 {
+        if devices.len() == 1 {
+            devices = vec![devices[0].clone(); o.workers];
+        } else if devices.len() != o.workers {
+            usage_and_exit("--workers must match the --device list length (or give one device)");
+        }
+    }
+    println!(
+        "batch: {} jobs from {path}, {} workers, plan cache {} entries",
+        jobs.len(),
+        devices.len(),
+        o.cache
+    );
+    for (i, d) in devices.iter().enumerate() {
+        println!("  worker {i}: {}", d.name);
+    }
+    println!();
+
+    let batch = SpgemmService::run_batch(
+        ServiceConfig {
+            devices,
+            cache_capacity: o.cache,
+        },
+        jobs,
+    );
+    for outcome in &batch.outcomes {
+        println!(
+            "{:<24} worker {}  {}  {:>10.4} ms  {:>8.2} GFLOPS  nnz(C) = {}",
+            outcome.label,
+            outcome.worker,
+            if outcome.cache_hit { "hit " } else { "miss" },
+            outcome.total_ms,
+            outcome.gflops,
+            outcome.nnz_c
+        );
+    }
+    println!();
+    print!("{}", batch.stats);
+    if batch.failures.is_empty() {
+        exit(0)
+    }
+    for failure in &batch.failures {
+        eprintln!(
+            "job {} ({}) failed: {}",
+            failure.id, failure.label, failure.message
+        );
+    }
+    exit(1)
+}
+
 fn main() {
-    let o = parse_options();
+    let mut args = std::env::args().skip(1).peekable();
+    match args.peek().map(String::as_str) {
+        Some("batch") | Some("serve") => {
+            args.next();
+            let o = parse_batch_options(&mut args);
+            run_batch_mode(o)
+        }
+        _ => {}
+    }
+    let o = parse_options(&mut args);
     let a = load_a(&o);
     let b = match &o.pair_with {
         Some(path) => read_matrix_market_file::<f64, _>(path)
-            .unwrap_or_else(|e| usage_and_exit(&format!("cannot read {path}: {e}"))),
+            .unwrap_or_else(|e| runtime_error(&format!("cannot read {path}: {e}"))),
         None => a.clone(),
     };
     let device = device_of(&o.device);
@@ -187,7 +338,9 @@ fn main() {
     };
     let check = |result: &CsrMatrix<f64>| {
         if let Some(oracle) = &oracle {
-            assert!(result.approx_eq(oracle, 1e-9), "verification FAILED");
+            if !result.approx_eq(oracle, 1e-9) {
+                runtime_error("verification FAILED: result differs from CPU reference");
+            }
             println!("  verified against CPU reference ✓");
         }
     };
@@ -242,7 +395,9 @@ fn main() {
         "reorganizer" | "block-reorganizer" => run_reorg(),
         name => match method_of(name) {
             Some(m) => run_one(m),
-            None => usage_and_exit(&format!("unknown method {name:?}")),
+            None => usage_and_exit(&format!(
+                "unknown method {name:?}; valid methods: {METHOD_CHOICES}"
+            )),
         },
     }
 }

@@ -27,17 +27,22 @@
 pub use block_reorganizer;
 pub use br_datasets as datasets;
 pub use br_gpu_sim as gpu_sim;
+pub use br_service as service;
 pub use br_sparse as sparse;
 pub use br_spgemm as spgemm;
 
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
     pub use block_reorganizer::{
-        AblationReport, BlockReorganizer, ReorganizerConfig, WorkloadClass,
+        AblationReport, BlockReorganizer, PlanMode, ReorgPlan, ReorganizerConfig, WorkloadClass,
     };
     pub use br_datasets::registry::{DatasetSpec, RealWorldRegistry};
     pub use br_datasets::rmat::{rmat, RmatConfig};
     pub use br_gpu_sim::device::DeviceConfig;
+    pub use br_service::{
+        BatchOutcome, CacheStats, JobOutcome, JobRequest, PlanCache, PlanKey, ServiceConfig,
+        ServiceStats, SpgemmService,
+    };
     pub use br_sparse::ops::{multiply_flops, spgemm_gustavson};
     pub use br_sparse::stats::DegreeStats;
     pub use br_sparse::{CooMatrix, CscMatrix, CsrMatrix, Scalar};
