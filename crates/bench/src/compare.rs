@@ -1,0 +1,465 @@
+//! Report comparison — the regression gate.
+//!
+//! Diffs a current [`BenchReport`] against a checked-in baseline, metric
+//! by metric, with per-metric tolerances. Cycle counts and simulated time
+//! use relative thresholds (the gate's headline is "no case more than 5%
+//! slower"); unit-interval rates (L2 hit rate, sync-stall ratio, cache hit
+//! rate) use absolute thresholds. Identity fields (`flops`, `result_nnz`,
+//! schema/model versions, fingerprints) must match exactly — a mismatch
+//! means the two reports measured different work, and comparing their
+//! cycles would be meaningless.
+
+use crate::schema::BenchReport;
+
+/// Per-metric tolerance thresholds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Thresholds {
+    /// Maximum allowed relative increase of a case's total
+    /// `makespan_cycles` and `total_ms`, as a percentage (default 5.0).
+    pub cycles_pct: f64,
+    /// Maximum allowed relative drop of a case's `gflops`, in percent.
+    pub gflops_pct: f64,
+    /// Maximum allowed increase of the worst-phase LBI, relative percent.
+    pub lbi_pct: f64,
+    /// Maximum allowed absolute drop of the aggregate L2 hit rate.
+    pub l2_hit_abs: f64,
+    /// Maximum allowed absolute increase of the sync-stall ratio.
+    pub sync_stall_abs: f64,
+    /// Maximum allowed absolute drop of the service cache hit rate.
+    pub cache_hit_abs: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            cycles_pct: 5.0,
+            gflops_pct: 5.0,
+            lbi_pct: 5.0,
+            l2_hit_abs: 0.02,
+            sync_stall_abs: 0.02,
+            cache_hit_abs: 0.0,
+        }
+    }
+}
+
+/// Severity of one comparison row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within tolerance.
+    Ok,
+    /// Moved in the *good* direction beyond the threshold (worth a look,
+    /// never fails the gate).
+    Improved,
+    /// Beyond tolerance in the bad direction — fails the gate.
+    Regressed,
+    /// Identity mismatch (different work, missing case, version skew) —
+    /// fails the gate.
+    Error,
+}
+
+/// One compared metric.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// `<case-id> <metric>` label.
+    pub label: String,
+    /// Baseline value.
+    pub base: f64,
+    /// Current value.
+    pub current: f64,
+    /// Signed change in the metric's native unit (percent for relative
+    /// metrics, absolute delta for rates).
+    pub delta: f64,
+    /// Outcome.
+    pub verdict: Verdict,
+}
+
+/// Full outcome of one comparison.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Every compared metric, in report order.
+    pub rows: Vec<Row>,
+    /// Structural/identity errors (missing cases, version skew, …).
+    pub errors: Vec<String>,
+}
+
+impl Comparison {
+    /// True when the gate should fail (any regression or error).
+    pub fn has_regressions(&self) -> bool {
+        !self.errors.is_empty() || self.rows.iter().any(|r| r.verdict == Verdict::Regressed)
+    }
+
+    /// Rows beyond threshold (either direction) — the interesting subset.
+    pub fn notable(&self) -> Vec<&Row> {
+        self.rows
+            .iter()
+            .filter(|r| matches!(r.verdict, Verdict::Regressed | Verdict::Improved))
+            .collect()
+    }
+
+    /// Renders the human-readable table: errors first, then every
+    /// out-of-tolerance row, then a one-line summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.errors {
+            out.push_str(&format!("ERROR     {e}\n"));
+        }
+        let notable = self.notable();
+        if !notable.is_empty() {
+            out.push_str(&format!(
+                "{:<68} {:>14} {:>14} {:>9}\n",
+                "metric", "baseline", "current", "delta"
+            ));
+            for r in &notable {
+                let tag = match r.verdict {
+                    Verdict::Regressed => "REGRESSED",
+                    Verdict::Improved => "improved",
+                    _ => unreachable!("notable() only returns out-of-tolerance rows"),
+                };
+                out.push_str(&format!(
+                    "{:<58} {tag:>9} {:>14.4} {:>14.4} {:>+8.2}{}\n",
+                    r.label,
+                    r.base,
+                    r.current,
+                    r.delta,
+                    if r.label.ends_with("_rate") || r.label.ends_with("_ratio") {
+                        ""
+                    } else {
+                        "%"
+                    }
+                ));
+            }
+        }
+        let regressed = self
+            .rows
+            .iter()
+            .filter(|r| r.verdict == Verdict::Regressed)
+            .count();
+        let improved = self
+            .rows
+            .iter()
+            .filter(|r| r.verdict == Verdict::Improved)
+            .count();
+        out.push_str(&format!(
+            "{} metrics compared: {} regressed, {} improved, {} errors\n",
+            self.rows.len(),
+            regressed,
+            improved,
+            self.errors.len()
+        ));
+        out
+    }
+}
+
+/// Compares `current` against `baseline` under the given thresholds.
+pub fn compare(baseline: &BenchReport, current: &BenchReport, t: &Thresholds) -> Comparison {
+    let mut rows = Vec::new();
+    let mut errors = Vec::new();
+    if baseline.suite != current.suite {
+        errors.push(format!(
+            "suite mismatch: baseline is {:?}, current is {:?}",
+            baseline.suite, current.suite
+        ));
+    }
+    if baseline.model_version != current.model_version {
+        errors.push(format!(
+            "timing-model version changed ({} -> {}): cycle deltas are expected; \
+             refresh the baseline instead of comparing",
+            baseline.model_version, current.model_version
+        ));
+    }
+    if baseline.config_fingerprint != current.config_fingerprint {
+        errors.push("reorganizer config fingerprint differs between reports".to_string());
+    }
+    for base_case in &baseline.cases {
+        let Some(cur_case) = current.case(&base_case.id) else {
+            errors.push(format!("case {} missing from current report", base_case.id));
+            continue;
+        };
+        if base_case.device_fingerprint != cur_case.device_fingerprint {
+            errors.push(format!(
+                "case {}: device model changed (fingerprint mismatch)",
+                base_case.id
+            ));
+            continue;
+        }
+        let (b, c) = (&base_case.metrics, &cur_case.metrics);
+        if b.flops != c.flops || b.result_nnz != c.result_nnz {
+            errors.push(format!(
+                "case {}: workload identity changed (flops {} -> {}, nnz {} -> {})",
+                base_case.id, b.flops, c.flops, b.result_nnz, c.result_nnz
+            ));
+            continue;
+        }
+        let id = &base_case.id;
+        rows.push(relative_row(
+            format!("{id} makespan_cycles"),
+            b.makespan_cycles,
+            c.makespan_cycles,
+            t.cycles_pct,
+            BadDirection::Up,
+        ));
+        rows.push(relative_row(
+            format!("{id} total_ms"),
+            b.total_ms,
+            c.total_ms,
+            t.cycles_pct,
+            BadDirection::Up,
+        ));
+        rows.push(relative_row(
+            format!("{id} gflops"),
+            b.gflops,
+            c.gflops,
+            t.gflops_pct,
+            BadDirection::Down,
+        ));
+        rows.push(relative_row(
+            format!("{id} lbi"),
+            b.lbi,
+            c.lbi,
+            t.lbi_pct,
+            BadDirection::Up,
+        ));
+        rows.push(absolute_row(
+            format!("{id} l2_hit_rate"),
+            b.l2_hit_rate,
+            c.l2_hit_rate,
+            t.l2_hit_abs,
+            BadDirection::Down,
+        ));
+        rows.push(absolute_row(
+            format!("{id} sync_stall_ratio"),
+            b.sync_stall_ratio,
+            c.sync_stall_ratio,
+            t.sync_stall_abs,
+            BadDirection::Up,
+        ));
+    }
+    for cur_case in &current.cases {
+        if baseline.case(&cur_case.id).is_none() {
+            // New cases are informational: the suite grew, nothing to
+            // compare against yet.
+            rows.push(Row {
+                label: format!("{} (new case)", cur_case.id),
+                base: 0.0,
+                current: cur_case.metrics.makespan_cycles,
+                delta: 0.0,
+                verdict: Verdict::Ok,
+            });
+        }
+    }
+    if baseline.service.jobs != current.service.jobs {
+        errors.push(format!(
+            "service batch size changed ({} -> {} jobs)",
+            baseline.service.jobs, current.service.jobs
+        ));
+    } else {
+        rows.push(absolute_row(
+            "service cache_hit_rate".to_string(),
+            baseline.service.cache_hit_rate,
+            current.service.cache_hit_rate,
+            t.cache_hit_abs,
+            BadDirection::Down,
+        ));
+        if current.service.failures > 0 {
+            errors.push(format!(
+                "service batch has {} failed jobs",
+                current.service.failures
+            ));
+        }
+    }
+    Comparison { rows, errors }
+}
+
+/// Which direction of change is a regression for a metric.
+#[derive(Clone, Copy)]
+enum BadDirection {
+    /// Larger is worse (cycles, stalls, LBI).
+    Up,
+    /// Smaller is worse (GFLOPS, hit rates).
+    Down,
+}
+
+fn relative_row(label: String, base: f64, current: f64, pct: f64, bad: BadDirection) -> Row {
+    // Guard the degenerate baseline: treat any appearance of a nonzero
+    // value where the baseline had ~0 as out-of-tolerance in the
+    // appropriate direction rather than dividing by zero.
+    let delta = if base.abs() < 1e-12 {
+        if current.abs() < 1e-12 {
+            0.0
+        } else {
+            f64::INFINITY.copysign(current)
+        }
+    } else {
+        (current - base) / base * 100.0
+    };
+    let verdict = verdict_of(delta, pct, bad);
+    Row {
+        label,
+        base,
+        current,
+        delta,
+        verdict,
+    }
+}
+
+fn absolute_row(label: String, base: f64, current: f64, tol: f64, bad: BadDirection) -> Row {
+    let delta = current - base;
+    let verdict = verdict_of(delta, tol, bad);
+    Row {
+        label,
+        base,
+        current,
+        delta,
+        verdict,
+    }
+}
+
+fn verdict_of(delta: f64, tol: f64, bad: BadDirection) -> Verdict {
+    let signed = match bad {
+        BadDirection::Up => delta,
+        BadDirection::Down => -delta,
+    };
+    if signed > tol {
+        Verdict::Regressed
+    } else if signed < -tol {
+        Verdict::Improved
+    } else {
+        Verdict::Ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{CaseMetrics, CaseReport, PhaseMetrics, ServiceSection, SCHEMA_VERSION};
+
+    fn metrics(cycles: f64) -> CaseMetrics {
+        CaseMetrics {
+            makespan_cycles: cycles,
+            phases: vec![PhaseMetrics {
+                name: "expansion".to_string(),
+                makespan_cycles: cycles,
+                lbi: 1.2,
+                l2_hit_rate: 0.6,
+                sync_stall_ratio: 0.01,
+            }],
+            total_ms: cycles / 1_000_000.0,
+            lbi: 1.2,
+            l2_hit_rate: 0.6,
+            sync_stall_ratio: 0.01,
+            gflops: 2.0,
+            flops: 1000,
+            result_nnz: 500,
+        }
+    }
+
+    fn report(cycles: f64) -> BenchReport {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            suite: "quick".to_string(),
+            git_sha: "abc".to_string(),
+            model_version: 1,
+            config_fingerprint: 9,
+            cases: vec![CaseReport {
+                id: "harbor@tiny/row-product/titan-xp".to_string(),
+                dataset: "harbor".to_string(),
+                scale: "tiny".to_string(),
+                method: "row-product".to_string(),
+                device: "NVIDIA TITAN Xp".to_string(),
+                device_fingerprint: 3,
+                metrics: metrics(cycles),
+            }],
+            service: ServiceSection {
+                jobs: 6,
+                failures: 0,
+                cache_hits: 4,
+                cache_misses: 2,
+                cache_evictions: 0,
+                cache_hit_rate: 2.0 / 3.0,
+            },
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let cmp = compare(&report(1e6), &report(1e6), &Thresholds::default());
+        assert!(!cmp.has_regressions(), "{}", cmp.render());
+        assert!(cmp.notable().is_empty());
+    }
+
+    #[test]
+    fn small_drift_within_tolerance_passes() {
+        let cmp = compare(&report(1e6), &report(1.04e6), &Thresholds::default());
+        assert!(!cmp.has_regressions(), "{}", cmp.render());
+    }
+
+    #[test]
+    fn cycle_regression_beyond_threshold_fails() {
+        let cmp = compare(&report(1e6), &report(1.06e6), &Thresholds::default());
+        assert!(cmp.has_regressions());
+        let rendered = cmp.render();
+        assert!(rendered.contains("REGRESSED"), "{rendered}");
+        assert!(rendered.contains("makespan_cycles"), "{rendered}");
+    }
+
+    #[test]
+    fn speedup_is_reported_as_improvement_not_failure() {
+        let cmp = compare(&report(1e6), &report(0.9e6), &Thresholds::default());
+        assert!(!cmp.has_regressions(), "{}", cmp.render());
+        assert!(cmp.notable().iter().any(|r| r.verdict == Verdict::Improved));
+    }
+
+    #[test]
+    fn workload_identity_change_is_an_error() {
+        let base = report(1e6);
+        let mut cur = report(1e6);
+        cur.cases[0].metrics.flops = 1001;
+        let cmp = compare(&base, &cur, &Thresholds::default());
+        assert!(cmp.has_regressions());
+        assert!(
+            cmp.errors[0].contains("workload identity"),
+            "{:?}",
+            cmp.errors
+        );
+    }
+
+    #[test]
+    fn missing_case_and_model_skew_are_errors() {
+        let base = report(1e6);
+        let mut cur = report(1e6);
+        cur.cases.clear();
+        cur.model_version = 2;
+        let cmp = compare(&base, &cur, &Thresholds::default());
+        assert!(cmp.has_regressions());
+        assert!(cmp.errors.iter().any(|e| e.contains("missing")));
+        assert!(cmp.errors.iter().any(|e| e.contains("model version")));
+    }
+
+    #[test]
+    fn new_case_in_current_is_informational() {
+        let base = report(1e6);
+        let mut cur = report(1e6);
+        cur.cases.push(CaseReport {
+            id: "extra@tiny/MKL/titan-xp".to_string(),
+            dataset: "extra".to_string(),
+            scale: "tiny".to_string(),
+            method: "MKL".to_string(),
+            device: "NVIDIA TITAN Xp".to_string(),
+            device_fingerprint: 3,
+            metrics: metrics(5e5),
+        });
+        let cmp = compare(&base, &cur, &Thresholds::default());
+        assert!(!cmp.has_regressions(), "{}", cmp.render());
+        assert!(cmp.rows.iter().any(|r| r.label.contains("new case")));
+    }
+
+    #[test]
+    fn zero_baseline_does_not_divide_by_zero() {
+        let mut base = report(1e6);
+        base.cases[0].metrics.lbi = 0.0;
+        let mut cur = report(1e6);
+        cur.cases[0].metrics.lbi = 2.0;
+        let cmp = compare(&base, &cur, &Thresholds::default());
+        assert!(cmp.has_regressions(), "{}", cmp.render());
+    }
+}

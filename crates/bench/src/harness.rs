@@ -37,15 +37,8 @@ pub fn parse_args() -> BenchArgs {
                 let v = args
                     .next()
                     .unwrap_or_else(|| usage("missing --scale value"));
-                out.scale = match v.as_str() {
-                    "tiny" => ScaleFactor::Tiny,
-                    "default" => ScaleFactor::Default,
-                    "full" => ScaleFactor::Full,
-                    other => match other.parse::<usize>() {
-                        Ok(d) if d >= 1 => ScaleFactor::Div(d),
-                        _ => usage(&format!("bad --scale value {other:?}")),
-                    },
-                };
+                out.scale = ScaleFactor::parse(&v)
+                    .unwrap_or_else(|| usage(&format!("bad --scale value {v:?}")));
             }
             "--json" => {
                 out.json = Some(args.next().unwrap_or_else(|| usage("missing --json path")));

@@ -25,11 +25,25 @@
 //! Every binary accepts `--scale tiny|default|full|<divisor>` (default:
 //! `default`, i.e. 1/16 of published sizes) and `--json <path>` to dump
 //! machine-readable results alongside the printed table.
+//!
+//! Beyond the figure binaries, the crate is the regression-tracking
+//! library behind `blockreorg-cli bench`:
+//!
+//! * [`suite`] — the `quick`/`full`/`scaling` benchmark grids and runner,
+//! * [`schema`] — the versioned, byte-deterministic `BENCH_<suite>.json`
+//!   report format,
+//! * [`mod@compare`] — the tolerance-thresholded report diff CI gates on.
 
 #![warn(missing_docs)]
 
+pub mod compare;
 pub mod harness;
 pub mod report;
+pub mod schema;
+pub mod suite;
 
+pub use compare::{compare, Comparison, Thresholds};
 pub use harness::{parse_args, BenchArgs};
 pub use report::Table;
+pub use schema::BenchReport;
+pub use suite::{run_suite, Suite};

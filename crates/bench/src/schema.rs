@@ -1,0 +1,251 @@
+//! The versioned `BENCH_<suite>.json` report schema.
+//!
+//! A report is a snapshot of the simulator's performance counters for a
+//! fixed grid of (dataset × method × device) cases plus one service batch,
+//! annotated with enough provenance (git SHA, timing-model version, device
+//! and reorganizer-config fingerprints) for a later comparison to tell a
+//! code regression apart from an intentional model change.
+//!
+//! Every tracked metric is a pure function of simulated execution — cycle
+//! counts, counter-derived rates, and simulated milliseconds — never wall
+//! clock, so two runs of the same commit produce byte-identical files
+//! (`serde_json`'s writer preserves map insertion order and prints floats
+//! with shortest-round-trip text).
+
+use serde::{Deserialize, Serialize};
+
+/// Current schema version. Bump on any breaking change to the report
+/// layout; `compare` refuses to diff reports with mismatched versions.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One complete benchmark report — the unit written to `BENCH_<suite>.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Layout version ([`SCHEMA_VERSION`] at write time).
+    pub schema_version: u32,
+    /// Suite name (`quick`, `full`, `scaling`).
+    pub suite: String,
+    /// `git rev-parse HEAD` at run time (`unknown` outside a checkout).
+    /// Provenance only — excluded from comparison.
+    pub git_sha: String,
+    /// [`br_gpu_sim::MODEL_VERSION`] of the simulator that produced the
+    /// numbers. A mismatch between baseline and current means cycle
+    /// deltas are expected; `compare` reports it as an error.
+    pub model_version: u32,
+    /// Fingerprint of the `ReorganizerConfig` used for reorganizer cases
+    /// (`br_service::cache::config_fingerprint`).
+    pub config_fingerprint: u64,
+    /// Per-case measurements, in suite definition order.
+    pub cases: Vec<CaseReport>,
+    /// Plan-cache service batch measurements.
+    pub service: ServiceSection,
+}
+
+/// One (dataset × method × device) measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaseReport {
+    /// Stable identity: `<dataset>@<scale>/<method>/<device-slug>` —
+    /// comparison matches baseline and current cases by this string.
+    pub id: String,
+    /// Dataset name from the Table II registry.
+    pub dataset: String,
+    /// Scale label (`tiny`, `default`, `full`, or a divisor).
+    pub scale: String,
+    /// Method display name (Figure 8 legend spelling).
+    pub method: String,
+    /// Device marketing name.
+    pub device: String,
+    /// Fingerprint of the full [`br_gpu_sim::device::DeviceConfig`].
+    pub device_fingerprint: u64,
+    /// The tracked performance counters.
+    pub metrics: CaseMetrics,
+}
+
+/// Deterministic performance counters for one case.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaseMetrics {
+    /// Total simulated makespan over all kernels, in core cycles — the
+    /// primary regression-gate metric.
+    pub makespan_cycles: f64,
+    /// Per-phase makespan breakdown, in kernel launch order.
+    pub phases: Vec<PhaseMetrics>,
+    /// Total simulated time (kernels + preprocessing) in ms.
+    pub total_ms: f64,
+    /// Worst per-kernel Load Balancing Index (Equation 3; 1.0 = balanced).
+    pub lbi: f64,
+    /// Aggregate L2 hit rate over all kernels (hits / accesses).
+    pub l2_hit_rate: f64,
+    /// Aggregate sync-stall ratio (stall cycles / busy cycles).
+    pub sync_stall_ratio: f64,
+    /// Achieved GFLOPS (Figure 9 metric).
+    pub gflops: f64,
+    /// FLOP count (`2·nnz(Ĉ)`) — a workload-identity tripwire: it must be
+    /// byte-equal between baseline and current.
+    pub flops: u64,
+    /// `nnz(C)` of the computed result — a correctness tripwire.
+    pub result_nnz: u64,
+}
+
+/// One kernel phase's share of the makespan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseMetrics {
+    /// Kernel/phase name as emitted by the method (e.g. `expansion`,
+    /// `merge`, `precalc`).
+    pub name: String,
+    /// Simulated makespan of this phase in core cycles.
+    pub makespan_cycles: f64,
+    /// Load Balancing Index of this phase.
+    pub lbi: f64,
+    /// L2 hit rate of this phase.
+    pub l2_hit_rate: f64,
+    /// Sync-stall ratio of this phase.
+    pub sync_stall_ratio: f64,
+}
+
+/// Plan-cache behaviour of the suite's service batch (`br-service`
+/// worker pool running repeated jobs). Only counter-derived values are
+/// recorded; queue latencies are wall clock and therefore excluded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceSection {
+    /// Jobs submitted.
+    pub jobs: u64,
+    /// Jobs that failed (must be 0 in a healthy run).
+    pub failures: u64,
+    /// Plan-cache hits.
+    pub cache_hits: u64,
+    /// Plan-cache misses.
+    pub cache_misses: u64,
+    /// Plan-cache evictions.
+    pub cache_evictions: u64,
+    /// hits / (hits + misses).
+    pub cache_hit_rate: f64,
+}
+
+impl BenchReport {
+    /// Serializes to the canonical on-disk form (pretty, trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("report serialization cannot fail");
+        s.push('\n');
+        s
+    }
+
+    /// Parses a report and validates its schema version.
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let report: BenchReport =
+            serde_json::from_str(text).map_err(|e| format!("malformed report: {e}"))?;
+        if report.schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "schema version {} unsupported (this binary reads version {})",
+                report.schema_version, SCHEMA_VERSION
+            ));
+        }
+        Ok(report)
+    }
+
+    /// Looks up a case by id.
+    pub fn case(&self, id: &str) -> Option<&CaseReport> {
+        self.cases.iter().find(|c| c.id == id)
+    }
+}
+
+/// Best-effort `git rev-parse HEAD`; honors `GITHUB_SHA` when set (CI
+/// checkouts can be shallow or detached), else `unknown`.
+pub fn git_sha() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            suite: "quick".to_string(),
+            git_sha: "deadbeef".to_string(),
+            model_version: 1,
+            config_fingerprint: 42,
+            cases: vec![CaseReport {
+                id: "wiki-Vote@tiny/row-product/titan-xp".to_string(),
+                dataset: "wiki-Vote".to_string(),
+                scale: "tiny".to_string(),
+                method: "row-product".to_string(),
+                device: "NVIDIA TITAN Xp".to_string(),
+                device_fingerprint: 7,
+                metrics: CaseMetrics {
+                    makespan_cycles: 123456.0,
+                    phases: vec![PhaseMetrics {
+                        name: "expansion".to_string(),
+                        makespan_cycles: 100000.0,
+                        lbi: 1.25,
+                        l2_hit_rate: 0.5,
+                        sync_stall_ratio: 0.01,
+                    }],
+                    total_ms: 0.25,
+                    lbi: 1.5,
+                    l2_hit_rate: 0.625,
+                    sync_stall_ratio: 0.02,
+                    gflops: 1.75,
+                    flops: 1000,
+                    result_nnz: 500,
+                },
+            }],
+            service: ServiceSection {
+                jobs: 8,
+                failures: 0,
+                cache_hits: 6,
+                cache_misses: 2,
+                cache_evictions: 0,
+                cache_hit_rate: 0.75,
+            },
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let report = sample();
+        let text = report.to_json();
+        let back = BenchReport::from_json(&text).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.to_json(), text, "re-serialization is stable");
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        assert_eq!(sample().to_json(), sample().to_json());
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected() {
+        let mut report = sample();
+        report.schema_version = SCHEMA_VERSION + 1;
+        let err = BenchReport::from_json(&report.to_json()).unwrap_err();
+        assert!(err.contains("schema version"), "{err}");
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(BenchReport::from_json("{").is_err());
+        assert!(BenchReport::from_json("[1,2]").is_err());
+    }
+
+    #[test]
+    fn case_lookup_by_id() {
+        let report = sample();
+        assert!(report.case("wiki-Vote@tiny/row-product/titan-xp").is_some());
+        assert!(report.case("nope").is_none());
+    }
+}

@@ -1,0 +1,430 @@
+//! Benchmark suites: fixed grids of (dataset × method × device) cases plus
+//! a plan-cache service batch, executed on the simulator and folded into a
+//! [`BenchReport`].
+//!
+//! Three suites trade coverage against runtime:
+//!
+//! * `quick` — three datasets at `tiny` scale, three methods, one device;
+//!   seconds. This is the per-PR CI regression gate.
+//! * `full` — eight datasets at `default` scale, all seven methods, the
+//!   Titan Xp, plus the reorganizer on all three devices; tens of minutes.
+//!   Run weekly by the scheduled workflow.
+//! * `scaling` — one regular and one power-law dataset swept across the
+//!   three devices and three scales for the outer-product baseline and the
+//!   reorganizer; minutes.
+
+use crate::schema::{
+    git_sha, BenchReport, CaseMetrics, CaseReport, PhaseMetrics, ServiceSection, SCHEMA_VERSION,
+};
+use block_reorganizer::{BlockReorganizer, ReorganizerConfig};
+use br_datasets::registry::{RealWorldRegistry, ScaleFactor};
+use br_gpu_sim::device::DeviceConfig;
+use br_gpu_sim::profiler::KernelProfile;
+use br_service::cache::config_fingerprint;
+use br_service::prelude::*;
+use br_spgemm::pipeline::{run_method, SpgemmMethod, SpgemmRun};
+use std::sync::Arc;
+
+/// Which benchmark suite to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suite {
+    /// CI regression gate: small, seconds.
+    Quick,
+    /// Weekly coverage run: all methods, minutes.
+    Full,
+    /// Device/scale sweep.
+    Scaling,
+}
+
+impl Suite {
+    /// Parses the CLI spelling.
+    pub fn parse(text: &str) -> Option<Suite> {
+        match text {
+            "quick" => Some(Suite::Quick),
+            "full" => Some(Suite::Full),
+            "scaling" => Some(Suite::Scaling),
+            _ => None,
+        }
+    }
+
+    /// The canonical name, used for the `BENCH_<suite>.json` filename.
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::Quick => "quick",
+            Suite::Full => "full",
+            Suite::Scaling => "scaling",
+        }
+    }
+
+    /// The suite's case grid, in a fixed, stable order.
+    pub fn cases(self) -> Vec<BenchCase> {
+        match self {
+            Suite::Quick => {
+                let mut out = Vec::new();
+                for dataset in ["harbor", "emailEnron", "patents_main"] {
+                    for method in [
+                        MethodSel::Baseline(SpgemmMethod::RowProduct),
+                        MethodSel::Baseline(SpgemmMethod::OuterProduct),
+                        MethodSel::Reorganizer,
+                    ] {
+                        out.push(BenchCase {
+                            dataset,
+                            scale: ScaleFactor::Tiny,
+                            method,
+                            device: DeviceSel::TitanXp,
+                        });
+                    }
+                }
+                out
+            }
+            Suite::Full => {
+                let datasets = [
+                    "filter3D",
+                    "harbor",
+                    "protein",
+                    "2cube_sphere",
+                    "youtube",
+                    "emailEnron",
+                    "patents_main",
+                    "epinions",
+                ];
+                let mut out = Vec::new();
+                for dataset in datasets {
+                    for m in SpgemmMethod::all() {
+                        out.push(BenchCase {
+                            dataset,
+                            scale: ScaleFactor::Default,
+                            method: MethodSel::Baseline(m),
+                            device: DeviceSel::TitanXp,
+                        });
+                    }
+                    for device in [
+                        DeviceSel::TitanXp,
+                        DeviceSel::TeslaV100,
+                        DeviceSel::Rtx2080Ti,
+                    ] {
+                        out.push(BenchCase {
+                            dataset,
+                            scale: ScaleFactor::Default,
+                            method: MethodSel::Reorganizer,
+                            device,
+                        });
+                    }
+                }
+                out
+            }
+            Suite::Scaling => {
+                let mut out = Vec::new();
+                for dataset in ["harbor", "emailEnron"] {
+                    for scale in [
+                        ScaleFactor::Div(64),
+                        ScaleFactor::Div(32),
+                        ScaleFactor::Div(16),
+                    ] {
+                        for device in [
+                            DeviceSel::TitanXp,
+                            DeviceSel::TeslaV100,
+                            DeviceSel::Rtx2080Ti,
+                        ] {
+                            for method in [
+                                MethodSel::Baseline(SpgemmMethod::OuterProduct),
+                                MethodSel::Reorganizer,
+                            ] {
+                                out.push(BenchCase {
+                                    dataset,
+                                    scale,
+                                    method,
+                                    device,
+                                });
+                            }
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Which method a case runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodSel {
+    /// One of the six Figure 8 baselines.
+    Baseline(SpgemmMethod),
+    /// The Block Reorganizer (default config).
+    Reorganizer,
+}
+
+impl MethodSel {
+    /// Display name in the paper's legend spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            MethodSel::Baseline(m) => m.name(),
+            MethodSel::Reorganizer => "Block-Reorganizer",
+        }
+    }
+}
+
+/// Which modelled device a case runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceSel {
+    /// Table I System 1.
+    TitanXp,
+    /// Table I System 2.
+    TeslaV100,
+    /// Table I System 3.
+    Rtx2080Ti,
+}
+
+impl DeviceSel {
+    /// Builds the configuration.
+    pub fn config(self) -> DeviceConfig {
+        match self {
+            DeviceSel::TitanXp => DeviceConfig::titan_xp(),
+            DeviceSel::TeslaV100 => DeviceConfig::tesla_v100(),
+            DeviceSel::Rtx2080Ti => DeviceConfig::rtx_2080_ti(),
+        }
+    }
+
+    /// Short slug used in case ids.
+    pub fn slug(self) -> &'static str {
+        match self {
+            DeviceSel::TitanXp => "titan-xp",
+            DeviceSel::TeslaV100 => "tesla-v100",
+            DeviceSel::Rtx2080Ti => "rtx-2080-ti",
+        }
+    }
+}
+
+/// One (dataset × scale × method × device) grid point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchCase {
+    /// Table II dataset name.
+    pub dataset: &'static str,
+    /// Surrogate scale.
+    pub scale: ScaleFactor,
+    /// Method under test.
+    pub method: MethodSel,
+    /// Target device.
+    pub device: DeviceSel,
+}
+
+impl BenchCase {
+    /// The stable identity string cases are matched by across reports.
+    pub fn id(&self) -> String {
+        format!(
+            "{}@{}/{}/{}",
+            self.dataset,
+            self.scale.label(),
+            self.method.name(),
+            self.device.slug()
+        )
+    }
+}
+
+/// Runs a whole suite and assembles the report. `progress` receives one
+/// line per completed case (pass `|_| {}` to silence).
+pub fn run_suite(suite: Suite, mut progress: impl FnMut(&str)) -> BenchReport {
+    let config = ReorganizerConfig::default();
+    let mut cases = Vec::new();
+    for case in suite.cases() {
+        let report = run_case(&case, &config);
+        progress(&format!(
+            "{:<55} {:>14.0} cycles  {:>9.3} ms",
+            report.id, report.metrics.makespan_cycles, report.metrics.total_ms
+        ));
+        cases.push(report);
+    }
+    let service = run_service_batch(suite);
+    progress(&format!(
+        "service batch: {} jobs, cache hit rate {:.2}",
+        service.jobs, service.cache_hit_rate
+    ));
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        suite: suite.name().to_string(),
+        git_sha: git_sha(),
+        model_version: br_gpu_sim::MODEL_VERSION,
+        config_fingerprint: config_fingerprint(&config),
+        cases,
+        service,
+    }
+}
+
+/// Runs one grid point.
+fn run_case(case: &BenchCase, config: &ReorganizerConfig) -> CaseReport {
+    let spec = RealWorldRegistry::get(case.dataset)
+        .unwrap_or_else(|| panic!("suite references unknown dataset {:?}", case.dataset));
+    let a = spec.generate(case.scale);
+    let ctx = crate::harness::square_context(&a);
+    let device = case.device.config();
+    let run: SpgemmRun<f64> = match case.method {
+        MethodSel::Baseline(m) => run_method(&ctx, m, &device).expect("square shapes always agree"),
+        MethodSel::Reorganizer => BlockReorganizer::new(*config)
+            .multiply_ctx(&ctx, &device)
+            .expect("square shapes always agree")
+            .to_spgemm_run(),
+    };
+    CaseReport {
+        id: case.id(),
+        dataset: case.dataset.to_string(),
+        scale: case.scale.label(),
+        method: case.method.name().to_string(),
+        device: device.name.clone(),
+        device_fingerprint: device.fingerprint(),
+        metrics: metrics_of(&run),
+    }
+}
+
+/// Folds a run's kernel profiles into the tracked counters.
+fn metrics_of(run: &SpgemmRun<f64>) -> CaseMetrics {
+    let phases: Vec<PhaseMetrics> = run
+        .profiles
+        .iter()
+        .map(|p| PhaseMetrics {
+            name: p.name.clone(),
+            makespan_cycles: p.makespan_cycles,
+            lbi: p.lbi(),
+            l2_hit_rate: p.l2.hit_rate(),
+            sync_stall_ratio: p.sync_stall_ratio(),
+        })
+        .collect();
+    let makespan_cycles: f64 = phases.iter().map(|p| p.makespan_cycles).sum();
+    let (accesses, hits) = run
+        .profiles
+        .iter()
+        .fold((0u64, 0u64), |(a, h), p| (a + p.l2.accesses, h + p.l2.hits));
+    let (busy, stalls) = run.profiles.iter().fold((0.0f64, 0.0f64), |(b, s), p| {
+        (b + p.busy_cycles, s + p.sync_stall_cycles)
+    });
+    CaseMetrics {
+        makespan_cycles,
+        phases,
+        total_ms: run.total_ms,
+        lbi: worst_lbi(&run.profiles),
+        l2_hit_rate: if accesses == 0 {
+            0.0
+        } else {
+            hits as f64 / accesses as f64
+        },
+        sync_stall_ratio: if busy <= 0.0 { 0.0 } else { stalls / busy },
+        gflops: run.gflops(),
+        flops: run.flops,
+        result_nnz: run.result.nnz() as u64,
+    }
+}
+
+fn worst_lbi(profiles: &[KernelProfile]) -> f64 {
+    profiles.iter().map(|p| p.lbi()).fold(0.0, f64::max)
+}
+
+/// Exercises the `br-service` plan cache with a deterministic batch: a few
+/// distinct matrices, each multiplied several times, so the cache sees
+/// both cold misses and warm hits regardless of worker interleaving.
+fn run_service_batch(suite: Suite) -> ServiceSection {
+    let (repeats, scale) = match suite {
+        Suite::Quick => (3usize, ScaleFactor::Tiny),
+        Suite::Full => (4, ScaleFactor::Default),
+        Suite::Scaling => (3, ScaleFactor::Tiny),
+    };
+    let mut jobs = Vec::new();
+    let mut id = 0u64;
+    for dataset in ["harbor", "emailEnron"] {
+        let spec = RealWorldRegistry::get(dataset).expect("registry dataset");
+        let a = Arc::new(spec.generate(scale));
+        for _ in 0..repeats {
+            jobs.push(JobRequest::square(id, a.clone()).with_label(dataset));
+            id += 1;
+        }
+    }
+    // One worker: with several, two workers can race on the same cold key
+    // and both record a miss, making hit/miss counts depend on scheduling.
+    // The report must be byte-identical across runs, so the batch is
+    // sequential; concurrency itself is covered by br-service's own tests.
+    let batch =
+        SpgemmService::run_batch(ServiceConfig::uniform(DeviceConfig::titan_xp(), 1, 8), jobs);
+    let stats = &batch.stats;
+    ServiceSection {
+        jobs: stats.jobs as u64,
+        failures: stats.failures as u64,
+        cache_hits: stats.cache.hits,
+        cache_misses: stats.cache.misses,
+        cache_evictions: stats.cache.evictions,
+        cache_hit_rate: stats.cache.hit_rate(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_parsing_and_names_roundtrip() {
+        for s in [Suite::Quick, Suite::Full, Suite::Scaling] {
+            assert_eq!(Suite::parse(s.name()), Some(s));
+        }
+        assert_eq!(Suite::parse("nope"), None);
+    }
+
+    #[test]
+    fn case_ids_are_unique_within_each_suite() {
+        for suite in [Suite::Quick, Suite::Full, Suite::Scaling] {
+            let ids: Vec<String> = suite.cases().iter().map(BenchCase::id).collect();
+            let mut dedup = ids.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(ids.len(), dedup.len(), "{} has duplicate ids", suite.name());
+        }
+    }
+
+    #[test]
+    fn quick_suite_references_known_datasets_only() {
+        for suite in [Suite::Quick, Suite::Full, Suite::Scaling] {
+            for case in suite.cases() {
+                assert!(
+                    RealWorldRegistry::get(case.dataset).is_some(),
+                    "{} references unknown dataset {}",
+                    suite.name(),
+                    case.dataset
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quick_suite_run_is_deterministic() {
+        let a = run_suite(Suite::Quick, |_| {});
+        let b = run_suite(Suite::Quick, |_| {});
+        // Whole-report equality except provenance (git_sha is stable here
+        // anyway, but keep the assertion focused on measurements).
+        assert_eq!(a.cases, b.cases, "cycle counts must be bit-identical");
+        assert_eq!(a.service.cache_hits, b.service.cache_hits);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn quick_suite_measures_real_work() {
+        let report = run_suite(Suite::Quick, |_| {});
+        assert_eq!(report.cases.len(), 9);
+        for case in &report.cases {
+            assert!(
+                case.metrics.makespan_cycles > 0.0,
+                "{} has no cycles",
+                case.id
+            );
+            assert!(case.metrics.result_nnz > 0, "{} empty result", case.id);
+            assert!(!case.metrics.phases.is_empty(), "{} has no phases", case.id);
+            let phase_sum: f64 = case.metrics.phases.iter().map(|p| p.makespan_cycles).sum();
+            assert!(
+                (phase_sum - case.metrics.makespan_cycles).abs() < 1e-6,
+                "{} phases do not sum to the total",
+                case.id
+            );
+        }
+        assert_eq!(report.service.failures, 0);
+        assert!(
+            report.service.cache_hits >= 2,
+            "repeated jobs must hit the plan cache"
+        );
+    }
+}

@@ -28,7 +28,7 @@
 //! Extensions beyond the paper: [`report::WorkloadReport`] (the Figure 4
 //! bins, inspectable before running anything), [`classify::auto_alpha`]
 //! (data-driven dominator threshold), [`config::SplitPolicy::Greedy`]
-//! (the per-vector factor selection the paper sketches), and [`tune`]
+//! (the per-vector factor selection the paper sketches), and [`mod@tune`]
 //! (per-matrix configuration search over the simulator).
 
 #![warn(missing_docs)]

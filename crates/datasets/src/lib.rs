@@ -4,13 +4,13 @@
 //! SuiteSparse + 9 SNAP graphs) and on synthetic R-MAT families (Table III).
 //! We do not ship the real files; instead this crate provides:
 //!
-//! * [`rmat`] — the R-MAT recursive generator (Chakrabarti et al., SDM'04),
+//! * [`mod@rmat`] — the R-MAT recursive generator (Chakrabarti et al., SDM'04),
 //!   the same model the paper uses for Table III.
-//! * [`chung_lu`] — a power-law (Chung–Lu) generator used for SNAP-graph
+//! * [`mod@chung_lu`] — a power-law (Chung–Lu) generator used for SNAP-graph
 //!   surrogates, where hub degree must be controlled independently of size.
 //! * [`configuration`] — a configuration-model generator reproducing an
 //!   *exact* target row-degree sequence (clone a real matrix's profile).
-//! * [`mesh`] — quasi-regular generators (3-D stencils, banded matrices)
+//! * [`mod@mesh`] — quasi-regular generators (3-D stencils, banded matrices)
 //!   used for Florida FEM-style surrogates.
 //! * [`registry`] — the Table II registry: every dataset's *published*
 //!   dimension/nnz plus a surrogate recipe in the same distribution class,

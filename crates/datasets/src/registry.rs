@@ -61,6 +61,31 @@ impl ScaleFactor {
             ScaleFactor::Div(d) => d.max(1),
         }
     }
+
+    /// Parses the CLI/bench spelling: `tiny`, `default`, `full`, or a
+    /// numeric divisor ≥ 1.
+    pub fn parse(text: &str) -> Option<ScaleFactor> {
+        match text {
+            "tiny" => Some(ScaleFactor::Tiny),
+            "default" => Some(ScaleFactor::Default),
+            "full" => Some(ScaleFactor::Full),
+            other => match other.parse::<usize>() {
+                Ok(d) if d >= 1 => Some(ScaleFactor::Div(d)),
+                _ => None,
+            },
+        }
+    }
+
+    /// The canonical spelling [`ScaleFactor::parse`] accepts, used in
+    /// report files and usage messages.
+    pub fn label(self) -> String {
+        match self {
+            ScaleFactor::Tiny => "tiny".to_string(),
+            ScaleFactor::Default => "default".to_string(),
+            ScaleFactor::Full => "full".to_string(),
+            ScaleFactor::Div(d) => d.to_string(),
+        }
+    }
 }
 
 /// Surrogate generation recipe (see module docs for the mapping rationale).

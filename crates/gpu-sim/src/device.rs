@@ -178,6 +178,23 @@ impl DeviceConfig {
     pub fn cycles_to_ms(&self, cycles: f64) -> f64 {
         cycles / (self.core_clock_mhz as f64 * 1e3)
     }
+
+    /// A stable 64-bit fingerprint of the full configuration (resources,
+    /// bandwidths, cost-model knobs). Benchmark reports record it so a
+    /// comparison can tell "the code regressed" apart from "the device
+    /// model changed"; two configs fingerprint equal iff every modelled
+    /// parameter is equal.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over the Debug rendering: every field (including nested
+        // `CostParams`) participates, and Rust's float formatting is the
+        // shortest exact round-trip, so the text is canonical.
+        let mut h = 0xcbf29ce484222325u64;
+        for b in format!("{self:?}").bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
 }
 
 /// CPU configuration for the MKL-like baseline, in the same simulated-time

@@ -41,6 +41,13 @@
 
 #![warn(missing_docs)]
 
+/// Version of the timing model itself. Benchmark reports embed this so a
+/// regression gate can distinguish a genuine performance change from an
+/// intentional recalibration of the simulator: bump it whenever a change to
+/// the cost model, scheduler, or cache simulation is *expected* to shift
+/// cycle counts, and refresh the checked-in baselines in the same commit.
+pub const MODEL_VERSION: u32 = 1;
+
 pub mod device;
 pub mod l2cache;
 pub mod occupancy;

@@ -319,6 +319,81 @@ mod tests {
     }
 
     #[test]
+    fn eviction_follows_exact_recency_order_across_multiple_evictions() {
+        // Fill to capacity 3, then establish recency A < C < B by lookups
+        // and verify successive inserts evict in exactly that order.
+        let cache = PlanCache::new(3);
+        let (ka, pa, _) = plan_for(40);
+        let (kb, pb, _) = plan_for(41);
+        let (kc, pc, _) = plan_for(42);
+        let (kd, pd, _) = plan_for(43);
+        let (ke, pe, _) = plan_for(44);
+        cache.insert(ka.clone(), pa);
+        cache.insert(kb.clone(), pb);
+        cache.insert(kc.clone(), pc);
+        assert!(cache.lookup(&kc).is_some());
+        assert!(cache.lookup(&kb).is_some());
+
+        cache.insert(kd.clone(), pd);
+        assert!(!cache.contains(&ka), "A is oldest → first victim");
+        assert!(cache.contains(&kb) && cache.contains(&kc) && cache.contains(&kd));
+
+        cache.insert(ke.clone(), pe);
+        assert!(!cache.contains(&kc), "C is next-oldest → second victim");
+        assert!(cache.contains(&kb) && cache.contains(&kd) && cache.contains(&ke));
+        assert_eq!(cache.stats().evictions, 2);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn insert_refreshes_recency_like_a_lookup() {
+        // Re-inserting an existing key must protect it from the next
+        // eviction exactly as a lookup would.
+        let cache = PlanCache::new(2);
+        let (ka, pa, _) = plan_for(50);
+        let (kb, pb, _) = plan_for(51);
+        let (kc, pc, _) = plan_for(52);
+        cache.insert(ka.clone(), pa.clone());
+        cache.insert(kb.clone(), pb);
+        cache.insert(ka.clone(), pa); // refresh A; B is now the LRU entry
+        cache.insert(kc, pc);
+        assert!(cache.contains(&ka), "refreshed entry survives");
+        assert!(!cache.contains(&kb), "stale entry is the victim");
+    }
+
+    #[test]
+    fn missed_lookup_does_not_disturb_recency() {
+        let cache = PlanCache::new(2);
+        let (ka, pa, _) = plan_for(60);
+        let (kb, pb, _) = plan_for(61);
+        let (kc, pc, _) = plan_for(62);
+        let (kd, _, _) = plan_for(63);
+        cache.insert(ka.clone(), pa);
+        cache.insert(kb.clone(), pb);
+        // Misses on an absent key must not age or refresh resident entries.
+        for _ in 0..5 {
+            assert!(cache.lookup(&kd).is_none());
+        }
+        cache.insert(kc, pc);
+        assert!(!cache.contains(&ka), "A is still the LRU victim");
+        assert!(cache.contains(&kb));
+        assert_eq!(cache.stats().misses, 5);
+    }
+
+    #[test]
+    fn capacity_one_always_evicts_the_previous_plan() {
+        let cache = PlanCache::new(1);
+        let (ka, pa, _) = plan_for(70);
+        let (kb, pb, _) = plan_for(71);
+        cache.insert(ka.clone(), pa);
+        cache.insert(kb.clone(), pb);
+        assert!(!cache.contains(&ka));
+        assert!(cache.contains(&kb));
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
     fn reinserting_an_existing_key_does_not_evict() {
         let cache = PlanCache::new(2);
         let (ka, pa, _) = plan_for(20);

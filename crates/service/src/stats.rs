@@ -210,4 +210,94 @@ mod tests {
         assert_eq!(stats.mean_cold_ms, 0.0);
         assert_eq!(stats.mean_warm_ms, 0.0);
     }
+
+    #[test]
+    fn zero_jobs_with_failures_still_reports_them() {
+        // Every submitted job failed: no outcomes, but the failure count
+        // and cache counters must survive into the report.
+        let cache = CacheStats {
+            hits: 0,
+            misses: 3,
+            evictions: 0,
+            entries: 0,
+            capacity: 4,
+        };
+        let stats = ServiceStats::from_outcomes(&[], 3, 12.0, cache, 3, vec![]);
+        assert_eq!(stats.jobs, 0);
+        assert_eq!(stats.failures, 3);
+        assert_eq!(stats.cache.misses, 3);
+        assert_eq!(stats.cache.hit_rate(), 0.0);
+        assert_eq!(stats.mean_queue_ms, 0.0);
+        assert_eq!(stats.precalc_ms, 0.0);
+        let text = stats.to_string();
+        assert!(text.contains("0 jobs (3 failed)"), "{text}");
+    }
+
+    #[test]
+    fn single_worker_owns_every_job() {
+        let outcomes = vec![
+            outcome(false, 6.0, 0.5),
+            outcome(true, 2.0, 1.5),
+            outcome(true, 2.0, 2.5),
+        ];
+        let worker = WorkerStats {
+            worker: 0,
+            device: "Titan Xp".into(),
+            jobs: outcomes.len(),
+            busy_ms: 10.0,
+            utilization: 0.5,
+        };
+        let stats = ServiceStats::from_outcomes(
+            &outcomes,
+            0,
+            20.0,
+            CacheStats {
+                hits: 2,
+                misses: 1,
+                evictions: 0,
+                entries: 1,
+                capacity: 4,
+            },
+            // With one worker the queue backs up to every pending job.
+            outcomes.len(),
+            vec![worker],
+        );
+        assert_eq!(stats.workers.len(), 1);
+        assert_eq!(stats.workers[0].jobs, stats.jobs);
+        assert_eq!(stats.max_queue_depth, 3);
+        assert!((stats.mean_queue_ms - 1.5).abs() < 1e-12);
+        assert!((stats.mean_cold_ms - 6.0).abs() < 1e-12);
+        assert!((stats.mean_warm_ms - 2.0).abs() < 1e-12);
+        let text = stats.to_string();
+        assert!(text.contains("worker 0"), "{text}");
+        assert!(text.contains("utilization 50.0%"), "{text}");
+    }
+
+    #[test]
+    fn all_cold_run_has_no_warm_mean() {
+        // Distinct matrices only: every lookup misses, so the warm-job
+        // mean must stay 0 rather than going NaN or sampling cold jobs.
+        let outcomes = vec![outcome(false, 8.0, 0.0), outcome(false, 4.0, 0.0)];
+        let stats = ServiceStats::from_outcomes(
+            &outcomes,
+            0,
+            50.0,
+            CacheStats {
+                hits: 0,
+                misses: 2,
+                evictions: 0,
+                entries: 2,
+                capacity: 4,
+            },
+            1,
+            vec![],
+        );
+        assert!((stats.mean_total_ms - 6.0).abs() < 1e-12);
+        assert!((stats.mean_cold_ms - 6.0).abs() < 1e-12);
+        assert_eq!(stats.mean_warm_ms, 0.0, "no warm jobs → zero, not NaN");
+        assert_eq!(stats.cache.hit_rate(), 0.0);
+        // Per-phase sums cover all (cold) jobs.
+        assert!((stats.precalc_ms - 2.0).abs() < 1e-12);
+        assert!((stats.preprocess_ms - 1.0).abs() < 1e-12);
+    }
 }

@@ -128,7 +128,7 @@ pub fn spgemm_hash<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Result<CsrM
 }
 
 /// Multithreaded dense-accumulator Gustavson: output rows are independent,
-/// so row ranges are distributed over `threads` crossbeam-scoped workers,
+/// so row ranges are distributed over `threads` scoped workers,
 /// each with its own accumulator. Produces bit-identical results to
 /// [`spgemm_dense_spa`] (same per-row accumulation order) — this is the
 /// fast oracle path for large benchmark runs, and also what the MKL-like
@@ -167,7 +167,7 @@ pub fn default_threads() -> usize {
 }
 
 /// Row-partitioned parallel driver: any per-row merger distributes over
-/// `threads` crossbeam-scoped workers and is stitched back together.
+/// `threads` std-scoped workers and is stitched back together.
 fn spgemm_parallel_with<T: Scalar>(
     a: &CsrMatrix<T>,
     b: &CsrMatrix<T>,
@@ -205,11 +205,11 @@ fn spgemm_parallel_with<T: Scalar>(
     type Part<T> = (Vec<usize>, Vec<u32>, Vec<T>);
     let mut parts: Vec<Option<Part<T>>> = Vec::new();
     parts.resize_with(bounds.len() - 1, || None);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for w in 0..bounds.len() - 1 {
             let (lo, hi) = (bounds[w], bounds[w + 1]);
-            handles.push(scope.spawn(move |_| -> Part<T> {
+            handles.push(scope.spawn(move || -> Part<T> {
                 let slice = a.row_slice(lo..hi);
                 let c = merger(&slice, b).expect("shapes already validated");
                 let (_, _, ptr, idx, val) = c.into_parts();
@@ -219,8 +219,7 @@ fn spgemm_parallel_with<T: Scalar>(
         for (w, h) in handles.into_iter().enumerate() {
             parts[w] = Some(h.join().expect("worker must not panic"));
         }
-    })
-    .expect("scope must not panic");
+    });
 
     // Stitch the per-range outputs back together.
     let mut ptr = Vec::with_capacity(a.nrows() + 1);

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# CI perf-regression gate: run the quick benchmark suite, check the report
+# is byte-deterministic, and compare it against the checked-in baseline.
+#
+# Usage: scripts/bench_gate.sh [cycles-threshold-pct]
+#
+# Exits nonzero if any tracked metric regresses beyond its threshold
+# (default: 5% on simulated cycle counts), if the report is not
+# reproducible, or if the baseline is missing. Refresh the baseline with:
+#   blockreorg-cli bench run --suite quick --out results/baselines/BENCH_quick.json
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+threshold="${1:-5}"
+baseline="results/baselines/BENCH_quick.json"
+cli="cargo run --release --quiet --bin blockreorg-cli --"
+
+if [[ ! -f "$baseline" ]]; then
+    echo "error: baseline $baseline missing" >&2
+    exit 1
+fi
+
+echo "== bench gate: quick suite, cycle threshold ${threshold}% =="
+$cli bench run --suite quick --out BENCH_quick.json
+
+echo "== determinism check: second run must be byte-identical =="
+$cli bench run --suite quick --out BENCH_quick.rerun.json >/dev/null
+if ! cmp -s BENCH_quick.json BENCH_quick.rerun.json; then
+    echo "error: BENCH_quick.json differs between two consecutive runs" >&2
+    diff BENCH_quick.json BENCH_quick.rerun.json | head -40 >&2 || true
+    exit 1
+fi
+rm -f BENCH_quick.rerun.json
+echo "ok: report is byte-deterministic"
+
+echo "== compare against $baseline =="
+$cli bench compare "$baseline" BENCH_quick.json --cycles-pct "$threshold"

@@ -9,6 +9,9 @@
 //!                  [--square | --pair-with <file.mtx>] [--verify] [--list]
 //!   blockreorg-cli batch --jobs <file> [--device <d1,d2,..>] [--workers <n>]
 //!                  [--cache <entries>]
+//!   blockreorg-cli bench run [--suite quick|full|scaling] [--out <path>]
+//!   blockreorg-cli bench compare <baseline.json> <current.json>
+//!                  [--cycles-pct <pct>]
 //!
 //! EXAMPLES:
 //!   blockreorg-cli --dataset youtube --method reorganizer --verify --report
@@ -58,6 +61,13 @@ fn print_usage() {
     println!("                      [--pair-with <mtx>] [--verify] [--report] [--tune] [--list]");
     println!("       blockreorg-cli batch --jobs <file> [--device <d1,d2,..>] [--workers <n>]");
     println!("                      [--cache <entries>]");
+    println!("       blockreorg-cli bench run [--suite quick|full|scaling] [--out <path>]");
+    println!("       blockreorg-cli bench compare <baseline.json> <current.json>");
+    println!("                      [--cycles-pct <pct>]");
+    println!();
+    println!("bench mode runs a fixed (dataset x method x device) grid on the simulator,");
+    println!("writes a deterministic BENCH_<suite>.json report, and compares reports with");
+    println!("per-metric tolerances (nonzero exit on regression) — the CI perf gate.");
     println!();
     println!("batch mode runs every job in <file> through the br-service worker pool");
     println!("(one simulated device per worker) with an LRU reorganization-plan cache,");
@@ -294,6 +304,101 @@ fn run_batch_mode(o: BatchOptions) -> ! {
     exit(1)
 }
 
+/// `bench run` / `bench compare` — the regression-tracking front end over
+/// `br-bench::{suite, compare}` (see EXPERIMENTS.md "Benchmarking &
+/// regression tracking").
+fn run_bench_mode(args: &mut dyn Iterator<Item = String>) -> ! {
+    use blockreorg::bench::compare::{compare, Thresholds};
+    use blockreorg::bench::schema::BenchReport;
+    use blockreorg::bench::suite::{run_suite, Suite};
+
+    match args.next().as_deref() {
+        Some("run") => {
+            let mut suite = Suite::Quick;
+            let mut out: Option<String> = None;
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--suite" => {
+                        let v = args
+                            .next()
+                            .unwrap_or_else(|| usage_and_exit("missing --suite value"));
+                        suite = Suite::parse(&v).unwrap_or_else(|| {
+                            usage_and_exit(&format!(
+                                "unknown suite {v:?}; valid suites: quick, full, scaling"
+                            ))
+                        });
+                    }
+                    "--out" => {
+                        out = Some(
+                            args.next()
+                                .unwrap_or_else(|| usage_and_exit("missing --out path")),
+                        );
+                    }
+                    other => usage_and_exit(&format!("unknown bench run flag {other:?}")),
+                }
+            }
+            let path = out.unwrap_or_else(|| format!("BENCH_{}.json", suite.name()));
+            let report = run_suite(suite, |line| println!("{line}"));
+            if let Err(e) = std::fs::write(&path, report.to_json()) {
+                runtime_error(&format!("cannot write {path}: {e}"));
+            }
+            println!(
+                "\nwrote {path}: {} cases, model v{}, git {}",
+                report.cases.len(),
+                report.model_version,
+                report.git_sha
+            );
+            exit(0)
+        }
+        Some("compare") => {
+            let mut paths = Vec::new();
+            let mut thresholds = Thresholds::default();
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--cycles-pct" => {
+                        let v = args
+                            .next()
+                            .unwrap_or_else(|| usage_and_exit("missing --cycles-pct value"));
+                        thresholds.cycles_pct = v.parse().unwrap_or_else(|_| {
+                            usage_and_exit(&format!("bad --cycles-pct value {v:?}"))
+                        });
+                    }
+                    other if other.starts_with("--") => {
+                        usage_and_exit(&format!("unknown bench compare flag {other:?}"))
+                    }
+                    path => paths.push(path.to_string()),
+                }
+            }
+            let [baseline_path, current_path] = paths.as_slice() else {
+                usage_and_exit("bench compare needs exactly <baseline.json> <current.json>");
+            };
+            let load = |path: &str| -> BenchReport {
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| runtime_error(&format!("cannot read {path}: {e}")));
+                BenchReport::from_json(&text)
+                    .unwrap_or_else(|e| runtime_error(&format!("{path}: {e}")))
+            };
+            let baseline = load(baseline_path);
+            let current = load(current_path);
+            let cmp = compare(&baseline, &current, &thresholds);
+            print!("{}", cmp.render());
+            if cmp.has_regressions() {
+                eprintln!(
+                    "regression gate FAILED (cycle threshold {:.1}%)",
+                    thresholds.cycles_pct
+                );
+                exit(1)
+            }
+            println!("regression gate passed");
+            exit(0)
+        }
+        Some(other) => usage_and_exit(&format!(
+            "unknown bench subcommand {other:?}; expected run or compare"
+        )),
+        None => usage_and_exit("bench needs a subcommand: run or compare"),
+    }
+}
+
 fn main() {
     let mut args = std::env::args().skip(1).peekable();
     match args.peek().map(String::as_str) {
@@ -301,6 +406,10 @@ fn main() {
             args.next();
             let o = parse_batch_options(&mut args);
             run_batch_mode(o)
+        }
+        Some("bench") => {
+            args.next();
+            run_bench_mode(&mut args)
         }
         _ => {}
     }

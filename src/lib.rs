@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub use block_reorganizer;
+pub use br_bench as bench;
 pub use br_datasets as datasets;
 pub use br_gpu_sim as gpu_sim;
 pub use br_service as service;

@@ -1,0 +1,188 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Implements the API surface the workspace's benches use — groups,
+//! `bench_function`, `iter`, `iter_batched`, `sample_size` — over a plain
+//! `Instant` timing loop. `--test` (what `cargo bench -- --test` passes)
+//! runs every benchmark body exactly once and reports `ok`, which is what
+//! CI uses; a normal run reports mean wall time over a small sample.
+//! There are no statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// An opaque-to-the-optimizer value barrier (re-export of `std::hint`).
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; carried for API compatibility, the
+/// stand-in re-runs setup per iteration either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup output is cheap to hold.
+    SmallInput,
+    /// Setup output is large.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark sample count (builder-style).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        run_benchmark(name, self.test_mode, sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            prefix: name.to_string(),
+            test_mode: self.test_mode,
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    prefix: String,
+    test_mode: bool,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the group's sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.prefix, name);
+        run_benchmark(&full, self.test_mode, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark(name: &str, test_mode: bool, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        iterations: if test_mode { 1 } else { sample_size as u64 },
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("test {name} ... ok");
+    } else {
+        let mean_ns = bencher.elapsed.as_nanos() as f64 / bencher.iterations.max(1) as f64;
+        println!(
+            "{name}: mean {:.3} ms over {} iters",
+            mean_ns / 1e6,
+            bencher.iterations
+        );
+    }
+}
+
+/// Runs the measured routine and accumulates wall time.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Times `routine` with fresh `setup` output per iteration; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+/// Declares a group-running function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run_bodies() {
+        let mut c = Criterion {
+            test_mode: true,
+            sample_size: 3,
+        };
+        let mut runs = 0usize;
+        c.bench_function("one", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1, "test mode runs exactly once");
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(5);
+        let mut batched = 0usize;
+        g.bench_function("two", |b| {
+            b.iter_batched(|| 7usize, |x| batched += x, BatchSize::SmallInput)
+        });
+        g.finish();
+        assert_eq!(batched, 7);
+    }
+}

@@ -1,0 +1,401 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The crates.io registry is unreachable from the build container (see
+//! `vendor/README.md`), so the workspace pins this minimal implementation
+//! via `[patch.crates-io]`. It covers exactly the surface the workspace
+//! uses: `#[derive(Serialize, Deserialize)]` on attribute-free structs and
+//! enums, plus the blanket impls those derives need.
+//!
+//! The data model is a single order-preserving [`Value`] tree: `Serialize`
+//! lowers a type into a [`Value`], `Deserialize` rebuilds it from one.
+//! `serde_json` (also vendored) renders and parses that tree. Maps keep
+//! insertion order, so emitted JSON is deterministic — a property the
+//! benchmark regression gate relies on.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// The self-describing tree every serializable value lowers into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also `None` and unit).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer (negative numbers).
+    I64(i64),
+    /// An unsigned integer (non-negative integers).
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Value>),
+    /// A map with *insertion-ordered* entries (deterministic output).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The entries of a map value.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements of a sequence value.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `f64` (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::I64(v) => Some(v as f64),
+            Value::U64(v) => Some(v as f64),
+            Value::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `i64` (floats must be integral).
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(v) => Some(v),
+            Value::U64(v) => i64::try_from(v).ok(),
+            Value::F64(v) if v.fract() == 0.0 && v.abs() < 9.0e18 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `u64` (floats must be integral and non-negative).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::I64(v) => u64::try_from(v).ok(),
+            Value::U64(v) => Some(v),
+            Value::F64(v) if v.fract() == 0.0 && (0.0..1.9e19).contains(&v) => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Deserialization error: what was expected, where.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    /// Builds an error from any message.
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Lowers `self` into a [`Value`] tree.
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuilds `Self` from a [`Value`] tree. The lifetime parameter exists
+/// only for signature compatibility with real serde bounds
+/// (`for<'de> Deserialize<'de>`); this implementation always copies.
+pub trait Deserialize<'de>: Sized {
+    /// Parses the value tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Fetches and deserializes a struct field from map entries; a missing key
+/// deserializes as [`Value::Null`] so `Option` fields default to `None`.
+pub fn from_field<T: for<'a> Deserialize<'a>>(
+    entries: &[(String, Value)],
+    key: &str,
+    ty: &str,
+) -> Result<T, Error> {
+    match entries.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => {
+            T::from_value(v).map_err(|e| Error::custom(format!("field `{key}` of `{ty}`: {e}")))
+        }
+        None => T::from_value(&Value::Null)
+            .map_err(|_| Error::custom(format!("missing field `{key}` of `{ty}`"))),
+    }
+}
+
+macro_rules! ser_de_int {
+    ($($t:ty => $variant:ident / $coerce:ident),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::$variant(*self as _)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let wide = value
+                    .$coerce()
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::custom(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_int!(
+    i8 => I64 / as_i64,
+    i16 => I64 / as_i64,
+    i32 => I64 / as_i64,
+    i64 => I64 / as_i64,
+    isize => I64 / as_i64,
+    u8 => U64 / as_u64,
+    u16 => U64 / as_u64,
+    u32 => U64 / as_u64,
+    u64 => U64 / as_u64,
+    usize => U64 / as_u64,
+);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::custom("expected number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .map(|v| v as f32)
+            .ok_or_else(|| Error::custom("expected number"))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_seq()
+            .ok_or_else(|| Error::custom("expected sequence"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + std::fmt::Debug, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(value)?;
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::custom(format!("expected sequence of length {N}")))
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($t:ident . $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let seq = value.as_seq().ok_or_else(|| Error::custom("expected tuple sequence"))?;
+                let mut items = seq.iter();
+                let out = ($({
+                    let _ = $idx;
+                    $t::from_value(items.next().ok_or_else(|| Error::custom("tuple too short"))?)?
+                },)+);
+                Ok(out)
+            }
+        }
+    )*};
+}
+
+ser_de_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl<K: std::fmt::Display, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Sort keys so HashMap iteration order cannot leak into output.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<K: std::fmt::Display, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_roundtrip_through_null() {
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Some(3u32).to_value(), Value::U64(3));
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(f64::from_value(&Value::U64(4)).unwrap(), 4.0);
+        assert_eq!(u32::from_value(&Value::F64(7.0)).unwrap(), 7);
+        assert!(u32::from_value(&Value::F64(7.5)).is_err());
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+    }
+
+    #[test]
+    fn missing_field_is_none_for_option() {
+        let entries = vec![("present".to_string(), Value::U64(1))];
+        let missing: Option<u64> = from_field(&entries, "absent", "T").unwrap();
+        assert_eq!(missing, None);
+        let err = from_field::<u64>(&entries, "absent", "T").unwrap_err();
+        assert!(err.to_string().contains("missing field"));
+    }
+}

@@ -1,0 +1,421 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses — non-generic structs (named, tuple,
+//! unit) and enums (unit, tuple, struct variants) without `#[serde(...)]`
+//! attributes — by walking the raw `proc_macro` token stream and emitting
+//! impls of the vendored `serde::Serialize` / `serde::Deserialize` traits.
+//! Unsupported shapes panic at compile time with a clear message rather
+//! than silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by lowering the type into a `serde::Value`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_serialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize` by rebuilding the type from a `serde::Value`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+struct Field {
+    name: String, // field name, or tuple index as text
+    ty: String,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+struct Item {
+    name: String,
+    is_enum: bool,
+    shape: Shape,           // for structs
+    variants: Vec<Variant>, // for enums
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic type `{name}` is not supported");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(parse_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => panic!("serde_derive: unsupported struct body for `{name}`: {other:?}"),
+            };
+            Item {
+                name,
+                is_enum: false,
+                shape,
+                variants: Vec::new(),
+            }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body for `{name}`, found {other:?}"),
+            };
+            Item {
+                name,
+                is_enum: true,
+                shape: Shape::Unit,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn skip_attributes_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `pub(crate)` and friends
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a token list on top-level commas, tracking `<...>` nesting so
+/// commas inside generic arguments stay attached to their type.
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        out.last_mut().expect("non-empty").push(tt);
+    }
+    if out.last().map(Vec::is_empty).unwrap_or(false) {
+        out.pop(); // trailing comma
+    }
+    out
+}
+
+fn tokens_to_type(tokens: &[TokenTree]) -> String {
+    let rendered: Vec<String> = tokens.iter().map(ToString::to_string).collect();
+    rendered.join(" ")
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|mut entry| {
+            let mut i = 0;
+            skip_attributes_and_vis(&entry, &mut i);
+            entry.drain(..i);
+            let name = match entry.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected field name, found {other:?}"),
+            };
+            match entry.get(1) {
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                other => panic!("serde_derive: expected `:` after `{name}`, found {other:?}"),
+            }
+            Field {
+                name,
+                ty: tokens_to_type(&entry[2..]),
+            }
+        })
+        .collect()
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .enumerate()
+        .map(|(index, mut entry)| {
+            let mut i = 0;
+            skip_attributes_and_vis(&entry, &mut i);
+            entry.drain(..i);
+            Field {
+                name: index.to_string(),
+                ty: tokens_to_type(&entry),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut out = Vec::new();
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(parse_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde_derive: explicit discriminants are not supported (variant `{name}`)");
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        out.push(Variant { name, shape });
+    }
+    out
+}
+
+fn render_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if item.is_enum {
+        let arms: Vec<String> = item
+            .variants
+            .iter()
+            .map(|v| {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                    ),
+                    Shape::Tuple(fields) if fields.len() == 1 => format!(
+                        "{name}::{vn}(__f0) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                         ::serde::Serialize::to_value(__f0))]),"
+                    ),
+                    Shape::Tuple(fields) => {
+                        let binders: Vec<String> =
+                            (0..fields.len()).map(|k| format!("__f{k}")).collect();
+                        let values: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                             ::serde::Value::Seq(vec![{}]))]),",
+                            binders.join(", "),
+                            values.join(", ")
+                        )
+                    }
+                    Shape::Named(fields) => {
+                        let binders: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{0}\".to_string(), ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                             ::serde::Value::Map(vec![{}]))]),",
+                            binders.join(", "),
+                            entries.join(", ")
+                        )
+                    }
+                }
+            })
+            .collect();
+        format!("match self {{ {} }}", arms.join("\n"))
+    } else {
+        match &item.shape {
+            Shape::Unit => "::serde::Value::Null".to_string(),
+            Shape::Tuple(fields) if fields.len() == 1 => {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            }
+            Shape::Tuple(fields) => {
+                let values: Vec<String> = (0..fields.len())
+                    .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                    .collect();
+                format!("::serde::Value::Seq(vec![{}])", values.join(", "))
+            }
+            Shape::Named(fields) => {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0}))",
+                            f.name
+                        )
+                    })
+                    .collect();
+                format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn render_named_constructor(ty_name: &str, path: &str, fields: &[Field], map_expr: &str) -> String {
+    let assignments: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{0}: ::serde::from_field::<{1}>({map_expr}, \"{0}\", \"{ty_name}\")?",
+                f.name, f.ty
+            )
+        })
+        .collect();
+    format!("{path} {{ {} }}", assignments.join(", "))
+}
+
+fn render_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if item.is_enum {
+        let mut unit_arms = Vec::new();
+        let mut keyed_arms = Vec::new();
+        for v in &item.variants {
+            let vn = &v.name;
+            match &v.shape {
+                Shape::Unit => unit_arms.push(format!(
+                    "::serde::Value::Str(__s) if __s.as_str() == \"{vn}\" => return Ok({name}::{vn}),"
+                )),
+                Shape::Tuple(fields) if fields.len() == 1 => keyed_arms.push(format!(
+                    "\"{vn}\" => return Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)\
+                     .map_err(|e| ::serde::Error::custom(format!(\"variant `{vn}` of `{name}`: {{e}}\")))?)),",
+                )),
+                Shape::Tuple(fields) => {
+                    let gets: Vec<String> = fields
+                        .iter()
+                        .enumerate()
+                        .map(|(k, f)| {
+                            format!(
+                                "<{} as ::serde::Deserialize>::from_value(__seq.get({k})\
+                                 .ok_or_else(|| ::serde::Error::custom(\"variant `{vn}` of `{name}`: tuple too short\"))?)?",
+                                f.ty
+                            )
+                        })
+                        .collect();
+                    keyed_arms.push(format!(
+                        "\"{vn}\" => {{ let __seq = __inner.as_seq()\
+                         .ok_or_else(|| ::serde::Error::custom(\"variant `{vn}` of `{name}`: expected sequence\"))?;\
+                         return Ok({name}::{vn}({})); }}",
+                        gets.join(", ")
+                    ));
+                }
+                Shape::Named(fields) => {
+                    let ctor =
+                        render_named_constructor(name, &format!("{name}::{vn}"), fields, "__entries");
+                    keyed_arms.push(format!(
+                        "\"{vn}\" => {{ let __entries = __inner.as_map()\
+                         .ok_or_else(|| ::serde::Error::custom(\"variant `{vn}` of `{name}`: expected map\"))?;\
+                         return Ok({}); }}",
+                        ctor
+                    ));
+                }
+            }
+        }
+        format!(
+            "match value {{\n{}\n\
+             ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+             let (__tag, __inner) = &__m[0];\n\
+             match __tag.as_str() {{\n{}\n_ => {{}} }}\n}}\n_ => {{}} }}\n\
+             Err(::serde::Error::custom(\"unknown variant for `{name}`\"))",
+            unit_arms.join("\n"),
+            keyed_arms.join("\n"),
+        )
+    } else {
+        match &item.shape {
+            Shape::Unit => format!("let _ = value; Ok({name})"),
+            Shape::Tuple(fields) if fields.len() == 1 => format!(
+                "Ok({name}(<{} as ::serde::Deserialize>::from_value(value)?))",
+                fields[0].ty
+            ),
+            Shape::Tuple(fields) => {
+                let gets: Vec<String> = fields
+                    .iter()
+                    .enumerate()
+                    .map(|(k, f)| {
+                        format!(
+                            "<{} as ::serde::Deserialize>::from_value(__seq.get({k})\
+                             .ok_or_else(|| ::serde::Error::custom(\"`{name}`: tuple too short\"))?)?",
+                            f.ty
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let __seq = value.as_seq()\
+                     .ok_or_else(|| ::serde::Error::custom(\"expected sequence for `{name}`\"))?;\n\
+                     Ok({name}({}))",
+                    gets.join(", ")
+                )
+            }
+            Shape::Named(fields) => {
+                let ctor = render_named_constructor(name, name, fields, "__entries");
+                format!(
+                    "let __entries = value.as_map()\
+                     .ok_or_else(|| ::serde::Error::custom(\"expected map for `{name}`\"))?;\n\
+                     Ok({})",
+                    ctor
+                )
+            }
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn from_value(value: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}"
+    )
+}

@@ -1,0 +1,430 @@
+//! Offline stand-in for the `serde_json` crate (see `vendor/README.md`).
+//!
+//! Renders the vendored [`serde::Value`] tree to JSON and parses JSON back
+//! into it. Map entries keep insertion order and float formatting is the
+//! shortest round-trip form, so output is byte-deterministic for equal
+//! inputs — the benchmark regression gate depends on that.
+
+pub use serde::Error;
+use serde::{Deserialize, Serialize, Value};
+use std::fmt::Write as _;
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to human-readable JSON (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Serializes a value to compact JSON and writes it out.
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let text = to_string(value)?;
+    writer
+        .write_all(text.as_bytes())
+        .map_err(|e| Error::custom(format!("write failed: {e}")))
+}
+
+/// Parses JSON text into any deserializable type.
+pub fn from_str<T: for<'a> Deserialize<'a>>(text: &str) -> Result<T, Error> {
+    let value = parse_value(text)?;
+    T::from_value(&value)
+}
+
+/// Parses JSON bytes into any deserializable type.
+pub fn from_slice<T: for<'a> Deserialize<'a>>(bytes: &[u8]) -> Result<T, Error> {
+    let text =
+        std::str::from_utf8(bytes).map_err(|e| Error::custom(format!("invalid UTF-8: {e}")))?;
+    from_str(text)
+}
+
+/// Parses JSON text into the raw [`Value`] tree.
+pub fn parse_value(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
+    }
+    Ok(value)
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::F64(v) => write_f64(out, *v),
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => write_compound(out, indent, level, '[', ']', items.len(), |out, i| {
+            write_value(out, &items[i], indent, level + 1)
+        }),
+        Value::Map(entries) => {
+            write_compound(out, indent, level, '{', '}', entries.len(), |out, i| {
+                write_string(out, &entries[i].0);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, &entries[i].1, indent, level + 1)
+            })
+        }
+    }
+}
+
+fn write_compound(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (level + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * level));
+    }
+    out.push(close);
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null"); // JSON has no NaN/Inf; match serde_json
+        return;
+    }
+    // `{}` prints the shortest round-trip form; keep a `.0` so the value
+    // parses back as a float when integral.
+    let text = format!("{v}");
+    out.push_str(&text);
+    if !text.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.seq(),
+            Some(b'{') => self.map(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(Error::custom(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn seq(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn map(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            entries.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::custom("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::custom("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::custom("bad \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(Error::custom(format!("bad escape {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|e| Error::custom(format!("invalid UTF-8: {e}")))?,
+                    );
+                }
+                None => return Err(Error::custom("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| Error::custom(format!("invalid UTF-8: {e}")))?;
+        if !is_float {
+            if text.starts_with('-') {
+                if let Ok(v) = text.parse::<i64>() {
+                    return Ok(Value::I64(v));
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::custom(format!("bad number: {text}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_shapes() {
+        let value = Value::Map(vec![
+            ("b".to_string(), Value::Bool(true)),
+            ("n".to_string(), Value::Null),
+            ("i".to_string(), Value::I64(-3)),
+            ("u".to_string(), Value::U64(18_000_000_000_000_000_001)),
+            ("f".to_string(), Value::F64(1.5)),
+            ("whole".to_string(), Value::F64(2.0)),
+            ("s".to_string(), Value::Str("a \"quote\"\nline".to_string())),
+            (
+                "seq".to_string(),
+                Value::Seq(vec![Value::U64(1), Value::Str("x".to_string())]),
+            ),
+            ("empty".to_string(), Value::Seq(vec![])),
+        ]);
+        let compact = to_string(&value).unwrap();
+        let parsed = parse_value(&compact).unwrap();
+        assert_eq!(parsed, value);
+        let pretty = to_string_pretty(&value).unwrap();
+        assert_eq!(parse_value(&pretty).unwrap(), value);
+        assert!(pretty.contains("\n  "));
+    }
+
+    #[test]
+    fn whole_floats_stay_floats() {
+        let text = to_string(&Value::F64(2.0)).unwrap();
+        assert_eq!(text, "2.0");
+        assert_eq!(parse_value("2.0").unwrap(), Value::F64(2.0));
+        assert_eq!(parse_value("2").unwrap(), Value::U64(2));
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let value = Value::Map(vec![
+            ("z".to_string(), Value::U64(1)),
+            ("a".to_string(), Value::U64(2)),
+        ]);
+        let a = to_string_pretty(&value).unwrap();
+        let b = to_string_pretty(&value).unwrap();
+        assert_eq!(a, b);
+        assert!(
+            a.find("\"z\"").unwrap() < a.find("\"a\"").unwrap(),
+            "order preserved"
+        );
+    }
+
+    #[test]
+    fn typed_roundtrip() {
+        let v: Vec<(u32, f64)> = vec![(1, 0.5), (2, 1.0)];
+        let text = to_string(&v).unwrap();
+        let back: Vec<(u32, f64)> = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_value("{\"a\":}").is_err());
+        assert!(parse_value("[1,]").is_err());
+        assert!(parse_value("1 2").is_err());
+        assert!(from_str::<u32>("\"nope\"").is_err());
+    }
+}
