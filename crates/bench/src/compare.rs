@@ -151,6 +151,11 @@ impl Comparison {
 }
 
 /// Compares `current` against `baseline` under the given thresholds.
+///
+/// The `host` section (wall clock, worker count, throughput) is *never*
+/// compared: it is the one part of a report that legitimately differs from
+/// run to run and from machine to machine, so a host-only difference —
+/// including a baseline with no host section at all — compares clean.
 pub fn compare(baseline: &BenchReport, current: &BenchReport, t: &Thresholds) -> Comparison {
     let mut rows = Vec::new();
     let mut errors = Vec::new();
@@ -377,6 +382,7 @@ mod tests {
                 cache_evictions: 0,
                 cache_hit_rate: 2.0 / 3.0,
             },
+            host: None,
         }
     }
 
@@ -385,6 +391,28 @@ mod tests {
         let cmp = compare(&report(1e6), &report(1e6), &Thresholds::default());
         assert!(!cmp.has_regressions(), "{}", cmp.render());
         assert!(cmp.notable().is_empty());
+    }
+
+    #[test]
+    fn host_only_differences_compare_clean() {
+        // The host section is wall clock: a current report carrying one
+        // (or a wildly different one) against a host-less baseline must
+        // produce zero rows of difference and no errors.
+        let base = report(1e6);
+        let mut cur = report(1e6);
+        cur.host = Some(crate::schema::HostSection {
+            threads: 8,
+            wall_ms: 99999.0,
+            cases_per_sec: 0.01,
+            jobs_per_sec: 0.02,
+        });
+        let cmp = compare(&base, &cur, &Thresholds::default());
+        assert!(!cmp.has_regressions(), "{}", cmp.render());
+        assert!(cmp.notable().is_empty());
+        assert!(
+            cmp.rows.iter().all(|r| !r.label.contains("host")),
+            "host metrics must never be compared"
+        );
     }
 
     #[test]

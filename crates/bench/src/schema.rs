@@ -39,6 +39,12 @@ pub struct BenchReport {
     pub cases: Vec<CaseReport>,
     /// Plan-cache service batch measurements.
     pub service: ServiceSection,
+    /// Host-side wall-clock measurements of the run itself (worker count,
+    /// elapsed time, throughput). `None` in reports written before the
+    /// section existed and in runs invoked with `--no-host` (byte-compare
+    /// workflows). **Not a tracked metric**: wall clock varies run to run,
+    /// so [`crate::compare`] ignores this section entirely.
+    pub host: Option<HostSection>,
 }
 
 /// One (dataset × method × device) measurement.
@@ -119,6 +125,23 @@ pub struct ServiceSection {
     pub cache_evictions: u64,
     /// hits / (hits + misses).
     pub cache_hit_rate: f64,
+}
+
+/// Wall-clock diagnostics of the benchmark run itself — the only section
+/// of the report that is *not* deterministic. It exists so perf work on the
+/// harness is visible (`bench run` prints it), while every comparison and
+/// byte-identity check excludes it: `compare` never reads it, and
+/// `bench run --no-host` omits it from the file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostSection {
+    /// Host worker threads the run was configured with.
+    pub threads: u64,
+    /// Wall-clock duration of the whole suite, ms.
+    pub wall_ms: f64,
+    /// Grid cases completed per wall-clock second.
+    pub cases_per_sec: f64,
+    /// Service-batch jobs completed per wall-clock second.
+    pub jobs_per_sec: f64,
 }
 
 impl BenchReport {
@@ -211,6 +234,12 @@ mod tests {
                 cache_evictions: 0,
                 cache_hit_rate: 0.75,
             },
+            host: Some(HostSection {
+                threads: 4,
+                wall_ms: 1234.5,
+                cases_per_sec: 2.5,
+                jobs_per_sec: 10.0,
+            }),
         }
     }
 
@@ -226,6 +255,29 @@ mod tests {
     #[test]
     fn serialization_is_deterministic() {
         assert_eq!(sample().to_json(), sample().to_json());
+    }
+
+    #[test]
+    fn legacy_report_without_host_section_still_parses() {
+        // Reports written before the `host` section existed (e.g. the
+        // checked-in baselines) have no such key: it must read back as
+        // `None` under the same schema version, not error.
+        let mut report = sample();
+        report.host = None;
+        let text = report.to_json();
+        let legacy = text.replace(",\n  \"host\": null", "");
+        assert_ne!(legacy, text, "the host key was present to remove");
+        let back = BenchReport::from_json(&legacy).expect("legacy layout parses");
+        assert_eq!(back.host, None);
+        assert_eq!(back.cases, report.cases);
+    }
+
+    #[test]
+    fn host_section_roundtrips_when_present() {
+        let report = sample();
+        assert!(report.host.is_some());
+        let back = BenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back.host, report.host);
     }
 
     #[test]

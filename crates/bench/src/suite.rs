@@ -14,7 +14,8 @@
 //!   reorganizer; minutes.
 
 use crate::schema::{
-    git_sha, BenchReport, CaseMetrics, CaseReport, PhaseMetrics, ServiceSection, SCHEMA_VERSION,
+    git_sha, BenchReport, CaseMetrics, CaseReport, HostSection, PhaseMetrics, ServiceSection,
+    SCHEMA_VERSION,
 };
 use block_reorganizer::{BlockReorganizer, ReorganizerConfig};
 use br_datasets::registry::{RealWorldRegistry, ScaleFactor};
@@ -22,8 +23,10 @@ use br_gpu_sim::device::DeviceConfig;
 use br_gpu_sim::profiler::KernelProfile;
 use br_service::cache::config_fingerprint;
 use br_service::prelude::*;
+use br_sparse::par;
 use br_spgemm::pipeline::{run_method, SpgemmMethod, SpgemmRun};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Which benchmark suite to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -222,24 +225,57 @@ impl BenchCase {
     }
 }
 
-/// Runs a whole suite and assembles the report. `progress` receives one
-/// line per completed case (pass `|_| {}` to silence).
-pub fn run_suite(suite: Suite, mut progress: impl FnMut(&str)) -> BenchReport {
+/// Runs a whole suite and assembles the report, with the worker count
+/// resolved from the ambient [`par`] configuration (`--threads` override,
+/// `BR_THREADS`, else available cores). `progress` receives one line per
+/// completed case (pass `|_| {}` to silence).
+pub fn run_suite(suite: Suite, progress: impl FnMut(&str)) -> BenchReport {
+    run_suite_threaded(suite, par::effective_threads(None), progress)
+}
+
+/// [`run_suite`] with an explicit host worker count.
+///
+/// Grid cells are independent measurements, so they fan out over `threads`
+/// scoped workers; results (and progress lines) are emitted in suite
+/// definition order, and the service batch runs `threads` workers against
+/// the single-flight plan cache — so everything in the report except the
+/// wall-clock `host` section is byte-identical at any thread count.
+pub fn run_suite_threaded(
+    suite: Suite,
+    threads: usize,
+    mut progress: impl FnMut(&str),
+) -> BenchReport {
+    let started = Instant::now();
+    let threads = threads.max(1);
     let config = ReorganizerConfig::default();
-    let mut cases = Vec::new();
-    for case in suite.cases() {
-        let report = run_case(&case, &config);
+    let grid = suite.cases();
+    let cases: Vec<CaseReport> =
+        par::ordered_map(&grid, threads, |_, case| run_case(case, &config));
+    for report in &cases {
         progress(&format!(
             "{:<55} {:>14.0} cycles  {:>9.3} ms",
             report.id, report.metrics.makespan_cycles, report.metrics.total_ms
         ));
-        cases.push(report);
     }
-    let service = run_service_batch(suite);
+    let service = run_service_batch(suite, threads);
     progress(&format!(
         "service batch: {} jobs, cache hit rate {:.2}",
         service.jobs, service.cache_hit_rate
     ));
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let per_sec = |n: u64| {
+        if wall_ms > 0.0 {
+            n as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        }
+    };
+    let host = Some(HostSection {
+        threads: threads as u64,
+        wall_ms,
+        cases_per_sec: per_sec(cases.len() as u64),
+        jobs_per_sec: per_sec(service.jobs),
+    });
     BenchReport {
         schema_version: SCHEMA_VERSION,
         suite: suite.name().to_string(),
@@ -248,6 +284,7 @@ pub fn run_suite(suite: Suite, mut progress: impl FnMut(&str)) -> BenchReport {
         config_fingerprint: config_fingerprint(&config),
         cases,
         service,
+        host,
     }
 }
 
@@ -321,7 +358,7 @@ fn worst_lbi(profiles: &[KernelProfile]) -> f64 {
 /// Exercises the `br-service` plan cache with a deterministic batch: a few
 /// distinct matrices, each multiplied several times, so the cache sees
 /// both cold misses and warm hits regardless of worker interleaving.
-fn run_service_batch(suite: Suite) -> ServiceSection {
+fn run_service_batch(suite: Suite, threads: usize) -> ServiceSection {
     let (repeats, scale) = match suite {
         Suite::Quick => (3usize, ScaleFactor::Tiny),
         Suite::Full => (4, ScaleFactor::Default),
@@ -337,12 +374,15 @@ fn run_service_batch(suite: Suite) -> ServiceSection {
             id += 1;
         }
     }
-    // One worker: with several, two workers can race on the same cold key
-    // and both record a miss, making hit/miss counts depend on scheduling.
-    // The report must be byte-identical across runs, so the batch is
-    // sequential; concurrency itself is covered by br-service's own tests.
-    let batch =
-        SpgemmService::run_batch(ServiceConfig::uniform(DeviceConfig::titan_xp(), 1, 8), jobs);
+    // The plan cache is single-flight, so workers racing on the same cold
+    // key produce exactly one miss however they interleave — the counters
+    // below are a function of the job list alone, and the report stays
+    // byte-identical at any worker count.
+    let workers = threads.min(jobs.len()).max(1);
+    let batch = SpgemmService::run_batch(
+        ServiceConfig::uniform(DeviceConfig::titan_xp(), workers, 8),
+        jobs,
+    );
     let stats = &batch.stats;
     ServiceSection {
         jobs: stats.jobs as u64,
@@ -393,13 +433,30 @@ mod tests {
 
     #[test]
     fn quick_suite_run_is_deterministic() {
-        let a = run_suite(Suite::Quick, |_| {});
-        let b = run_suite(Suite::Quick, |_| {});
+        let mut a = run_suite(Suite::Quick, |_| {});
+        let mut b = run_suite(Suite::Quick, |_| {});
         // Whole-report equality except provenance (git_sha is stable here
-        // anyway, but keep the assertion focused on measurements).
+        // anyway) and the wall-clock host section, which is the one part
+        // that legitimately differs between runs.
         assert_eq!(a.cases, b.cases, "cycle counts must be bit-identical");
         assert_eq!(a.service.cache_hits, b.service.cache_hits);
+        a.host = None;
+        b.host = None;
         assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn quick_suite_is_byte_identical_at_any_thread_count() {
+        // The tentpole contract: with the host section stripped, the
+        // report file is byte-for-byte the same whether the grid and the
+        // service batch ran on 1 worker or several.
+        let mut seq = run_suite_threaded(Suite::Quick, 1, |_| {});
+        let mut par4 = run_suite_threaded(Suite::Quick, 4, |_| {});
+        assert_eq!(seq.host.as_ref().map(|h| h.threads), Some(1));
+        assert_eq!(par4.host.as_ref().map(|h| h.threads), Some(4));
+        seq.host = None;
+        par4.host = None;
+        assert_eq!(seq.to_json(), par4.to_json());
     }
 
     #[test]

@@ -10,18 +10,31 @@ use crate::profiler::{KernelProfile, L2Stats};
 use crate::scheduler::schedule;
 use crate::timing::{block_timing, unfloored_duration, SmContext};
 use crate::trace::{BlockTrace, KernelLaunch, MemoryLayout};
+use br_sparse::par;
 
 /// Fixed kernel launch latency in core cycles (driver + grid setup).
 const KERNEL_LAUNCH_CYCLES: f64 = 4000.0;
+
+/// Below this block count the per-block passes run sequentially — spawn
+/// overhead would dominate, and small launches are the common case inside
+/// already-parallel benchmark grids.
+const PAR_BLOCK_THRESHOLD: usize = 512;
 
 /// Executes [`KernelLaunch`]es against one device configuration.
 ///
 /// L2 state persists across a [`GpuSimulator::run_sequence`] — data produced
 /// by the expansion kernel is still (partially) resident when the merge
 /// kernel starts, as on real hardware.
+///
+/// The per-block timing passes distribute over scoped host threads (see
+/// [`GpuSimulator::with_threads`]); profiles are bit-identical at any
+/// thread count because every floating-point reduction is folded on the
+/// calling thread in block launch order, and the stateful L2 streaming
+/// pass always runs as a sequential pre-pass.
 #[derive(Debug, Clone)]
 pub struct GpuSimulator {
     device: DeviceConfig,
+    threads: usize,
 }
 
 /// Key grouping blocks of identical resource shape: occupancy and hiding
@@ -44,9 +57,26 @@ impl ShapeKey {
 }
 
 impl GpuSimulator {
-    /// Creates a simulator for the given device.
+    /// Creates a simulator for the given device, with the host worker
+    /// count resolved from the ambient `par` configuration (`--threads`
+    /// override, `BR_THREADS`, else available cores).
     pub fn new(device: DeviceConfig) -> Self {
-        GpuSimulator { device }
+        GpuSimulator {
+            device,
+            threads: par::effective_threads(None),
+        }
+    }
+
+    /// Overrides the host worker count for the per-block timing passes
+    /// (`1` = exact sequential path). Profiles do not depend on it.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The host worker count used for per-block passes.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The device being simulated.
@@ -126,12 +156,27 @@ impl GpuSimulator {
             );
         }
 
+        // Host worker count for the per-block passes. Everything reduced
+        // across blocks is either assembled in block order or folded
+        // sequentially on this thread, so the count never changes a
+        // profile — it only changes wall-clock.
+        let threads = if launch.blocks.len() < PAR_BLOCK_THRESHOLD {
+            1
+        } else {
+            self.threads
+        };
+
         // ---- per-shape contexts (occupancy, hiding) ----
+        // The per-block warp fractions are computed in parallel; the float
+        // sums are folded here in block launch order (bit-stable).
+        let eff_warp_frac: Vec<f64> = par::ordered_map(&launch.blocks, threads, |_, b| {
+            b.effective_warp_fraction(dev.warp_size)
+        });
         let mut shape_stats: HashMap<ShapeKey, (u64, f64)> = HashMap::new(); // (blocks, eff_warp_frac_sum)
-        for b in &launch.blocks {
+        for (b, &frac) in launch.blocks.iter().zip(&eff_warp_frac) {
             let e = shape_stats.entry(ShapeKey::of(b)).or_insert((0, 0.0));
             e.0 += 1;
-            e.1 += b.effective_warp_fraction(dev.warp_size);
+            e.1 += frac;
         }
 
         // ---- concurrency-thrashing model ----
@@ -172,17 +217,29 @@ impl GpuSimulator {
         // with timeshare_g = Σ private_g / Σ private_all and
         // E_time[private]_g = Σ private²_g / Σ private_g (time-weighted mean
         // — long-running heavy blocks dominate the instantaneous picture).
+        //
+        // The per-block segment scans parallelize; the group fold and the
+        // `live_blocks` sum run on this thread, the latter over groups in
+        // first-appearance (launch) order so the float sum never depends on
+        // hash-map iteration order.
+        let private: Vec<u64> = par::ordered_map(&launch.blocks, threads, |_, b| private_bytes(b));
+        let mut group_order: Vec<ShapeKey> = Vec::new();
         let mut group_private: HashMap<ShapeKey, (f64, f64)> = HashMap::new(); // (Σp, Σp²)
-        for b in &launch.blocks {
-            let p = private_bytes(b) as f64;
-            let e = group_private.entry(ShapeKey::of(b)).or_insert((0.0, 0.0));
+        for (b, &p) in launch.blocks.iter().zip(&private) {
+            let p = p as f64;
+            let key = ShapeKey::of(b);
+            let e = group_private.entry(key).or_insert_with(|| {
+                group_order.push(key);
+                (0.0, 0.0)
+            });
             e.0 += p;
             e.1 += p * p;
         }
-        let total_private: f64 = group_private.values().map(|&(p, _)| p).sum();
+        let total_private: f64 = group_order.iter().map(|k| group_private[k].0).sum();
         let mut live_blocks = 0.0f64;
         if total_private > 0.0 {
-            for (key, &(sum_p, _sum_p2)) in &group_private {
+            for key in &group_order {
+                let (sum_p, _sum_p2) = group_private[key];
                 if sum_p <= 0.0 {
                     continue;
                 }
@@ -215,10 +272,14 @@ impl GpuSimulator {
         };
 
         // ---- L2 pass: stream every block's segments in launch order ----
+        // The cache state is carried block to block (launch-order reuse is
+        // the point), so this pass is inherently sequential and always runs
+        // as an ordered pre-pass on this thread regardless of `threads`.
         let block_l2: Vec<BlockL2> = launch
             .blocks
             .iter()
-            .map(|b| {
+            .zip(&private)
+            .map(|(b, &private_b)| {
                 let mut out = BlockL2::default();
                 let mut scatter_hits = 0u64;
                 for seg in &b.segments {
@@ -234,7 +295,7 @@ impl GpuSimulator {
                         out.read_bytes += seg.logical_bytes();
                     }
                 }
-                let retention = retention_of(private_bytes(b));
+                let retention = retention_of(private_b);
                 let demoted = (scatter_hits as f64 * (1.0 - retention)).round() as u64;
                 out.hit_transactions -= demoted;
                 out.miss_transactions += demoted;
@@ -257,12 +318,13 @@ impl GpuSimulator {
         };
 
         // ---- pass 1: unthrottled durations to estimate bandwidth demand ----
-        let durations0: Vec<f64> = launch
-            .blocks
-            .iter()
-            .zip(&block_l2)
-            .map(|(b, l)| unfloored_duration(&block_timing(dev, b, l, &context_for(b, 0.0))))
-            .collect();
+        // Each block's timing depends only on its own trace and L2 summary,
+        // so this fans out; the reductions below fold sequentially in launch
+        // order on this thread, keeping the result bit-identical for any
+        // thread count.
+        let durations0: Vec<f64> = par::ordered_map(&launch.blocks, threads, |i, b| {
+            unfloored_duration(&block_timing(dev, b, &block_l2[i], &context_for(b, 0.0)))
+        });
         let total_bytes: u64 = block_l2.iter().map(|l| l.read_bytes + l.write_bytes).sum();
         let total_work: f64 = durations0.iter().sum();
         let longest: f64 = durations0.iter().copied().fold(0.0, f64::max);
@@ -274,19 +336,18 @@ impl GpuSimulator {
         let rho = (total_bytes as f64 / est_time) / device_bytes_per_cycle;
 
         // ---- pass 2: final timings under contention, then schedule ----
+        let timings: Vec<(f64, f64, f64)> = par::ordered_map(&launch.blocks, threads, |i, b| {
+            let t = block_timing(dev, b, &block_l2[i], &context_for(b, rho));
+            (t.duration, t.sync_stall_cycles, warp_occupancy(dev, b))
+        });
         let mut sync_stall = 0.0;
         let mut occupancy_sum = 0.0;
-        let durations: Vec<f64> = launch
-            .blocks
-            .iter()
-            .zip(&block_l2)
-            .map(|(b, l)| {
-                let t = block_timing(dev, b, l, &context_for(b, rho));
-                sync_stall += t.sync_stall_cycles;
-                occupancy_sum += warp_occupancy(dev, b);
-                t.duration
-            })
-            .collect();
+        let mut durations = Vec::with_capacity(timings.len());
+        for &(duration, stall, occ) in &timings {
+            sync_stall += stall;
+            occupancy_sum += occ;
+            durations.push(duration);
+        }
         let sched = schedule(&durations, dev.num_sms);
 
         let l2_stats = L2Stats {
@@ -490,5 +551,55 @@ mod tests {
         let p_heavy = sim().run(&heavy, &layout);
         assert!(p_light.bandwidth_pressure < 0.1);
         assert!(p_heavy.bandwidth_pressure > 0.5);
+    }
+
+    /// A mixed-shape launch large enough to cross `PAR_BLOCK_THRESHOLD`,
+    /// with scattered/atomic traffic so every model stage (shape stats,
+    /// thrashing footprint, both timing passes) is exercised.
+    fn mixed_launch(r: RegionId, n: usize) -> KernelLaunch {
+        let blocks: Vec<_> = (0..n)
+            .map(|i| {
+                let base = (i as u64 % 64) << 16;
+                match i % 3 {
+                    0 => TraceBuilder::new(256, 256)
+                        .compute(1_000 + (i as u64 * 37) % 5_000)
+                        .read(r, base, 4096)
+                        .atomic_scatter(r, base, 1 << 14, 200, 8, 1.5)
+                        .barriers(1)
+                        .build(),
+                    1 => TraceBuilder::new(128, 96)
+                        .compute(700 + (i as u64 * 13) % 900)
+                        .gather(r, base, 1 << 16, 300, 4)
+                        .build(),
+                    _ => TraceBuilder::new(64, 64)
+                        .scatter_write(r, base, 1 << 15, 100, 8)
+                        .write(r, base, 2048)
+                        .build(),
+                }
+            })
+            .collect();
+        KernelLaunch::new("mixed", blocks)
+    }
+
+    #[test]
+    fn profiles_are_bit_identical_at_any_thread_count() {
+        let (layout, r) = layout_with(1 << 24);
+        let launch = mixed_launch(r, 700); // > PAR_BLOCK_THRESHOLD
+        let dev = DeviceConfig::titan_xp();
+        let baseline = GpuSimulator::new(dev.clone())
+            .with_threads(1)
+            .run_detailed(&launch, &layout);
+        for threads in [2, 3, 8] {
+            let parallel = GpuSimulator::new(dev.clone())
+                .with_threads(threads)
+                .run_detailed(&launch, &layout);
+            // Every float must match exactly, not approximately: the
+            // reductions are folded in launch order on the calling thread.
+            assert_eq!(
+                format!("{:?}", baseline),
+                format!("{:?}", parallel),
+                "threads={threads} diverged from sequential"
+            );
+        }
     }
 }

@@ -13,8 +13,8 @@
 //! `Arc<ReorgPlan>`, so concurrent workers share one artifact without
 //! copying, and eviction never invalidates an executing plan.
 
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Condvar, Mutex};
 
 use block_reorganizer::config::SplitPolicy;
 use block_reorganizer::plan::ReorgPlan;
@@ -107,16 +107,61 @@ struct Entry {
 
 struct Inner {
     map: HashMap<PlanKey, Entry>,
+    /// Keys whose plan is currently being built by some worker
+    /// (single-flight: later requesters wait instead of rebuilding).
+    building: HashSet<PlanKey>,
     tick: u64,
     hits: u64,
     misses: u64,
     evictions: u64,
 }
 
+impl Inner {
+    /// Evicts the least-recently-used entry if inserting `key` would
+    /// overflow `capacity`. Shared by [`PlanCache::insert`] and
+    /// [`PlanCache::get_or_build`].
+    fn make_room_for(&mut self, key: &PlanKey, capacity: usize) {
+        if !self.map.contains_key(key) && self.map.len() >= capacity {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+    }
+}
+
 /// Thread-safe LRU plan cache.
 pub struct PlanCache {
     capacity: usize,
     inner: Mutex<Inner>,
+    /// Signalled when a pending build lands (or is abandoned).
+    ready: Condvar,
+}
+
+/// Removes `key` from the building set and wakes waiters when dropped —
+/// covers the panic path of a [`PlanCache::get_or_build`] build closure, so
+/// waiters retry the build themselves instead of sleeping forever.
+struct BuildGuard<'a> {
+    cache: &'a PlanCache,
+    key: &'a PlanKey,
+}
+
+impl Drop for BuildGuard<'_> {
+    fn drop(&mut self) {
+        let mut inner = self
+            .cache
+            .inner
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        inner.building.remove(self.key);
+        drop(inner);
+        self.cache.ready.notify_all();
+    }
 }
 
 impl PlanCache {
@@ -126,11 +171,13 @@ impl PlanCache {
             capacity: capacity.max(1),
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
+                building: HashSet::new(),
                 tick: 0,
                 hits: 0,
                 misses: 0,
                 evictions: 0,
             }),
+            ready: Condvar::new(),
         }
     }
 
@@ -159,17 +206,7 @@ impl PlanCache {
         let mut inner = self.inner.lock().expect("plan cache poisoned");
         inner.tick += 1;
         let tick = inner.tick;
-        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
-            if let Some(victim) = inner
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-            {
-                inner.map.remove(&victim);
-                inner.evictions += 1;
-            }
-        }
+        inner.make_room_for(&key, self.capacity);
         inner.map.insert(
             key,
             Entry {
@@ -177,6 +214,72 @@ impl PlanCache {
                 last_used: tick,
             },
         );
+    }
+
+    /// Returns the cached plan for `key`, building and inserting it with
+    /// `build` on a miss. Single-flight: when several workers race on the
+    /// same absent key, exactly one runs `build` (counted as **one miss**)
+    /// while the rest block and are served the landed plan (counted as
+    /// **one hit each**). Counters therefore depend only on the multiset
+    /// of requested keys — not on worker count or scheduling — as long as
+    /// no eviction intervenes (capacity ≥ distinct live keys).
+    ///
+    /// The returned flag is `true` when the plan came from cache (a hit,
+    /// including waited-for builds) and `false` when this call built it.
+    ///
+    /// If `build` panics, the pending marker is cleared and waiters retry
+    /// the build themselves.
+    pub fn get_or_build(
+        &self,
+        key: &PlanKey,
+        build: impl FnOnce() -> Arc<ReorgPlan>,
+    ) -> (Arc<ReorgPlan>, bool) {
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        let mut counted_hit = false;
+        loop {
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.map.get_mut(key) {
+                entry.last_used = tick;
+                let plan = entry.plan.clone();
+                if !counted_hit {
+                    inner.hits += 1;
+                }
+                return (plan, true);
+            }
+            if !inner.building.contains(key) {
+                break;
+            }
+            // Another worker is building this plan: count the hit now (the
+            // outcome is already determined) and wait for it to land.
+            if !counted_hit {
+                inner.hits += 1;
+                counted_hit = true;
+            }
+            inner = self.ready.wait(inner).expect("plan cache poisoned");
+        }
+        // This call is the builder for `key`.
+        inner.misses += 1;
+        inner.building.insert(key.clone());
+        drop(inner);
+
+        let guard = BuildGuard { cache: self, key };
+        let plan = build();
+        {
+            let mut inner = self.inner.lock().expect("plan cache poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            inner.make_room_for(key, self.capacity);
+            inner.map.insert(
+                key.clone(),
+                Entry {
+                    plan: plan.clone(),
+                    last_used: tick,
+                },
+            );
+        }
+        drop(guard); // clears the pending marker and wakes waiters
+        (plan, false)
     }
 
     /// Current counters.
@@ -403,6 +506,75 @@ mod tests {
         cache.insert(ka, pa);
         assert_eq!(cache.stats().evictions, 0);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn get_or_build_counts_one_miss_then_hits() {
+        let cache = PlanCache::new(4);
+        let (key, plan, _) = plan_for(80);
+        let (p1, cached1) = cache.get_or_build(&key, || plan.clone());
+        assert!(!cached1, "first request builds");
+        for _ in 0..3 {
+            let (p, cached) = cache.get_or_build(&key, || panic!("must not rebuild"));
+            assert!(cached);
+            assert!(Arc::ptr_eq(&p, &p1), "same artifact is shared");
+        }
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (3, 1));
+    }
+
+    #[test]
+    fn get_or_build_single_flight_under_contention() {
+        // 8 threads race on 2 distinct keys: exactly one build per key must
+        // run, and the counters must equal (requests - distinct, distinct)
+        // regardless of interleaving.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let cache = Arc::new(PlanCache::new(8));
+        let (ka, pa, _) = plan_for(90);
+        let (kb, pb, _) = plan_for(91);
+        let builds = Arc::new(AtomicU64::new(0));
+
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let cache = cache.clone();
+            let key = if i % 2 == 0 { ka.clone() } else { kb.clone() };
+            let plan = if i % 2 == 0 { pa.clone() } else { pb.clone() };
+            let builds = builds.clone();
+            handles.push(std::thread::spawn(move || {
+                let (_, cached) = cache.get_or_build(&key, || {
+                    builds.fetch_add(1, Ordering::SeqCst);
+                    // Widen the race window so waiters actually wait.
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    plan
+                });
+                cached
+            }));
+        }
+        let served_from_cache = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|&c| c)
+            .count();
+        assert_eq!(builds.load(Ordering::SeqCst), 2, "one build per key");
+        assert_eq!(served_from_cache, 6);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (6, 2));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn get_or_build_recovers_from_a_panicking_builder() {
+        let cache = PlanCache::new(4);
+        let (key, plan, _) = plan_for(95);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_build(&key, || panic!("builder died"));
+        }));
+        assert!(result.is_err());
+        // The pending marker must be gone: the next request builds afresh
+        // instead of deadlocking.
+        let (_, cached) = cache.get_or_build(&key, || plan);
+        assert!(!cached);
+        assert!(cache.contains(&key));
     }
 
     #[test]

@@ -58,7 +58,7 @@ impl ServiceConfig {
 pub struct BatchOutcome {
     /// Successful jobs, in submission order.
     pub outcomes: Vec<JobOutcome>,
-    /// Failed jobs, in completion order.
+    /// Failed jobs, in submission order.
     pub failures: Vec<JobError>,
     /// The aggregate report.
     pub stats: ServiceStats,
@@ -179,6 +179,7 @@ impl SpgemmService {
             }
         }
         outcomes.sort_by_key(|o| o.id);
+        failures.sort_by_key(|f| f.id);
         let wall_ms = started.elapsed().as_secs_f64() * 1e3;
         let worker_stats = reports
             .into_iter()
@@ -259,14 +260,13 @@ fn execute_job(
         Err(e) => return fail(format!("invalid operands: {e}")),
     };
     let key = PlanKey::new(ctx.signature(), &device.name, &job.config);
-    let (plan, cache_hit) = match cache.lookup(&key) {
-        Some(plan) => (plan, true),
-        None => {
-            let plan = Arc::new(ReorgPlan::build(&ctx, &job.config, device));
-            cache.insert(key, plan.clone());
-            (plan, false)
-        }
-    };
+    // Single-flight: concurrent workers racing on the same absent key
+    // produce exactly one build (one miss) and one hit per other job, so
+    // the cache counters in the batch report don't depend on worker count
+    // or scheduling.
+    let (plan, cache_hit) = cache.get_or_build(&key, || {
+        Arc::new(ReorgPlan::build(&ctx, &job.config, device))
+    });
     let mode = if cache_hit {
         PlanMode::Cached
     } else {

@@ -14,6 +14,9 @@
 //!   GPU kernel in the workspace.
 //! * Distribution statistics ([`stats`]) — degree skew metrics used for
 //!   dataset characterisation (regular vs power-law, Table II).
+//! * Deterministic host parallelism ([`par`]) — fixed-chunk scoped-thread
+//!   helpers whose results are bit-identical at any thread count, used by
+//!   the simulator, the numeric mergers, and the benchmark runner.
 //!
 //! Index convention: column indices are `u32` (matching what the paper's
 //! CUDA kernels would use on-device); row/column pointer arrays are `usize`.
@@ -28,6 +31,7 @@ pub mod dense;
 pub mod error;
 pub mod io;
 pub mod ops;
+pub mod par;
 pub mod scalar;
 pub mod stats;
 

@@ -11,7 +11,7 @@
 //! All three produce canonical (sorted-row) CSR.
 
 use br_sparse::ops::spgemm_gustavson;
-use br_sparse::{CsrMatrix, Result, Scalar};
+use br_sparse::{par, CsrMatrix, Result, Scalar};
 
 /// Dense-accumulator (SPA) merge — delegates to the crate-level reference,
 /// which is exactly this algorithm.
@@ -159,15 +159,22 @@ pub fn spgemm_hash_parallel<T: Scalar>(
     spgemm_parallel_with(a, b, threads, spgemm_hash)
 }
 
-/// A sensible default worker count for the numeric mergers.
+/// A sensible default worker count for the numeric mergers: the resolved
+/// [`br_sparse::par`] configuration (`--threads` override, `BR_THREADS`,
+/// else available cores).
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    par::effective_threads(None)
 }
 
 /// Row-partitioned parallel driver: any per-row merger distributes over
 /// `threads` std-scoped workers and is stitched back together.
+///
+/// Determinism: the row partition ([`par::weighted_bounds`]) is a pure
+/// function of the operands' structure and `threads`, each worker runs the
+/// *sequential* merger on its row range with its own scratch (SPA, hash
+/// table, or products buffer), and the per-range CSR triples are
+/// concatenated in row order — so the output is bit-for-bit the sequential
+/// result at any thread count.
 fn spgemm_parallel_with<T: Scalar>(
     a: &CsrMatrix<T>,
     b: &CsrMatrix<T>,
@@ -181,44 +188,21 @@ fn spgemm_parallel_with<T: Scalar>(
     }
 
     // Static row partition balanced by intermediate products, so one hub
-    // region doesn't serialize the whole run.
-    let weights: Vec<u64> = (0..a.nrows())
-        .map(|r| {
-            let (cols, _) = a.row(r);
-            cols.iter().map(|&k| b.row_nnz(k as usize) as u64).sum()
-        })
-        .collect();
-    let total: u64 = weights.iter().sum();
-    let per_part = total / threads as u64 + 1;
-    let mut bounds = vec![0usize];
-    let mut acc = 0u64;
-    for (r, &w) in weights.iter().enumerate() {
-        acc += w;
-        if acc >= per_part && bounds.len() < threads {
-            bounds.push(r + 1);
-            acc = 0;
-        }
-    }
-    bounds.push(a.nrows());
+    // region doesn't serialize the whole run. The weights scan itself is
+    // O(nnz(A)) and parallelizes per row.
+    let weights: Vec<u64> = par::ordered_index_map(a.nrows(), threads, |r| {
+        let (cols, _) = a.row(r);
+        cols.iter().map(|&k| b.row_nnz(k as usize) as u64).sum()
+    });
+    let bounds = par::weighted_bounds(&weights, threads);
 
-    // Each worker produces the (ptr, idx, val) triple of its row range.
-    type Part<T> = (Vec<usize>, Vec<u32>, Vec<T>);
-    let mut parts: Vec<Option<Part<T>>> = Vec::new();
-    parts.resize_with(bounds.len() - 1, || None);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for w in 0..bounds.len() - 1 {
-            let (lo, hi) = (bounds[w], bounds[w + 1]);
-            handles.push(scope.spawn(move || -> Part<T> {
-                let slice = a.row_slice(lo..hi);
-                let c = merger(&slice, b).expect("shapes already validated");
-                let (_, _, ptr, idx, val) = c.into_parts();
-                (ptr, idx, val)
-            }));
-        }
-        for (w, h) in handles.into_iter().enumerate() {
-            parts[w] = Some(h.join().expect("worker must not panic"));
-        }
+    // Each worker produces the (ptr, idx, val) triple of its row range;
+    // ranges come back in row order.
+    let parts = par::ordered_bounds_map(&bounds, |range| {
+        let slice = a.row_slice(range);
+        let c = merger(&slice, b).expect("shapes already validated");
+        let (_, _, ptr, idx, val) = c.into_parts();
+        (ptr, idx, val)
     });
 
     // Stitch the per-range outputs back together.
@@ -226,8 +210,7 @@ fn spgemm_parallel_with<T: Scalar>(
     let mut idx = Vec::new();
     let mut val = Vec::new();
     ptr.push(0usize);
-    for part in parts.into_iter().map(|p| p.expect("worker filled")) {
-        let (p_ptr, p_idx, p_val) = part;
+    for (p_ptr, p_idx, p_val) in parts {
         let base = idx.len();
         ptr.extend(p_ptr.iter().skip(1).map(|&x| base + x));
         idx.extend(p_idx);
@@ -340,5 +323,120 @@ mod tests {
             spgemm_parallel(&i, &i, 16).unwrap(),
             spgemm_dense_spa(&i, &i).unwrap()
         );
+    }
+
+    #[test]
+    fn parallel_handles_interspersed_empty_rows() {
+        // Every other row is empty (zero weight): the weighted partition
+        // must still cover all rows and the stitched `ptr` must stay flat
+        // across the empty ones.
+        let n = 400;
+        let mut ptr = vec![0usize; n + 1];
+        let mut idx = Vec::new();
+        for r in 0..n {
+            if r % 2 == 0 {
+                idx.push((r % 7) as u32);
+                idx.push((7 + r % 11) as u32);
+            }
+            ptr[r + 1] = idx.len();
+        }
+        let nnz = idx.len();
+        let a = CsrMatrix::try_new(n, n, ptr, idx, vec![0.5f64; nnz]).unwrap();
+        let seq = spgemm_dense_spa(&a, &a).unwrap();
+        for threads in [2, 5, 16] {
+            assert_eq!(spgemm_parallel(&a, &a, threads).unwrap(), seq);
+        }
+    }
+
+    #[test]
+    fn parallel_weight_cliffs_at_chunk_boundaries() {
+        // Weights arranged so greedy prefix cuts land right before/after
+        // huge rows: alternating runs of featherweight rows and one row
+        // that multiplies against a dense hub row of B.
+        let n = 512;
+        let hub_width = 256u32;
+        let mut ptr = vec![0usize; n + 1];
+        let mut idx = Vec::new();
+        let mut val = Vec::new();
+        for r in 0..n {
+            if r % 64 == 63 {
+                // Heavy row: points at row 0 of B (the hub) many times over
+                // distinct columns 0..8, each expanding hub_width products.
+                for j in 0..8 {
+                    idx.push(j);
+                    val.push(1.0 + j as f64);
+                }
+            } else {
+                idx.push((r % 32) as u32 + 8);
+                val.push(0.25);
+            }
+            ptr[r + 1] = idx.len();
+        }
+        let a = CsrMatrix::try_new(n, n, ptr, idx, val).unwrap();
+
+        // B: rows 0..8 dense over `hub_width` columns, the rest singletons.
+        let mut bptr = vec![0usize; n + 1];
+        let mut bidx = Vec::new();
+        let mut bval = Vec::new();
+        for r in 0..n {
+            if r < 8 {
+                for j in 0..hub_width {
+                    bidx.push(j);
+                    bval.push(1.0 / (1.0 + j as f64));
+                }
+            } else {
+                bidx.push((r % 300) as u32);
+                bval.push(2.0);
+            }
+            bptr[r + 1] = bidx.len();
+        }
+        let b = CsrMatrix::try_new(n, n, bptr, bidx, bval).unwrap();
+
+        let seq = spgemm_dense_spa(&a, &b).unwrap();
+        for threads in [2, 3, 7, 8, 64] {
+            assert_eq!(spgemm_parallel(&a, &b, threads).unwrap(), seq);
+        }
+    }
+
+    #[test]
+    fn parallel_all_products_collapse_to_one_column() {
+        // B has a single column, so every intermediate product for a row
+        // lands on the same accumulator slot — the worst case for
+        // accumulation-order sensitivity. All three parallel mergers must
+        // still match their sequential counterparts bit-for-bit.
+        let n = 256;
+        let a = rmat(RmatConfig::snap_like(8, 5, 9)).to_csr();
+        let n_a = a.ncols();
+        let bptr: Vec<usize> = (0..=n_a).collect();
+        let b = CsrMatrix::try_new(
+            n_a,
+            1,
+            bptr,
+            vec![0u32; n_a],
+            (0..n_a).map(|k| 1.0 + (k % 13) as f64 * 0.125).collect(),
+        )
+        .unwrap();
+        assert!(a.nrows() >= n); // large enough to take the parallel path
+        let spa = spgemm_dense_spa(&a, &b).unwrap();
+        let esc = spgemm_sort_reduce(&a, &b).unwrap();
+        let hash = spgemm_hash(&a, &b).unwrap();
+        for threads in [2, 8] {
+            assert_eq!(spgemm_parallel(&a, &b, threads).unwrap(), spa);
+            assert_eq!(spgemm_sort_reduce_parallel(&a, &b, threads).unwrap(), esc);
+            assert_eq!(spgemm_hash_parallel(&a, &b, threads).unwrap(), hash);
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+        /// Property: for arbitrary power-law matrices and thread counts the
+        /// parallel driver is bit-for-bit the sequential merger.
+        #[test]
+        fn prop_parallel_bit_identical(seed in 0u64..1000, threads in 2usize..12) {
+            let a = rmat(RmatConfig::snap_like(8, 6, seed)).to_csr();
+            let seq = spgemm_dense_spa(&a, &a).unwrap();
+            let par = spgemm_parallel(&a, &a, threads).unwrap();
+            proptest::prop_assert_eq!(par, seq);
+        }
     }
 }

@@ -8,8 +8,9 @@
 //!                  [--method <name>] [--device <name>] [--scale <div>]
 //!                  [--square | --pair-with <file.mtx>] [--verify] [--list]
 //!   blockreorg-cli batch --jobs <file> [--device <d1,d2,..>] [--workers <n>]
-//!                  [--cache <entries>]
+//!                  [--cache <entries>] [--threads <n>]
 //!   blockreorg-cli bench run [--suite quick|full|scaling] [--out <path>]
+//!                  [--threads <n>] [--no-host]
 //!   blockreorg-cli bench compare <baseline.json> <current.json>
 //!                  [--cycles-pct <pct>]
 //!
@@ -60,14 +61,21 @@ fn print_usage() {
     println!("                      [--device {DEVICE_CHOICES}] [--scale <divisor>]");
     println!("                      [--pair-with <mtx>] [--verify] [--report] [--tune] [--list]");
     println!("       blockreorg-cli batch --jobs <file> [--device <d1,d2,..>] [--workers <n>]");
-    println!("                      [--cache <entries>]");
+    println!("                      [--cache <entries>] [--threads <n>]");
     println!("       blockreorg-cli bench run [--suite quick|full|scaling] [--out <path>]");
+    println!("                      [--threads <n>] [--no-host]");
     println!("       blockreorg-cli bench compare <baseline.json> <current.json>");
     println!("                      [--cycles-pct <pct>]");
     println!();
     println!("bench mode runs a fixed (dataset x method x device) grid on the simulator,");
     println!("writes a deterministic BENCH_<suite>.json report, and compares reports with");
     println!("per-metric tolerances (nonzero exit on regression) — the CI perf gate.");
+    println!();
+    println!("--threads <n> (or the BR_THREADS env var) sets the host worker count for");
+    println!("the suite grid, the per-block simulator passes, and the numeric mergers;");
+    println!("1 = exact sequential path. Every simulated metric is bit-identical at any");
+    println!("thread count; only wall clock changes. --no-host omits the wall-clock");
+    println!("'host' section from the report so files byte-compare across runs.");
     println!();
     println!("batch mode runs every job in <file> through the br-service worker pool");
     println!("(one simulated device per worker) with an LRU reorganization-plan cache,");
@@ -181,6 +189,7 @@ fn parse_batch_options(args: &mut dyn Iterator<Item = String>) -> BatchOptions {
                     .parse()
                     .unwrap_or_else(|_| usage_and_exit("--cache must be a positive integer"));
             }
+            "--threads" => apply_threads_flag(&next_value(args, "--threads")),
             other => usage_and_exit(&format!("unknown flag {other:?} in batch mode")),
         }
     }
@@ -190,6 +199,19 @@ fn parse_batch_options(args: &mut dyn Iterator<Item = String>) -> BatchOptions {
 fn next_value(args: &mut dyn Iterator<Item = String>, flag: &str) -> String {
     args.next()
         .unwrap_or_else(|| usage_and_exit(&format!("missing value for {flag}")))
+}
+
+/// Parses and installs a `--threads <n>` override. `n = 0` is a usage
+/// error (exit 2): the sequential path is requested with `--threads 1`,
+/// not zero workers. The override takes precedence over `BR_THREADS`.
+fn apply_threads_flag(value: &str) {
+    match value.parse::<usize>() {
+        Ok(n) if n >= 1 => blockreorg::sparse::par::set_global_threads(n),
+        Ok(_) => usage_and_exit("--threads must be >= 1 (use 1 for the sequential path)"),
+        Err(_) => usage_and_exit(&format!(
+            "--threads expects a positive integer, got {value:?}"
+        )),
+    }
 }
 
 fn load_a(o: &Options) -> CsrMatrix<f64> {
@@ -316,6 +338,7 @@ fn run_bench_mode(args: &mut dyn Iterator<Item = String>) -> ! {
         Some("run") => {
             let mut suite = Suite::Quick;
             let mut out: Option<String> = None;
+            let mut no_host = false;
             while let Some(arg) = args.next() {
                 match arg.as_str() {
                     "--suite" => {
@@ -334,11 +357,29 @@ fn run_bench_mode(args: &mut dyn Iterator<Item = String>) -> ! {
                                 .unwrap_or_else(|| usage_and_exit("missing --out path")),
                         );
                     }
+                    "--threads" => {
+                        let v = args
+                            .next()
+                            .unwrap_or_else(|| usage_and_exit("missing --threads value"));
+                        apply_threads_flag(&v);
+                    }
+                    "--no-host" => no_host = true,
                     other => usage_and_exit(&format!("unknown bench run flag {other:?}")),
                 }
             }
             let path = out.unwrap_or_else(|| format!("BENCH_{}.json", suite.name()));
-            let report = run_suite(suite, |line| println!("{line}"));
+            let mut report = run_suite(suite, |line| println!("{line}"));
+            // The wall-clock line is always printed; --no-host only keeps
+            // it out of the file so reports byte-compare across runs.
+            if let Some(host) = &report.host {
+                println!(
+                    "host: {} threads, {:.0} ms wall ({:.2} cases/s, {:.2} jobs/s)",
+                    host.threads, host.wall_ms, host.cases_per_sec, host.jobs_per_sec
+                );
+            }
+            if no_host {
+                report.host = None;
+            }
             if let Err(e) = std::fs::write(&path, report.to_json()) {
                 runtime_error(&format!("cannot write {path}: {e}"));
             }
