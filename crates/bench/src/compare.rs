@@ -80,6 +80,10 @@ pub struct Comparison {
     pub rows: Vec<Row>,
     /// Structural/identity errors (missing cases, version skew, …).
     pub errors: Vec<String>,
+    /// Host wall-clock throughput of both reports, when recorded — shown
+    /// at the end of [`Comparison::render`] for the human reading the
+    /// table. Purely informational: never a row, never gated.
+    pub host_info: Option<String>,
 }
 
 impl Comparison {
@@ -146,6 +150,11 @@ impl Comparison {
             improved,
             self.errors.len()
         ));
+        if let Some(info) = &self.host_info {
+            out.push_str(&format!(
+                "host throughput (informational, not gated): {info}\n"
+            ));
+        }
         out
     }
 }
@@ -272,7 +281,27 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, t: &Thresholds) ->
             ));
         }
     }
-    Comparison { rows, errors }
+    let describe_host = |r: &BenchReport| {
+        r.host.as_ref().map(|h| {
+            format!(
+                "{:.0} ms wall / {:.2} cases/s / {} threads",
+                h.wall_ms, h.cases_per_sec, h.threads
+            )
+        })
+    };
+    let host_info = match (describe_host(baseline), describe_host(current)) {
+        (None, None) => None,
+        (b, c) => Some(format!(
+            "baseline {} -> current {}",
+            b.unwrap_or_else(|| "(not recorded)".to_string()),
+            c.unwrap_or_else(|| "(not recorded)".to_string()),
+        )),
+    };
+    Comparison {
+        rows,
+        errors,
+        host_info,
+    }
 }
 
 /// Which direction of change is a regression for a metric.
@@ -405,6 +434,16 @@ mod tests {
             wall_ms: 99999.0,
             cases_per_sec: 0.01,
             jobs_per_sec: 0.02,
+            bins: Some(crate::schema::BinHostStats {
+                tiny_max: 16,
+                heavy_min: 2048,
+                tiny_rows: 1,
+                medium_rows: 2,
+                heavy_rows: 3,
+                tiny_products: 4,
+                medium_products: 5,
+                heavy_products: 6,
+            }),
         });
         let cmp = compare(&base, &cur, &Thresholds::default());
         assert!(!cmp.has_regressions(), "{}", cmp.render());
@@ -413,6 +452,18 @@ mod tests {
             cmp.rows.iter().all(|r| !r.label.contains("host")),
             "host metrics must never be compared"
         );
+        // The render does surface host throughput — as an informational
+        // line, not a compared row.
+        let rendered = cmp.render();
+        assert!(rendered.contains("not gated"), "{rendered}");
+        assert!(rendered.contains("99999 ms"), "{rendered}");
+    }
+
+    #[test]
+    fn host_info_absent_when_neither_report_recorded_it() {
+        let cmp = compare(&report(1e6), &report(1e6), &Thresholds::default());
+        assert!(cmp.host_info.is_none());
+        assert!(!cmp.render().contains("host throughput"));
     }
 
     #[test]

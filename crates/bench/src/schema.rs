@@ -142,6 +142,36 @@ pub struct HostSection {
     pub cases_per_sec: f64,
     /// Service-batch jobs completed per wall-clock second.
     pub jobs_per_sec: f64,
+    /// Adaptive-engine row-bin census over the suite's distinct problems.
+    /// `None` in reports written before the adaptive engine existed —
+    /// legacy reports parse with the field absent. Like the rest of the
+    /// `host` section, never compared.
+    pub bins: Option<BinHostStats>,
+}
+
+/// Per-bin census of the adaptive host merge engine: how the suite's
+/// distinct (dataset, scale) problems' rows and intermediate products
+/// split across the tiny/medium/heavy bins under the thresholds in effect.
+/// Structure-derived and deterministic, but stored under `host` because it
+/// describes the host numeric path, not the simulated device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BinHostStats {
+    /// `tiny_max` threshold the census used.
+    pub tiny_max: u64,
+    /// `heavy_min` threshold the census used.
+    pub heavy_min: u64,
+    /// Rows handled by the insertion-sorted small buffer.
+    pub tiny_rows: u64,
+    /// Rows handled by the open-addressing hash table.
+    pub medium_rows: u64,
+    /// Rows handled by the dense accumulator.
+    pub heavy_rows: u64,
+    /// Intermediate products expanded by tiny rows.
+    pub tiny_products: u64,
+    /// Intermediate products expanded by medium rows.
+    pub medium_products: u64,
+    /// Intermediate products expanded by heavy rows.
+    pub heavy_products: u64,
 }
 
 impl BenchReport {
@@ -239,6 +269,16 @@ mod tests {
                 wall_ms: 1234.5,
                 cases_per_sec: 2.5,
                 jobs_per_sec: 10.0,
+                bins: Some(BinHostStats {
+                    tiny_max: 16,
+                    heavy_min: 2048,
+                    tiny_rows: 100,
+                    medium_rows: 50,
+                    heavy_rows: 3,
+                    tiny_products: 800,
+                    medium_products: 9000,
+                    heavy_products: 70000,
+                }),
             }),
         }
     }
@@ -278,6 +318,22 @@ mod tests {
         assert!(report.host.is_some());
         let back = BenchReport::from_json(&report.to_json()).unwrap();
         assert_eq!(back.host, report.host);
+    }
+
+    #[test]
+    fn host_section_without_bins_key_parses_as_none() {
+        // Reports written before the adaptive engine existed have a host
+        // section but no `bins` key: it must read back as `None`.
+        let mut report = sample();
+        if let Some(host) = &mut report.host {
+            host.bins = None;
+        }
+        let with_null = report.to_json();
+        let legacy = with_null.replace(",\n    \"bins\": null", "");
+        assert_ne!(legacy, with_null, "the bins key was present to remove");
+        let back = BenchReport::from_json(&legacy).expect("pre-bins host section parses");
+        assert_eq!(back.host.as_ref().unwrap().bins, None);
+        assert_eq!(back.host.as_ref().unwrap().wall_ms, 1234.5);
     }
 
     #[test]

@@ -14,8 +14,8 @@
 //!   reorganizer; minutes.
 
 use crate::schema::{
-    git_sha, BenchReport, CaseMetrics, CaseReport, HostSection, PhaseMetrics, ServiceSection,
-    SCHEMA_VERSION,
+    git_sha, BenchReport, BinHostStats, CaseMetrics, CaseReport, HostSection, PhaseMetrics,
+    ServiceSection, SCHEMA_VERSION,
 };
 use block_reorganizer::{BlockReorganizer, ReorganizerConfig};
 use br_datasets::registry::{RealWorldRegistry, ScaleFactor};
@@ -24,6 +24,7 @@ use br_gpu_sim::profiler::KernelProfile;
 use br_service::cache::config_fingerprint;
 use br_service::prelude::*;
 use br_sparse::par;
+use br_spgemm::accum::{effective_thresholds_for, RowBins};
 use br_spgemm::pipeline::{run_method, SpgemmMethod, SpgemmRun};
 use std::sync::Arc;
 use std::time::Instant;
@@ -275,6 +276,7 @@ pub fn run_suite_threaded(
         wall_ms,
         cases_per_sec: per_sec(cases.len() as u64),
         jobs_per_sec: per_sec(service.jobs),
+        bins: Some(bin_census(suite)),
     });
     BenchReport {
         schema_version: SCHEMA_VERSION,
@@ -353,6 +355,53 @@ fn metrics_of(run: &SpgemmRun<f64>) -> CaseMetrics {
 
 fn worst_lbi(profiles: &[KernelProfile]) -> f64 {
     profiles.iter().map(|p| p.lbi()).fold(0.0, f64::max)
+}
+
+/// Censuses the adaptive engine's row bins over the suite's distinct
+/// (dataset, scale) problems (each squared, as the grid runs them), under
+/// the thresholds the engine would actually apply to each problem (the
+/// `--bins` override when set, else the width-aware recommendation). The
+/// recorded threshold pair is the first problem's, in deterministic suite
+/// order — at one suite scale the recommendation is uniform in practice.
+/// Structure-only and deterministic; recorded in the report's
+/// informational `host` section, never compared.
+fn bin_census(suite: Suite) -> BinHostStats {
+    let mut seen: Vec<(&'static str, String)> = Vec::new();
+    let mut recorded: Option<br_spgemm::accum::BinThresholds> = None;
+    let mut stats = BinHostStats {
+        tiny_max: 0,
+        heavy_min: 0,
+        tiny_rows: 0,
+        medium_rows: 0,
+        heavy_rows: 0,
+        tiny_products: 0,
+        medium_products: 0,
+        heavy_products: 0,
+    };
+    for case in suite.cases() {
+        let key = (case.dataset, case.scale.label());
+        if seen.contains(&key) {
+            continue;
+        }
+        seen.push(key);
+        let a = RealWorldRegistry::get(case.dataset)
+            .expect("suite datasets are registered")
+            .generate(case.scale);
+        let thresholds = effective_thresholds_for(a.ncols());
+        if recorded.is_none() {
+            recorded = Some(thresholds);
+            stats.tiny_max = thresholds.tiny_max;
+            stats.heavy_min = thresholds.heavy_min;
+        }
+        let bins = RowBins::of(&a, &a, thresholds).expect("square shapes always agree");
+        stats.tiny_rows += bins.rows[0];
+        stats.medium_rows += bins.rows[1];
+        stats.heavy_rows += bins.rows[2];
+        stats.tiny_products += bins.products[0];
+        stats.medium_products += bins.products[1];
+        stats.heavy_products += bins.products[2];
+    }
+    stats
 }
 
 /// Exercises the `br-service` plan cache with a deterministic batch: a few
@@ -457,6 +506,35 @@ mod tests {
         seq.host = None;
         par4.host = None;
         assert_eq!(seq.to_json(), par4.to_json());
+    }
+
+    #[test]
+    fn bin_census_is_deterministic_and_counts_every_row() {
+        let census = bin_census(Suite::Quick);
+        assert_eq!(census, bin_census(Suite::Quick));
+        // The recorded pair is what the engine applies to the suite's
+        // first problem (harbor, tiny scale).
+        let harbor = RealWorldRegistry::get("harbor")
+            .unwrap()
+            .generate(ScaleFactor::Tiny);
+        let thresholds = effective_thresholds_for(harbor.ncols());
+        assert_eq!(census.tiny_max, thresholds.tiny_max);
+        assert_eq!(census.heavy_min, thresholds.heavy_min);
+        // Every distinct (dataset, scale) problem's rows are counted once.
+        let expected_rows: u64 = ["harbor", "emailEnron", "patents_main"]
+            .iter()
+            .map(|d| {
+                RealWorldRegistry::get(d)
+                    .unwrap()
+                    .generate(ScaleFactor::Tiny)
+                    .nrows() as u64
+            })
+            .sum();
+        assert_eq!(
+            census.tiny_rows + census.medium_rows + census.heavy_rows,
+            expected_rows
+        );
+        assert!(census.tiny_rows > 0, "{census:?}");
     }
 
     #[test]

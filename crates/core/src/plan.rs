@@ -29,10 +29,11 @@ use br_gpu_sim::sim::GpuSimulator;
 use br_gpu_sim::trace::KernelLaunch;
 use br_sparse::error::SparseError;
 use br_sparse::{Result, Scalar};
+use br_spgemm::accum::{effective_thresholds_for, spgemm_adaptive_planned, RowBins, ScratchPool};
 use br_spgemm::context::{ProblemContext, ProblemSignature};
 use br_spgemm::expansion::outer::outer_pair_block;
 use br_spgemm::merge::gustavson::gustavson_merge_launch;
-use br_spgemm::numeric::{default_threads, spgemm_parallel};
+use br_spgemm::numeric::default_threads;
 use br_spgemm::pipeline::assemble_run_on;
 use br_spgemm::workspace::Workspace;
 use serde::{Deserialize, Serialize};
@@ -82,6 +83,10 @@ pub struct ReorgPlan {
     pub gather_plan: GatherPlan,
     /// B-Limiting row flags for the merge.
     pub limit_plan: LimitPlan,
+    /// Host numeric row binning (adaptive merge engine): classified once at
+    /// build time from the context's `row_products` and reused — with the
+    /// per-row partition weights it carries — on every cached execution.
+    pub bins: RowBins,
     /// Host-side B-Splitting preprocessing cost paid at build time, ms.
     pub preprocess_ms: f64,
 }
@@ -113,6 +118,7 @@ impl ReorgPlan {
             GatherPlan::default()
         };
         let limit_plan = LimitPlan::of(ctx, config);
+        let bins = RowBins::classify(&ctx.row_products, effective_thresholds_for(ctx.b.ncols()));
         ReorgPlan {
             config: *config,
             device_name: device.name.clone(),
@@ -121,6 +127,7 @@ impl ReorgPlan {
             split_plans,
             gather_plan,
             limit_plan,
+            bins,
             preprocess_ms: host_ms,
         }
     }
@@ -145,6 +152,21 @@ impl ReorgPlan {
         sim: &GpuSimulator,
         ctx: &ProblemContext<T>,
         mode: PlanMode,
+    ) -> Result<ReorganizerRun<T>> {
+        self.execute_with_scratch(sim, ctx, mode, None)
+    }
+
+    /// [`ReorgPlan::execute_on`] with an optional merge-scratch pool — the
+    /// `br-service` workers pass their per-worker pool so steady-state jobs
+    /// reuse warmed accumulators instead of allocating per execution. The
+    /// host numeric multiply runs through the adaptive row-binned engine
+    /// using the plan's cached [`RowBins`] (no re-binning, no weights scan).
+    pub fn execute_with_scratch<T: Scalar>(
+        &self,
+        sim: &GpuSimulator,
+        ctx: &ProblemContext<T>,
+        mode: PlanMode,
+        pool: Option<&ScratchPool<T>>,
     ) -> Result<ReorganizerRun<T>> {
         if self.signature != ctx.signature() {
             return Err(SparseError::InvalidStructure(format!(
@@ -171,7 +193,7 @@ impl ReorgPlan {
         let run = assemble_run_on(
             sim,
             "Block-Reorganizer",
-            spgemm_parallel(&ctx.a, &ctx.b, default_threads())?,
+            spgemm_adaptive_planned(&ctx.a, &ctx.b, default_threads(), &self.bins, pool)?,
             &launches,
             &ws.layout,
             host_ms,

@@ -15,6 +15,7 @@ use std::time::Instant;
 use block_reorganizer::plan::{PlanMode, ReorgPlan};
 use br_gpu_sim::device::DeviceConfig;
 use br_gpu_sim::sim::GpuSimulator;
+use br_spgemm::accum::ScratchPool;
 use br_spgemm::context::ProblemContext;
 
 use crate::cache::{PlanCache, PlanKey};
@@ -219,12 +220,24 @@ fn worker_loop(
     tx: mpsc::Sender<Completion>,
 ) -> WorkerReport {
     let sim = GpuSimulator::new(device.clone());
+    // Per-worker merge scratch: jobs on this worker reuse the same warmed
+    // accumulators, so steady-state merging allocates nothing per row.
+    let pool = ScratchPool::new();
     let mut jobs = 0usize;
     let mut busy_ms = 0.0f64;
     while let Some(queued) = queue.pop() {
         let queue_ms = queued.enqueued.elapsed().as_secs_f64() * 1e3;
         let t0 = Instant::now();
-        let done = execute_job(index, &device, &sim, &cache, queued.request, queue_ms, t0);
+        let done = execute_job(
+            index,
+            &device,
+            &sim,
+            &cache,
+            &pool,
+            queued.request,
+            queue_ms,
+            t0,
+        );
         busy_ms += t0.elapsed().as_secs_f64() * 1e3;
         jobs += 1;
         if tx.send(done).is_err() {
@@ -239,11 +252,13 @@ fn worker_loop(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn execute_job(
     worker: usize,
     device: &DeviceConfig,
     sim: &GpuSimulator,
     cache: &PlanCache,
+    pool: &ScratchPool<f64>,
     job: JobRequest,
     queue_ms: f64,
     t0: Instant,
@@ -255,7 +270,9 @@ fn execute_job(
             message,
         })
     };
-    let ctx = match ProblemContext::new(&job.a, &job.b) {
+    // `from_shared` bumps the job's `Arc`s instead of deep-cloning A, B,
+    // and the CSC copy per job.
+    let ctx = match ProblemContext::from_shared(job.a.clone(), job.b.clone()) {
         Ok(ctx) => ctx,
         Err(e) => return fail(format!("invalid operands: {e}")),
     };
@@ -272,7 +289,7 @@ fn execute_job(
     } else {
         PlanMode::Cold
     };
-    let run = match plan.execute_on(sim, &ctx, mode) {
+    let run = match plan.execute_with_scratch(sim, &ctx, mode, Some(pool)) {
         Ok(run) => run,
         Err(e) => return fail(format!("execution failed: {e}")),
     };

@@ -13,5 +13,8 @@ pub mod vecops;
 
 pub use flops::{compression_factor, multiply_flops, multiply_ops};
 pub use spgemm_ref::{sparse_add, spgemm_gustavson};
-pub use symbolic::{block_products, intermediate_nnz, row_intermediate_nnz, symbolic_nnz};
+pub use symbolic::{
+    block_products, intermediate_nnz, row_intermediate_nnz, row_intermediate_nnz_threaded,
+    symbolic_nnz,
+};
 pub use vecops::{spmv, spmv_transpose};

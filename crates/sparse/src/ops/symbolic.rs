@@ -13,6 +13,7 @@
 //!   needed to size the final matrix.
 
 use crate::error::SparseError;
+use crate::par;
 use crate::scalar::Scalar;
 use crate::{CsrMatrix, Result};
 
@@ -61,6 +62,30 @@ pub fn row_intermediate_nnz<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Re
             cols.iter().map(|&k| b.row_nnz(k as usize) as u64).sum()
         })
         .collect())
+}
+
+/// [`row_intermediate_nnz`] distributed over `threads` scoped workers.
+///
+/// Rows are independent and assembled in index order, so the output is
+/// bit-identical to the sequential scan at any thread count. This is the
+/// weights pass every row-partitioned numeric merger and the adaptive
+/// engine's row binning share.
+pub fn row_intermediate_nnz_threaded<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    threads: usize,
+) -> Result<Vec<u64>> {
+    if a.ncols() != b.nrows() {
+        return Err(SparseError::ShapeMismatch {
+            op: "row_intermediate_nnz",
+            lhs: (a.nrows(), a.ncols()),
+            rhs: (b.nrows(), b.ncols()),
+        });
+    }
+    Ok(par::ordered_index_map(a.nrows(), threads, |r| {
+        let (cols, _) = a.row(r);
+        cols.iter().map(|&k| b.row_nnz(k as usize) as u64).sum()
+    }))
 }
 
 /// Exact `nnz(C)` per row, via a symbolic SPA (boolean accumulator).
@@ -138,6 +163,17 @@ mod tests {
         let m = a();
         let rows = row_intermediate_nnz(&m, &m).unwrap();
         assert_eq!(rows.iter().sum::<u64>(), intermediate_nnz(&m, &m).unwrap());
+    }
+
+    #[test]
+    fn threaded_row_intermediate_matches_sequential() {
+        let m = a();
+        let seq = row_intermediate_nnz(&m, &m).unwrap();
+        for threads in [1, 2, 8] {
+            assert_eq!(row_intermediate_nnz_threaded(&m, &m, threads).unwrap(), seq);
+        }
+        let bad = CsrMatrix::<f64>::zeros(2, 3);
+        assert!(row_intermediate_nnz_threaded(&bad, &bad, 4).is_err());
     }
 
     #[test]

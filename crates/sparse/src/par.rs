@@ -12,7 +12,9 @@
 //! * **Ordered assembly** — [`ordered_map`], [`ordered_index_map`] and
 //!   [`ordered_bounds_map`] hand each worker a contiguous range and join
 //!   the results back **in index order**, so concatenation-style reductions
-//!   (CSR stitching, report rows) see exactly the sequential layout.
+//!   (CSR stitching, report rows) see exactly the sequential layout;
+//!   [`ordered_bounds_map_with`] additionally gives each worker private,
+//!   reusable scratch state (and returns it for pooling).
 //! * **Sequential float reductions** — none of these helpers reduce
 //!   floating-point values across threads. Callers that need a float sum
 //!   map each element to its value in parallel and fold the resulting
@@ -204,6 +206,58 @@ where
         .collect()
 }
 
+/// [`ordered_bounds_map`] with per-worker scratch state: each window's
+/// worker first builds its own state with `init` (e.g. pulling a reusable
+/// merge scratch from a pool), then runs `f(&mut state, range)`. Results
+/// come back **in window order**, and the final per-window states are
+/// returned alongside them so callers can recycle scratch (return it to a
+/// pool) instead of dropping it. Determinism is unchanged from
+/// [`ordered_bounds_map`]: state is private to one worker and the output
+/// order is fixed by the bounds, never by timing.
+pub fn ordered_bounds_map_with<S, R, I, F>(bounds: &[usize], init: I, f: F) -> (Vec<R>, Vec<S>)
+where
+    S: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, Range<usize>) -> R + Sync,
+{
+    let windows = bounds.len().saturating_sub(1);
+    if windows == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    if windows == 1 {
+        let mut state = init();
+        let out = f(&mut state, bounds[0]..bounds[1]);
+        return (vec![out], vec![state]);
+    }
+    let mut out: Vec<Option<(R, S)>> = Vec::new();
+    out.resize_with(windows, || None);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(windows);
+        for w in 0..windows {
+            let range = bounds[w]..bounds[w + 1];
+            let init = &init;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut state = init();
+                let r = f(&mut state, range);
+                (r, state)
+            }));
+        }
+        for (slot, handle) in out.iter_mut().zip(handles) {
+            *slot = Some(handle.join().expect("parallel worker must not panic"));
+        }
+    });
+    let mut results = Vec::with_capacity(windows);
+    let mut states = Vec::with_capacity(windows);
+    for slot in out {
+        let (r, s) = slot.expect("every window produced a result");
+        results.push(r);
+        states.push(s);
+    }
+    (results, states)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,6 +329,33 @@ mod tests {
         assert!(ordered_index_map(0, 8, |i| i).is_empty());
         assert!(ordered_bounds_map(&[0], |r| r.len()).is_empty());
         assert!(ordered_bounds_map(&[], |r| r.len()).is_empty());
+        let (r, s) = ordered_bounds_map_with(&[], Vec::<u8>::new, |_, r| r.len());
+        assert!(r.is_empty() && s.is_empty());
+    }
+
+    #[test]
+    fn ordered_bounds_map_with_threads_scratch_and_returns_it() {
+        // Each worker accumulates into its own scratch; results stay in
+        // window order and one state per window comes back for recycling.
+        let bounds = chunk_bounds(100, 5);
+        let (results, states) =
+            ordered_bounds_map_with(&bounds, Vec::<usize>::new, |scratch, range| {
+                scratch.extend(range.clone());
+                range.sum::<usize>()
+            });
+        let expected: Vec<usize> = bounds.windows(2).map(|w| (w[0]..w[1]).sum()).collect();
+        assert_eq!(results, expected);
+        assert_eq!(states.len(), bounds.len() - 1);
+        let mut all: Vec<usize> = states.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn ordered_bounds_map_with_single_window_runs_inline() {
+        let (r, s) = ordered_bounds_map_with(&[0, 10], || 7usize, |st, range| *st + range.len());
+        assert_eq!(r, vec![17]);
+        assert_eq!(s, vec![7]);
     }
 
     #[test]

@@ -1,0 +1,777 @@
+//! Adaptive row-binned numeric merge engine.
+//!
+//! The paper's core move is *classify, then specialize*: measure each
+//! block's workload and give overloaded and underloaded blocks different
+//! treatment. This module applies the same idea to the **host** numeric
+//! path (the real arithmetic behind every simulated run): every output row
+//! is binned by its intermediate-product upper bound — the `row_products`
+//! quantity the symbolic precalculation already computes — and merged by a
+//! per-bin kernel, bhSPARSE-style:
+//!
+//! * **tiny** rows (few products) → an insertion-sorted small buffer; no
+//!   hashing, no dense sweep, output already sorted.
+//! * **medium** rows → an open-addressing hash table sized to the row's
+//!   upper bound; gather + sort at the end.
+//! * **heavy** rows → a generation-stamped dense accumulator (SPA): clears
+//!   cost O(row nnz), not O(ncols), because a stamp comparison replaces
+//!   zeroing the whole array.
+//!
+//! **Bin choice cannot change the numeric result.** All three mergers
+//! accumulate the products of one output column in *generation order* —
+//! `k` ascending within the A-row, `j` ascending within each B-row — which
+//! is exactly the order [`spgemm_gustavson`](br_sparse::ops::spgemm_gustavson)
+//! adds them in, and all three emit the row sorted by column. Floating-point
+//! addition is deterministic for a fixed order, so the output is bit-for-bit
+//! the dense-SPA reference at every thread count and threshold setting; the
+//! thresholds are purely a performance knob.
+//!
+//! All per-row state lives in a reusable [`MergeScratch`]; in steady state
+//! (scratch warm, output buffers at capacity) the merge loop performs zero
+//! heap allocations. `br-service` workers keep scratches in a
+//! [`ScratchPool`] across jobs, and [`RowBins`] — a pure function of the
+//! operands' structure — is cached alongside the `ReorgPlan` under the same
+//! `ProblemSignature` key.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use br_sparse::ops::row_intermediate_nnz_threaded;
+use br_sparse::{par, CsrMatrix, Result, Scalar, SparseError};
+use serde::{Deserialize, Serialize};
+
+/// Row-bin boundaries on the intermediate-product upper bound.
+///
+/// A row with `products <= tiny_max` is **tiny**; otherwise, a row with
+/// `products >= heavy_min` is **heavy**; everything in between is
+/// **medium**. Degenerate settings are legal and simply collapse bins
+/// (e.g. `tiny_max = u64::MAX` sends every row through the small buffer) —
+/// the numeric result is identical either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinThresholds {
+    /// Largest upper bound still handled by the tiny-bin small buffer.
+    pub tiny_max: u64,
+    /// Smallest upper bound handled by the heavy-bin dense accumulator.
+    pub heavy_min: u64,
+}
+
+impl Default for BinThresholds {
+    /// Tiny rows fit a cache line of products; heavy rows are those whose
+    /// hash table would rival the dense accumulator anyway.
+    fn default() -> Self {
+        BinThresholds {
+            tiny_max: 16,
+            heavy_min: 2048,
+        }
+    }
+}
+
+impl BinThresholds {
+    /// Parses the CLI spelling `<tiny_max>,<heavy_min>` (two unsigned
+    /// integers). Returns `None` for anything else.
+    pub fn parse(text: &str) -> Option<BinThresholds> {
+        let (tiny, heavy) = text.split_once(',')?;
+        Some(BinThresholds {
+            tiny_max: tiny.trim().parse().ok()?,
+            heavy_min: heavy.trim().parse().ok()?,
+        })
+    }
+
+    /// Measurement-backed thresholds for a problem with `ncols` output
+    /// columns. The hash bin only pays off once the dense accumulator
+    /// (stamps + values, ~9 bytes per column) stops being cache-resident:
+    /// below that, probing costs more per product than a direct dense
+    /// write, and routing medium rows through the hash table is a strict
+    /// loss (measured ~20-40% on RMAT squarings up to 2^17 columns, ~6%
+    /// win at 2^20). Small problems therefore get an empty medium band.
+    pub fn recommended(ncols: usize) -> BinThresholds {
+        const HASH_PAYS_OFF_COLS: usize = 1 << 19;
+        if ncols < HASH_PAYS_OFF_COLS {
+            BinThresholds {
+                tiny_max: 16,
+                heavy_min: 17,
+            }
+        } else {
+            BinThresholds::default()
+        }
+    }
+
+    /// The bin a row with the given intermediate-product upper bound
+    /// lands in. Tiny wins over heavy when the thresholds overlap.
+    pub fn bin_of(&self, products: u64) -> RowBin {
+        if products <= self.tiny_max {
+            RowBin::Tiny
+        } else if products >= self.heavy_min {
+            RowBin::Heavy
+        } else {
+            RowBin::Medium
+        }
+    }
+}
+
+/// Process-wide threshold override (`--bins` on the CLI); encoded as
+/// `(tiny_max, heavy_min, set)` behind a mutex — reads are off the hot
+/// path (once per multiplication).
+static GLOBAL_THRESHOLDS: Mutex<Option<BinThresholds>> = Mutex::new(None);
+
+/// Installs (or with `None` clears) the process-wide threshold override.
+pub fn set_global_thresholds(thresholds: Option<BinThresholds>) {
+    *GLOBAL_THRESHOLDS.lock().unwrap_or_else(|p| p.into_inner()) = thresholds;
+}
+
+/// The thresholds in effect: the [`set_global_thresholds`] override when
+/// present, else [`BinThresholds::default`].
+pub fn effective_thresholds() -> BinThresholds {
+    GLOBAL_THRESHOLDS
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .unwrap_or_default()
+}
+
+/// The thresholds in effect for a problem with `ncols` output columns:
+/// the [`set_global_thresholds`] override when present, else
+/// [`BinThresholds::recommended`] for that width. Classification stays a
+/// pure function of operand structure — `ncols` *is* structure.
+pub fn effective_thresholds_for(ncols: usize) -> BinThresholds {
+    GLOBAL_THRESHOLDS
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .unwrap_or_else(|| BinThresholds::recommended(ncols))
+}
+
+/// Which merge kernel handles a row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowBin {
+    /// Insertion-sorted small buffer.
+    Tiny,
+    /// Open-addressing hash table.
+    Medium,
+    /// Generation-stamped dense accumulator.
+    Heavy,
+}
+
+/// Counts every [`RowBins::classify`] run in this process — the
+/// re-binning tripwire: a plan-cache hit must serve the stored bins
+/// instead of classifying again.
+static CLASSIFY_RUNS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of [`RowBins::classify`] runs so far in this process.
+pub fn classification_runs() -> u64 {
+    CLASSIFY_RUNS.load(Ordering::SeqCst)
+}
+
+/// The row-binning artifact: per-row intermediate-product upper bounds
+/// plus the thresholds they were binned under.
+///
+/// A pure function of the operands' *structure* (never their values), so
+/// it is cacheable under the same `ProblemSignature` key as a `ReorgPlan`
+/// — `br-service` stores it inside the plan and reuses it on every cache
+/// hit. The stored `row_products` double as the weights for the balanced
+/// row partition, so a planned execution skips the weights scan too.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RowBins {
+    /// Thresholds the summary counts below were computed under.
+    pub thresholds: BinThresholds,
+    /// Per-row intermediate-product upper bounds (duplicates included).
+    pub row_products: Vec<u64>,
+    /// Rows per bin: `[tiny, medium, heavy]`.
+    pub rows: [u64; 3],
+    /// Intermediate products per bin: `[tiny, medium, heavy]`.
+    pub products: [u64; 3],
+}
+
+impl RowBins {
+    /// Bins each row by its intermediate-product upper bound.
+    pub fn classify(row_products: &[u64], thresholds: BinThresholds) -> RowBins {
+        CLASSIFY_RUNS.fetch_add(1, Ordering::SeqCst);
+        let mut rows = [0u64; 3];
+        let mut products = [0u64; 3];
+        for &p in row_products {
+            let bin = thresholds.bin_of(p) as usize;
+            rows[bin] += 1;
+            products[bin] += p;
+        }
+        RowBins {
+            thresholds,
+            row_products: row_products.to_vec(),
+            rows,
+            products,
+        }
+    }
+
+    /// Classifies the rows of `C = A · B` from the operands' structure.
+    pub fn of<T: Scalar>(
+        a: &CsrMatrix<T>,
+        b: &CsrMatrix<T>,
+        thresholds: BinThresholds,
+    ) -> Result<RowBins> {
+        let weights = row_intermediate_nnz_threaded(a, b, par::effective_threads(None))?;
+        Ok(Self::classify(&weights, thresholds))
+    }
+
+    /// Number of classified rows.
+    pub fn nrows(&self) -> usize {
+        self.row_products.len()
+    }
+
+    /// The bin of row `r`.
+    pub fn bin(&self, r: usize) -> RowBin {
+        self.thresholds.bin_of(self.row_products[r])
+    }
+}
+
+/// Reusable per-thread merge state for all three bin kernels.
+///
+/// Grow-only: buffers are sized to the largest row seen and kept across
+/// rows (and, pooled, across jobs), so a warm scratch performs no heap
+/// allocation per row. Clearing is O(touched entries): the dense side
+/// compares a per-column stamp against the current generation instead of
+/// zeroing `ncols` slots, and the hash side resets exactly the slots its
+/// `used` list recorded.
+#[derive(Debug)]
+pub struct MergeScratch<T> {
+    // Dense SPA (heavy rows): stamps[j] == generation ⇔ vals[j] is live.
+    // One-byte stamps keep the stamp array 4x denser in cache than a
+    // u32 generation would; the cheap wrap refill every 255 rows is the
+    // price, amortized to O(ncols/255) per row.
+    stamps: Vec<u8>,
+    dense_vals: Vec<T>,
+    generation: u8,
+    touched: Vec<u32>,
+    // Open-addressing table (medium rows): keys u32::MAX = empty.
+    hash_keys: Vec<u32>,
+    hash_vals: Vec<T>,
+    hash_used: Vec<usize>,
+    // Gather buffer shared by the hash path, and the tiny-bin
+    // insertion-sorted buffer.
+    row_buf: Vec<(u32, T)>,
+}
+
+impl<T: Scalar> Default for MergeScratch<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Scalar> MergeScratch<T> {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        MergeScratch {
+            stamps: Vec::new(),
+            dense_vals: Vec::new(),
+            generation: 0,
+            touched: Vec::new(),
+            hash_keys: Vec::new(),
+            hash_vals: Vec::new(),
+            hash_used: Vec::new(),
+            row_buf: Vec::new(),
+        }
+    }
+
+    /// Grows the dense accumulator to cover `ncols` columns (stamp 0 =
+    /// never touched; the live generation starts at 1).
+    fn ensure_dense(&mut self, ncols: usize) {
+        if self.stamps.len() < ncols {
+            self.stamps.resize(ncols, 0);
+            self.dense_vals.resize(ncols, T::ZERO);
+        }
+    }
+
+    /// Grows the hash table to at least `cap` slots (a power of two).
+    /// Existing slots are empty between rows, so a grow keeps the
+    /// all-`u32::MAX` invariant.
+    fn ensure_hash(&mut self, cap: usize) {
+        if self.hash_keys.len() < cap {
+            self.hash_keys.resize(cap, u32::MAX);
+            self.hash_vals.resize(cap, T::ZERO);
+        }
+    }
+
+    /// Advances the dense generation, recycling the stamp space on wrap.
+    fn next_generation(&mut self) -> u8 {
+        if self.generation == u8::MAX {
+            self.stamps.fill(0);
+            self.generation = 0;
+        }
+        self.generation += 1;
+        self.generation
+    }
+
+    /// Heavy bin: generation-stamped dense SPA. Accumulation order and the
+    /// sorted gather match `spgemm_gustavson` exactly.
+    fn merge_row_dense(
+        &mut self,
+        a_cols: &[u32],
+        a_vals: &[T],
+        b: &CsrMatrix<T>,
+        idx: &mut Vec<u32>,
+        val: &mut Vec<T>,
+    ) {
+        let generation = self.next_generation();
+        self.touched.clear();
+        for (&k, &a_rk) in a_cols.iter().zip(a_vals) {
+            let (b_cols, b_vals) = b.row(k as usize);
+            for (&j, &b_kj) in b_cols.iter().zip(b_vals) {
+                let slot = j as usize;
+                if self.stamps[slot] != generation {
+                    self.stamps[slot] = generation;
+                    self.dense_vals[slot] = a_rk * b_kj;
+                    self.touched.push(j);
+                } else {
+                    self.dense_vals[slot] += a_rk * b_kj;
+                }
+            }
+        }
+        self.touched.sort_unstable();
+        for &j in &self.touched {
+            idx.push(j);
+            val.push(self.dense_vals[j as usize]);
+        }
+    }
+
+    /// Medium bin: open-addressing hash (multiplicative hashing, linear
+    /// probing — the standard GPU spGEMM table design), gather + sort.
+    /// `cap` is the power-of-two slot count for this row; the table may be
+    /// larger from an earlier row, which only changes probe paths, never
+    /// the per-column accumulation order.
+    fn merge_row_hash(
+        &mut self,
+        a_cols: &[u32],
+        a_vals: &[T],
+        b: &CsrMatrix<T>,
+        cap: usize,
+        idx: &mut Vec<u32>,
+        val: &mut Vec<T>,
+    ) {
+        self.ensure_hash(cap);
+        let mask = self.hash_keys.len() - 1;
+        self.hash_used.clear();
+        for (&k, &a_rk) in a_cols.iter().zip(a_vals) {
+            let (b_cols, b_vals) = b.row(k as usize);
+            for (&j, &b_kj) in b_cols.iter().zip(b_vals) {
+                let mut slot = (j as usize).wrapping_mul(0x9E37_79B1) & mask;
+                loop {
+                    if self.hash_keys[slot] == j {
+                        self.hash_vals[slot] += a_rk * b_kj;
+                        break;
+                    }
+                    if self.hash_keys[slot] == u32::MAX {
+                        self.hash_keys[slot] = j;
+                        self.hash_vals[slot] = a_rk * b_kj;
+                        self.hash_used.push(slot);
+                        break;
+                    }
+                    slot = (slot + 1) & mask;
+                }
+            }
+        }
+        self.row_buf.clear();
+        for &slot in &self.hash_used {
+            self.row_buf
+                .push((self.hash_keys[slot], self.hash_vals[slot]));
+            self.hash_keys[slot] = u32::MAX; // restore the empty invariant
+        }
+        self.row_buf.sort_unstable_by_key(|&(j, _)| j);
+        for &(j, v) in &self.row_buf {
+            idx.push(j);
+            val.push(v);
+        }
+    }
+
+    /// Tiny bin: insertion into a small buffer kept sorted by column.
+    /// Duplicate columns accumulate in place (generation order), so the
+    /// per-column sums — and the already-sorted output — match the SPA.
+    fn merge_row_tiny(
+        &mut self,
+        a_cols: &[u32],
+        a_vals: &[T],
+        b: &CsrMatrix<T>,
+        idx: &mut Vec<u32>,
+        val: &mut Vec<T>,
+    ) {
+        self.row_buf.clear();
+        for (&k, &a_rk) in a_cols.iter().zip(a_vals) {
+            let (b_cols, b_vals) = b.row(k as usize);
+            for (&j, &b_kj) in b_cols.iter().zip(b_vals) {
+                match self.row_buf.binary_search_by_key(&j, |&(c, _)| c) {
+                    Ok(pos) => self.row_buf[pos].1 += a_rk * b_kj,
+                    Err(pos) => self.row_buf.insert(pos, (j, a_rk * b_kj)),
+                }
+            }
+        }
+        for &(j, v) in &self.row_buf {
+            idx.push(j);
+            val.push(v);
+        }
+    }
+}
+
+/// A shared pool of [`MergeScratch`]es — `br-service` workers draw from it
+/// per job and return the warmed-up scratch afterwards, so steady-state
+/// jobs merge without growing (or allocating) any per-row buffer.
+#[derive(Debug)]
+pub struct ScratchPool<T> {
+    free: Mutex<Vec<MergeScratch<T>>>,
+}
+
+impl<T: Scalar> Default for ScratchPool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Scalar> ScratchPool<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        ScratchPool {
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Takes a scratch out of the pool (or a fresh one when empty).
+    pub fn acquire(&self) -> MergeScratch<T> {
+        self.free
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns a scratch for reuse.
+    pub fn release(&self, scratch: MergeScratch<T>) {
+        self.free
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(scratch);
+    }
+
+    /// Scratches currently idle in the pool.
+    pub fn idle(&self) -> usize {
+        self.free.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+}
+
+/// Merges output rows `rows` of `C = A · B` into caller-owned CSR triple
+/// buffers, dispatching each row to its bin's kernel.
+///
+/// The buffers are cleared, then filled so that `ptr` holds
+/// `rows.len() + 1` range-local offsets starting at 0. Reusing buffers
+/// that already reached capacity (and a warm `scratch`) makes the whole
+/// call allocation-free — the property the counting-allocator test pins
+/// down.
+#[allow(clippy::too_many_arguments)]
+pub fn merge_rows_into<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    rows: Range<usize>,
+    bins: &RowBins,
+    scratch: &mut MergeScratch<T>,
+    ptr: &mut Vec<usize>,
+    idx: &mut Vec<u32>,
+    val: &mut Vec<T>,
+) {
+    ptr.clear();
+    idx.clear();
+    val.clear();
+    ptr.push(0);
+    scratch.ensure_dense(b.ncols());
+    for r in rows {
+        let (a_cols, a_vals) = a.row(r);
+        let products = bins.row_products[r];
+        match bins.thresholds.bin_of(products) {
+            RowBin::Tiny => scratch.merge_row_tiny(a_cols, a_vals, b, idx, val),
+            RowBin::Medium => {
+                let cap = ((products.max(1) as usize) * 2).next_power_of_two();
+                scratch.merge_row_hash(a_cols, a_vals, b, cap, idx, val);
+            }
+            RowBin::Heavy => scratch.merge_row_dense(a_cols, a_vals, b, idx, val),
+        }
+        ptr.push(idx.len());
+    }
+}
+
+/// Adaptive row-binned spGEMM: classifies rows, then merges each through
+/// its bin's kernel over `threads` workers. Bit-identical to
+/// [`crate::numeric::spgemm_dense_spa`] at every thread count and
+/// threshold setting.
+pub fn spgemm_adaptive<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    threads: usize,
+    thresholds: BinThresholds,
+) -> Result<CsrMatrix<T>> {
+    let bins = RowBins::of(a, b, thresholds)?;
+    spgemm_adaptive_planned(a, b, threads, &bins, None)
+}
+
+/// [`spgemm_adaptive`] with a precomputed (typically plan-cached)
+/// [`RowBins`] and an optional scratch pool. The bins must describe the
+/// same `A` (row count check); the cached `row_products` also serve as the
+/// partition weights, so no symbolic scan runs here.
+pub fn spgemm_adaptive_planned<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    threads: usize,
+    bins: &RowBins,
+    pool: Option<&ScratchPool<T>>,
+) -> Result<CsrMatrix<T>> {
+    if a.ncols() != b.nrows() {
+        return Err(SparseError::ShapeMismatch {
+            op: "spgemm",
+            lhs: (a.nrows(), a.ncols()),
+            rhs: (b.nrows(), b.ncols()),
+        });
+    }
+    if bins.nrows() != a.nrows() {
+        return Err(SparseError::InvalidStructure(format!(
+            "row bins cover {} rows but A has {}",
+            bins.nrows(),
+            a.nrows()
+        )));
+    }
+    let threads = threads.max(1).min(a.nrows().max(1));
+    let acquire = || match pool {
+        Some(p) => p.acquire(),
+        None => MergeScratch::new(),
+    };
+
+    if threads == 1 || a.nrows() < 256 {
+        let mut scratch = acquire();
+        let (mut ptr, mut idx, mut val) = (Vec::new(), Vec::new(), Vec::new());
+        merge_rows_into(
+            a,
+            b,
+            0..a.nrows(),
+            bins,
+            &mut scratch,
+            &mut ptr,
+            &mut idx,
+            &mut val,
+        );
+        if let Some(p) = pool {
+            p.release(scratch);
+        }
+        return Ok(CsrMatrix::from_parts_unchecked(
+            a.nrows(),
+            b.ncols(),
+            ptr,
+            idx,
+            val,
+        ));
+    }
+
+    // Static row partition balanced by the cached per-row upper bounds.
+    let bounds = par::weighted_bounds(&bins.row_products, threads);
+    let (parts, scratches) = par::ordered_bounds_map_with(&bounds, acquire, |scratch, range| {
+        let (mut ptr, mut idx, mut val) = (Vec::new(), Vec::new(), Vec::new());
+        merge_rows_into(a, b, range, bins, scratch, &mut ptr, &mut idx, &mut val);
+        (ptr, idx, val)
+    });
+    if let Some(p) = pool {
+        for scratch in scratches {
+            p.release(scratch);
+        }
+    }
+
+    // Stitch the per-range outputs back together in row order.
+    let mut ptr = Vec::with_capacity(a.nrows() + 1);
+    let mut idx = Vec::new();
+    let mut val = Vec::new();
+    ptr.push(0usize);
+    for (p_ptr, p_idx, p_val) in parts {
+        let base = idx.len();
+        ptr.extend(p_ptr.iter().skip(1).map(|&x| base + x));
+        idx.extend(p_idx);
+        val.extend(p_val);
+    }
+    Ok(CsrMatrix::from_parts_unchecked(
+        a.nrows(),
+        b.ncols(),
+        ptr,
+        idx,
+        val,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numeric::spgemm_dense_spa;
+    use br_datasets::rmat::{rmat, RmatConfig};
+
+    /// The three acceptance-criterion threshold settings plus the three
+    /// degenerate single-bin collapses.
+    fn threshold_grid() -> Vec<BinThresholds> {
+        vec![
+            BinThresholds::default(),
+            BinThresholds {
+                tiny_max: 4,
+                heavy_min: 64,
+            },
+            BinThresholds {
+                tiny_max: 0,
+                heavy_min: u64::MAX,
+            }, // all medium (and empty rows tiny)
+            BinThresholds {
+                tiny_max: u64::MAX,
+                heavy_min: u64::MAX,
+            }, // all tiny
+            BinThresholds {
+                tiny_max: 0,
+                heavy_min: 0,
+            }, // all heavy (empty rows tiny)
+            BinThresholds {
+                tiny_max: 1,
+                heavy_min: 2,
+            }, // no medium bin
+        ]
+    }
+
+    #[test]
+    fn adaptive_is_bit_identical_across_thresholds_and_threads() {
+        let a = rmat(RmatConfig::graph500(9, 8, 77)).to_csr();
+        let oracle = spgemm_dense_spa(&a, &a).unwrap();
+        for thresholds in threshold_grid() {
+            for threads in [1usize, 2, 8] {
+                let c = spgemm_adaptive(&a, &a, threads, thresholds).unwrap();
+                assert_eq!(c, oracle, "threads={threads} thresholds={thresholds:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_handles_rectangular_and_edge_cases() {
+        let a = rmat(RmatConfig::uniform(6, 4, 1).with_dim(50).with_edges(150)).to_csr();
+        let b = rmat(RmatConfig::uniform(6, 4, 2).with_dim(50).with_edges(120)).to_csr();
+        let oracle = spgemm_dense_spa(&a, &b).unwrap();
+        assert_eq!(
+            spgemm_adaptive(&a, &b, 4, BinThresholds::default()).unwrap(),
+            oracle
+        );
+
+        let z = CsrMatrix::<f64>::zeros(4, 4);
+        assert_eq!(
+            spgemm_adaptive(&z, &z, 2, BinThresholds::default())
+                .unwrap()
+                .nnz(),
+            0
+        );
+        let i = CsrMatrix::<f64>::identity(5);
+        assert_eq!(
+            spgemm_adaptive(&i, &i, 2, BinThresholds::default()).unwrap(),
+            spgemm_dense_spa(&i, &i).unwrap()
+        );
+
+        let bad = CsrMatrix::<f64>::zeros(2, 3);
+        assert!(spgemm_adaptive(&bad, &bad, 2, BinThresholds::default()).is_err());
+    }
+
+    #[test]
+    fn planned_execution_rejects_mismatched_bins() {
+        let a = rmat(RmatConfig::snap_like(7, 6, 5)).to_csr();
+        let other = CsrMatrix::<f64>::identity(3);
+        let bins = RowBins::of(&other, &other, BinThresholds::default()).unwrap();
+        assert!(spgemm_adaptive_planned(&a, &a, 2, &bins, None).is_err());
+    }
+
+    #[test]
+    fn planned_execution_with_pool_matches_and_recycles_scratch() {
+        let a = rmat(RmatConfig::graph500(9, 8, 3)).to_csr();
+        let bins = RowBins::of(&a, &a, BinThresholds::default()).unwrap();
+        let oracle = spgemm_dense_spa(&a, &a).unwrap();
+        let pool = ScratchPool::<f64>::new();
+        for _ in 0..3 {
+            let c = spgemm_adaptive_planned(&a, &a, 4, &bins, Some(&pool)).unwrap();
+            assert_eq!(c, oracle);
+        }
+        assert!(pool.idle() > 0, "scratches must return to the pool");
+    }
+
+    #[test]
+    fn classification_is_structure_only_and_counts_runs() {
+        let a = rmat(RmatConfig::snap_like(7, 6, 11)).to_csr();
+        let before = classification_runs();
+        let bins = RowBins::of(&a, &a, BinThresholds::default()).unwrap();
+        let scaled = a.map_values(|v| v * 3.0);
+        let bins_scaled = RowBins::of(&scaled, &scaled, BinThresholds::default()).unwrap();
+        assert_eq!(bins, bins_scaled, "values must not influence binning");
+        assert!(classification_runs() >= before + 2);
+        assert_eq!(bins.rows.iter().sum::<u64>(), a.nrows() as u64);
+        assert_eq!(
+            bins.products.iter().sum::<u64>(),
+            bins.row_products.iter().sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn row_bins_survive_a_serde_round_trip() {
+        let a = rmat(RmatConfig::snap_like(7, 6, 21)).to_csr();
+        let bins = RowBins::of(
+            &a,
+            &a,
+            BinThresholds {
+                tiny_max: 3,
+                heavy_min: 99,
+            },
+        )
+        .unwrap();
+        let json = serde_json::to_string(&bins).unwrap();
+        let back: RowBins = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, bins);
+    }
+
+    #[test]
+    fn thresholds_parse_cli_spelling() {
+        assert_eq!(
+            BinThresholds::parse("4,512"),
+            Some(BinThresholds {
+                tiny_max: 4,
+                heavy_min: 512
+            })
+        );
+        assert_eq!(
+            BinThresholds::parse(" 16 , 2048 "),
+            Some(BinThresholds {
+                tiny_max: 16,
+                heavy_min: 2048
+            })
+        );
+        assert_eq!(BinThresholds::parse("16"), None);
+        assert_eq!(BinThresholds::parse("a,b"), None);
+        assert_eq!(BinThresholds::parse("1,2,3"), None);
+        assert_eq!(BinThresholds::parse("-1,2"), None);
+    }
+
+    #[test]
+    fn global_threshold_override_round_trips() {
+        let custom = BinThresholds {
+            tiny_max: 7,
+            heavy_min: 700,
+        };
+        set_global_thresholds(Some(custom));
+        assert_eq!(effective_thresholds(), custom);
+        set_global_thresholds(None);
+        assert_eq!(effective_thresholds(), BinThresholds::default());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+        /// Property: the adaptive engine is bit-for-bit the dense SPA for
+        /// arbitrary power-law inputs, thread counts, and thresholds —
+        /// including degenerate thresholds collapsing everything into one
+        /// bin.
+        #[test]
+        fn prop_adaptive_bit_identical(
+            seed in 0u64..500,
+            threads in 1usize..10,
+            tiny_max in 0u64..64,
+            heavy_min in 0u64..4096,
+        ) {
+            let a = rmat(RmatConfig::snap_like(8, 6, seed)).to_csr();
+            let oracle = spgemm_dense_spa(&a, &a).unwrap();
+            let thresholds = BinThresholds { tiny_max, heavy_min };
+            let c = spgemm_adaptive(&a, &a, threads, thresholds).unwrap();
+            proptest::prop_assert_eq!(c, oracle);
+        }
+    }
+}

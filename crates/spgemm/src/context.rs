@@ -6,6 +6,8 @@
 //! across the seven methods keeps the benchmark harness honest (identical
 //! inputs) and fast.
 
+use std::sync::Arc;
+
 use br_sparse::error::SparseError;
 use br_sparse::ops::symbolic::{block_products, row_intermediate_nnz, symbolic_nnz};
 use br_sparse::{CscMatrix, CsrMatrix, Result, Scalar};
@@ -82,14 +84,20 @@ impl ProblemSignature {
 }
 
 /// Symbolic and structural facts about one multiplication `C = A · B`.
+///
+/// Operands are held behind [`Arc`], so cloning a context — or building one
+/// via [`ProblemContext::from_shared`] from operands the caller already
+/// shares (as `br-service` does per job) — never deep-copies a matrix.
+/// Call sites keep reading `ctx.a` / `ctx.b` / `ctx.a_csc` as before via
+/// `Deref`.
 #[derive(Debug, Clone)]
 pub struct ProblemContext<T> {
     /// Left operand in CSR (rows drive the row-product scheme).
-    pub a: CsrMatrix<T>,
+    pub a: Arc<CsrMatrix<T>>,
     /// Left operand in CSC (columns drive the outer-product scheme).
-    pub a_csc: CscMatrix<T>,
+    pub a_csc: Arc<CscMatrix<T>>,
     /// Right operand in CSR.
-    pub b: CsrMatrix<T>,
+    pub b: Arc<CsrMatrix<T>>,
     /// Outer-product block workloads: `nnz(a₌ᵢ)·nnz(bᵢ₌)` per inner index.
     pub block_products: Vec<u64>,
     /// Intermediate products landing in each output row (duplicates in).
@@ -105,8 +113,17 @@ pub struct ProblemContext<T> {
 }
 
 impl<T: Scalar> ProblemContext<T> {
-    /// Builds the context; fails on shape mismatch.
+    /// Builds the context from borrowed operands (cloned once into shared
+    /// ownership); fails on shape mismatch.
     pub fn new(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Result<Self> {
+        Self::from_shared(Arc::new(a.clone()), Arc::new(b.clone()))
+    }
+
+    /// Builds the context from already-shared operands — no matrix clone at
+    /// all; only the CSC view of `A` is materialised. This is the path
+    /// `br-service` uses per job: the job's `Arc`s are reference-bumped
+    /// into the context.
+    pub fn from_shared(a: Arc<CsrMatrix<T>>, b: Arc<CsrMatrix<T>>) -> Result<Self> {
         if a.ncols() != b.nrows() {
             return Err(SparseError::ShapeMismatch {
                 op: "spgemm",
@@ -114,15 +131,16 @@ impl<T: Scalar> ProblemContext<T> {
                 rhs: (b.nrows(), b.ncols()),
             });
         }
-        let blocks = block_products(a, b)?;
-        let rows = row_intermediate_nnz(a, b)?;
-        let unique = symbolic_nnz(a, b)?;
+        let blocks = block_products(&a, &b)?;
+        let rows = row_intermediate_nnz(&a, &b)?;
+        let unique = symbolic_nnz(&a, &b)?;
         let intermediate_total: u64 = blocks.iter().sum();
         let output_total: usize = unique.iter().sum();
+        let a_csc = Arc::new(a.to_csc());
         Ok(ProblemContext {
-            a: a.clone(),
-            a_csc: a.to_csc(),
-            b: b.clone(),
+            a,
+            a_csc,
+            b,
             block_products: blocks,
             row_products: rows,
             row_unique: unique,
@@ -245,6 +263,23 @@ mod tests {
         let a = CsrMatrix::<f64>::zeros(2, 3);
         let b = CsrMatrix::<f64>::zeros(2, 3);
         assert!(ProblemContext::new(&a, &b).is_err());
+        assert!(ProblemContext::from_shared(Arc::new(a), Arc::new(b)).is_err());
+    }
+
+    #[test]
+    fn from_shared_reuses_operands_without_cloning() {
+        let c = ctx();
+        let a = Arc::new((*c.a).clone());
+        let b = Arc::new((*c.b).clone());
+        let shared = ProblemContext::from_shared(a.clone(), b.clone()).unwrap();
+        // Same allocation, not a copy — and context clones share it too.
+        assert!(Arc::ptr_eq(&shared.a, &a));
+        assert!(Arc::ptr_eq(&shared.b, &b));
+        let cloned = shared.clone();
+        assert!(Arc::ptr_eq(&cloned.a, &shared.a));
+        assert!(Arc::ptr_eq(&cloned.a_csc, &shared.a_csc));
+        assert_eq!(cloned.signature(), c.signature());
+        assert_eq!(shared.row_products, c.row_products);
     }
 
     #[test]

@@ -29,10 +29,13 @@
 //! shared across methods), [`workspace`] (device-memory layout),
 //! [`expansion`] / [`merge`] (trace generators), [`numeric`] (three
 //! independent numeric mergers used to verify each method's arithmetic),
-//! and [`pipeline`] (the run orchestrator producing [`pipeline::SpgemmRun`]).
+//! [`accum`] (the adaptive row-binned host merge engine with reusable
+//! scratch), and [`pipeline`] (the run orchestrator producing
+//! [`pipeline::SpgemmRun`]).
 
 #![warn(missing_docs)]
 
+pub mod accum;
 pub mod context;
 pub mod expansion;
 pub mod merge;
@@ -41,6 +44,7 @@ pub mod numeric;
 pub mod pipeline;
 pub mod workspace;
 
+pub use accum::{BinThresholds, MergeScratch, RowBins, ScratchPool};
 pub use context::ProblemContext;
 pub use pipeline::{run_method, SpgemmMethod, SpgemmRun};
 pub use workspace::Workspace;

@@ -52,28 +52,30 @@ pub fn esc_merge_launches<T: Scalar>(
         launches.push(KernelLaunch::new(format!("esc-sort-pass{pass}"), blocks));
     }
 
-    // Compress: stream the sorted array once, reduce runs, write C.
+    // Compress: stream the sorted array once, reduce runs, write C. Each
+    // tile's share of the `output_total` unique entries is apportioned
+    // proportionally to its position in the sorted stream:
+    // `u_t = floor(output·(start+len)/total) − floor(output·start/total)`.
+    // The telescoping sum makes Σ u_t == output_total exactly (no truncated
+    // remainder), and each share is ≤ the tile's input length.
     let mut c_written = 0u64;
     let mut blocks = Vec::with_capacity(tiles as usize);
-    let unique_per_tile = ctx.output_total as u64 / tiles.max(1);
+    let output = ctx.output_total as u128;
     for t in 0..tiles {
         let start = t * SORT_TILE;
         let len = SORT_TILE.min(total - start);
-        let unique = unique_per_tile.min(len);
-        blocks.push(
-            TraceBuilder::new(block_size, block_size)
-                .compute(2 * len.div_ceil(block_size as u64))
-                .read(ws.chat, start * ELEM_BYTES, len * ELEM_BYTES)
-                .write(
-                    ws.c_data,
-                    c_written * ELEM_BYTES,
-                    unique.max(1) * ELEM_BYTES,
-                )
-                .barriers(2)
-                .build(),
-        );
+        let unique = (output * (start + len) as u128 / total as u128
+            - output * start as u128 / total as u128) as u64;
+        let mut tb = TraceBuilder::new(block_size, block_size)
+            .compute(2 * len.div_ceil(block_size as u64))
+            .read(ws.chat, start * ELEM_BYTES, len * ELEM_BYTES);
+        if unique > 0 {
+            tb = tb.write(ws.c_data, c_written * ELEM_BYTES, unique * ELEM_BYTES);
+        }
+        blocks.push(tb.barriers(2).build());
         c_written += unique;
     }
+    debug_assert_eq!(c_written, ctx.output_total as u64);
     launches.push(KernelLaunch::new("esc-compress", blocks));
     launches
 }
@@ -124,6 +126,12 @@ mod tests {
             .sum();
         let chat_bytes = c.intermediate_total * ELEM_BYTES;
         assert!(total >= (2 * RADIX_PASSES as u64) * chat_bytes);
+
+        // The compress pass emits exactly nnz(C): remainder distribution
+        // must not truncate (output_total % tiles used to go missing).
+        let compress = launches.last().unwrap();
+        let compress_written: u64 = compress.blocks.iter().map(|b| b.bytes_written()).sum();
+        assert_eq!(compress_written, c.output_total as u64 * ELEM_BYTES);
     }
 
     #[test]

@@ -10,8 +10,12 @@
 //!
 //! All three produce canonical (sorted-row) CSR.
 
+use std::ops::Range;
+
 use br_sparse::ops::spgemm_gustavson;
 use br_sparse::{par, CsrMatrix, Result, Scalar};
+
+use crate::accum;
 
 /// Dense-accumulator (SPA) merge — delegates to the crate-level reference,
 /// which is exactly this algorithm.
@@ -23,12 +27,30 @@ pub fn spgemm_dense_spa<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Result
 /// all `(column, value)` products, sort by column, reduce adjacent runs.
 pub fn spgemm_sort_reduce<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Result<CsrMatrix<T>> {
     check_shapes(a, b)?;
-    let mut ptr = Vec::with_capacity(a.nrows() + 1);
+    let (ptr, idx, val) = sort_reduce_rows(a, b, 0..a.nrows());
+    Ok(CsrMatrix::from_parts_unchecked(
+        a.nrows(),
+        b.ncols(),
+        ptr,
+        idx,
+        val,
+    ))
+}
+
+/// Range-based core of [`spgemm_sort_reduce`]: merges rows `rows` into a
+/// range-local CSR triple (`ptr` starts at 0). One products buffer serves
+/// the whole range.
+fn sort_reduce_rows<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    rows: Range<usize>,
+) -> (Vec<usize>, Vec<u32>, Vec<T>) {
+    let mut ptr = Vec::with_capacity(rows.len() + 1);
     let mut idx: Vec<u32> = Vec::new();
     let mut val: Vec<T> = Vec::new();
     ptr.push(0usize);
     let mut products: Vec<(u32, T)> = Vec::new();
-    for r in 0..a.nrows() {
+    for r in rows {
         products.clear();
         let (a_cols, a_vals) = a.row(r);
         for (&k, &a_rk) in a_cols.iter().zip(a_vals) {
@@ -58,6 +80,21 @@ pub fn spgemm_sort_reduce<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Resu
         }
         ptr.push(idx.len());
     }
+    (ptr, idx, val)
+}
+
+/// Hash merge (the cuSPARSE-style numeric path): per output row, accumulate
+/// into an open-addressing table sized to the next power of two above the
+/// row's upper bound, then gather and sort.
+///
+/// The table, its used-slot list, and the gather buffer are hoisted out of
+/// the row loop and grow monotonically to the largest row's capacity, so
+/// the merger is no longer allocation-bound: clears touch only the slots
+/// the previous row used. A larger-than-needed table changes probe paths
+/// but never the per-column accumulation order, so results are unaffected.
+pub fn spgemm_hash<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Result<CsrMatrix<T>> {
+    check_shapes(a, b)?;
+    let (ptr, idx, val) = hash_rows(a, b, 0..a.nrows());
     Ok(CsrMatrix::from_parts_unchecked(
         a.nrows(),
         b.ncols(),
@@ -67,17 +104,23 @@ pub fn spgemm_sort_reduce<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Resu
     ))
 }
 
-/// Hash merge (the cuSPARSE-style numeric path): per output row, accumulate
-/// into an open-addressing table sized to the next power of two above the
-/// row's upper bound, then gather and sort.
-pub fn spgemm_hash<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Result<CsrMatrix<T>> {
-    check_shapes(a, b)?;
-    let mut ptr = Vec::with_capacity(a.nrows() + 1);
+/// Range-based core of [`spgemm_hash`]: merges rows `rows` into a
+/// range-local CSR triple with one grow-only table for the whole range.
+fn hash_rows<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    rows: Range<usize>,
+) -> (Vec<usize>, Vec<u32>, Vec<T>) {
+    let mut ptr = Vec::with_capacity(rows.len() + 1);
     let mut idx: Vec<u32> = Vec::new();
     let mut val: Vec<T> = Vec::new();
     ptr.push(0usize);
 
-    for r in 0..a.nrows() {
+    let mut keys: Vec<u32> = Vec::new();
+    let mut vals: Vec<T> = Vec::new();
+    let mut used: Vec<usize> = Vec::new();
+    let mut row: Vec<(u32, T)> = Vec::new();
+    for r in rows {
         let (a_cols, a_vals) = a.row(r);
         let upper: usize = a_cols
             .iter()
@@ -85,10 +128,12 @@ pub fn spgemm_hash<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Result<CsrM
             .sum::<usize>()
             .max(1);
         let cap = (upper * 2).next_power_of_two();
-        let mask = cap - 1;
-        let mut keys: Vec<u32> = vec![u32::MAX; cap];
-        let mut vals: Vec<T> = vec![T::ZERO; cap];
-        let mut used: Vec<usize> = Vec::new();
+        if keys.len() < cap {
+            keys.resize(cap, u32::MAX);
+            vals.resize(cap, T::ZERO);
+        }
+        let mask = keys.len() - 1;
+        used.clear();
         for (&k, &a_rk) in a_cols.iter().zip(a_vals) {
             let (b_cols, b_vals) = b.row(k as usize);
             for (&j, &b_kj) in b_cols.iter().zip(b_vals) {
@@ -110,35 +155,34 @@ pub fn spgemm_hash<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Result<CsrM
                 }
             }
         }
-        let mut row: Vec<(u32, T)> = used.iter().map(|&s| (keys[s], vals[s])).collect();
+        row.clear();
+        for &s in &used {
+            row.push((keys[s], vals[s]));
+            keys[s] = u32::MAX; // restore the empty invariant for the next row
+        }
         row.sort_unstable_by_key(|&(j, _)| j);
-        for (j, v) in row {
+        for &(j, v) in &row {
             idx.push(j);
             val.push(v);
         }
         ptr.push(idx.len());
     }
-    Ok(CsrMatrix::from_parts_unchecked(
-        a.nrows(),
-        b.ncols(),
-        ptr,
-        idx,
-        val,
-    ))
+    (ptr, idx, val)
 }
 
-/// Multithreaded dense-accumulator Gustavson: output rows are independent,
-/// so row ranges are distributed over `threads` scoped workers,
-/// each with its own accumulator. Produces bit-identical results to
-/// [`spgemm_dense_spa`] (same per-row accumulation order) — this is the
-/// fast oracle path for large benchmark runs, and also what the MKL-like
-/// baseline *functionally* computes.
+/// Multithreaded adaptive merge: rows are binned by intermediate-product
+/// upper bound and dispatched to per-bin kernels (see [`crate::accum`]),
+/// distributed over `threads` scoped workers with reusable scratch.
+/// Produces bit-identical results to [`spgemm_dense_spa`] (same per-row,
+/// per-column accumulation order) at every thread count and threshold
+/// setting — this is the fast oracle path for large benchmark runs, and
+/// also what the MKL-like baseline *functionally* computes.
 pub fn spgemm_parallel<T: Scalar>(
     a: &CsrMatrix<T>,
     b: &CsrMatrix<T>,
     threads: usize,
 ) -> Result<CsrMatrix<T>> {
-    spgemm_parallel_with(a, b, threads, spgemm_dense_spa)
+    accum::spgemm_adaptive(a, b, threads, accum::effective_thresholds_for(b.ncols()))
 }
 
 /// Parallel sort-reduce merge (the ESC arithmetic path, multithreaded).
@@ -147,7 +191,7 @@ pub fn spgemm_sort_reduce_parallel<T: Scalar>(
     b: &CsrMatrix<T>,
     threads: usize,
 ) -> Result<CsrMatrix<T>> {
-    spgemm_parallel_with(a, b, threads, spgemm_sort_reduce)
+    spgemm_parallel_with(a, b, threads, sort_reduce_rows)
 }
 
 /// Parallel hash merge (the cuSPARSE arithmetic path, multithreaded).
@@ -156,7 +200,7 @@ pub fn spgemm_hash_parallel<T: Scalar>(
     b: &CsrMatrix<T>,
     threads: usize,
 ) -> Result<CsrMatrix<T>> {
-    spgemm_parallel_with(a, b, threads, spgemm_hash)
+    spgemm_parallel_with(a, b, threads, hash_rows)
 }
 
 /// A sensible default worker count for the numeric mergers: the resolved
@@ -166,25 +210,38 @@ pub fn default_threads() -> usize {
     par::effective_threads(None)
 }
 
-/// Row-partitioned parallel driver: any per-row merger distributes over
-/// `threads` std-scoped workers and is stitched back together.
+/// Row-partitioned parallel driver: any *range-based* per-row merger
+/// distributes over `threads` std-scoped workers and is stitched back
+/// together. Workers merge row ranges of `a` directly — no `row_slice`
+/// clone per worker — and each range's scratch (hash table, products
+/// buffer) is hoisted inside the range merger, so it is allocated once per
+/// range rather than once per row.
 ///
 /// Determinism: the row partition ([`par::weighted_bounds`]) is a pure
 /// function of the operands' structure and `threads`, each worker runs the
-/// *sequential* merger on its row range with its own scratch (SPA, hash
-/// table, or products buffer), and the per-range CSR triples are
-/// concatenated in row order — so the output is bit-for-bit the sequential
-/// result at any thread count.
+/// *sequential* merger on its row range with its own scratch, and the
+/// per-range CSR triples are concatenated in row order — so the output is
+/// bit-for-bit the sequential result at any thread count.
 fn spgemm_parallel_with<T: Scalar>(
     a: &CsrMatrix<T>,
     b: &CsrMatrix<T>,
     threads: usize,
-    merger: impl Fn(&CsrMatrix<T>, &CsrMatrix<T>) -> Result<CsrMatrix<T>> + Copy + Send + Sync,
+    merger: impl Fn(&CsrMatrix<T>, &CsrMatrix<T>, Range<usize>) -> (Vec<usize>, Vec<u32>, Vec<T>)
+        + Copy
+        + Send
+        + Sync,
 ) -> Result<CsrMatrix<T>> {
     check_shapes(a, b)?;
     let threads = threads.max(1).min(a.nrows().max(1));
     if threads == 1 || a.nrows() < 256 {
-        return merger(a, b);
+        let (ptr, idx, val) = merger(a, b, 0..a.nrows());
+        return Ok(CsrMatrix::from_parts_unchecked(
+            a.nrows(),
+            b.ncols(),
+            ptr,
+            idx,
+            val,
+        ));
     }
 
     // Static row partition balanced by intermediate products, so one hub
@@ -198,12 +255,7 @@ fn spgemm_parallel_with<T: Scalar>(
 
     // Each worker produces the (ptr, idx, val) triple of its row range;
     // ranges come back in row order.
-    let parts = par::ordered_bounds_map(&bounds, |range| {
-        let slice = a.row_slice(range);
-        let c = merger(&slice, b).expect("shapes already validated");
-        let (_, _, ptr, idx, val) = c.into_parts();
-        (ptr, idx, val)
-    });
+    let parts = par::ordered_bounds_map(&bounds, |range| merger(a, b, range));
 
     // Stitch the per-range outputs back together.
     let mut ptr = Vec::with_capacity(a.nrows() + 1);

@@ -1,0 +1,98 @@
+//! Steady-state merge loop performs zero per-row heap allocations.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; after one
+//! warm-up pass (scratch and output buffers grow to capacity), repeated
+//! adaptive merges of the same problem must not allocate at all. This file
+//! holds exactly one `#[test]` so no parallel test can touch the global
+//! counter mid-measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use br_datasets::rmat::{rmat, RmatConfig};
+use br_spgemm::accum::{merge_rows_into, BinThresholds, MergeScratch, RowBins};
+use br_spgemm::numeric::spgemm_dense_spa;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_merge_allocates_nothing() {
+    // A power-law input large enough to populate all three bins under the
+    // default thresholds.
+    let a = rmat(RmatConfig::graph500(10, 8, 7)).to_csr();
+    let thresholds = BinThresholds::default();
+    let bins = RowBins::of(&a, &a, thresholds).unwrap();
+    assert!(
+        bins.rows.iter().all(|&r| r > 0),
+        "input must exercise every bin: {:?}",
+        bins.rows
+    );
+
+    let mut scratch = MergeScratch::<f64>::new();
+    let (mut ptr, mut idx, mut val) = (Vec::new(), Vec::new(), Vec::new());
+
+    // Warm-up: scratch tables and output buffers grow to their final
+    // capacity here (allocations allowed).
+    merge_rows_into(
+        &a,
+        &a,
+        0..a.nrows(),
+        &bins,
+        &mut scratch,
+        &mut ptr,
+        &mut idx,
+        &mut val,
+    );
+    let warm = (ptr.clone(), idx.clone(), val.clone());
+
+    // Steady state: same problem through the warm scratch — zero heap
+    // allocations over entire repeated merges, hence zero per row.
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..3 {
+        merge_rows_into(
+            &a,
+            &a,
+            0..a.nrows(),
+            &bins,
+            &mut scratch,
+            &mut ptr,
+            &mut idx,
+            &mut val,
+        );
+    }
+    let allocated = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        allocated, 0,
+        "steady-state merge must not allocate (got {allocated} allocations over 3 full merges)"
+    );
+
+    // And the allocation-free passes still produce the exact result.
+    assert_eq!((ptr, idx, val), warm);
+    let oracle = spgemm_dense_spa(&a, &a).unwrap();
+    assert_eq!(warm.0, oracle.ptr());
+    assert_eq!(warm.1, oracle.idx());
+    let bits: Vec<u64> = warm.2.iter().map(|v| v.to_bits()).collect();
+    let oracle_bits: Vec<u64> = oracle.val().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(bits, oracle_bits);
+}

@@ -35,8 +35,18 @@ if ! cmp -s BENCH_quick.t1.json BENCH_quick.t8.json; then
     diff BENCH_quick.t1.json BENCH_quick.t8.json | head -40 >&2 || true
     exit 1
 fi
-rm -f BENCH_quick.t1.json BENCH_quick.t8.json
 echo "ok: report is byte-identical at any thread count"
+
+echo "== determinism check: non-default --bins must be byte-identical too =="
+BR_THREADS=8 $cli bench run --suite quick --no-host --bins 4,512 \
+    --out BENCH_quick.bins.json >/dev/null
+if ! cmp -s BENCH_quick.t1.json BENCH_quick.bins.json; then
+    echo "error: BENCH_quick.json differs under --bins 4,512" >&2
+    diff BENCH_quick.t1.json BENCH_quick.bins.json | head -40 >&2 || true
+    exit 1
+fi
+rm -f BENCH_quick.t1.json BENCH_quick.t8.json BENCH_quick.bins.json
+echo "ok: row-bin thresholds never change the report"
 
 echo "== bench gate: quick suite, cycle threshold ${threshold}% =="
 $cli bench run --suite quick --out BENCH_quick.json

@@ -10,7 +10,7 @@
 //!   blockreorg-cli batch --jobs <file> [--device <d1,d2,..>] [--workers <n>]
 //!                  [--cache <entries>] [--threads <n>]
 //!   blockreorg-cli bench run [--suite quick|full|scaling] [--out <path>]
-//!                  [--threads <n>] [--no-host]
+//!                  [--threads <n>] [--no-host] [--bins <tiny>,<heavy>]
 //!   blockreorg-cli bench compare <baseline.json> <current.json>
 //!                  [--cycles-pct <pct>]
 //!
@@ -63,7 +63,7 @@ fn print_usage() {
     println!("       blockreorg-cli batch --jobs <file> [--device <d1,d2,..>] [--workers <n>]");
     println!("                      [--cache <entries>] [--threads <n>]");
     println!("       blockreorg-cli bench run [--suite quick|full|scaling] [--out <path>]");
-    println!("                      [--threads <n>] [--no-host]");
+    println!("                      [--threads <n>] [--no-host] [--bins <tiny>,<heavy>]");
     println!("       blockreorg-cli bench compare <baseline.json> <current.json>");
     println!("                      [--cycles-pct <pct>]");
     println!();
@@ -76,6 +76,9 @@ fn print_usage() {
     println!("1 = exact sequential path. Every simulated metric is bit-identical at any");
     println!("thread count; only wall clock changes. --no-host omits the wall-clock");
     println!("'host' section from the report so files byte-compare across runs.");
+    println!("--bins <tiny_max>,<heavy_min> overrides the adaptive numeric engine's");
+    println!("row-bin thresholds (default 16,2048); results are bit-identical at any");
+    println!("setting — bins change only which merge kernel runs, never the numbers.");
     println!();
     println!("batch mode runs every job in <file> through the br-service worker pool");
     println!("(one simulated device per worker) with an LRU reorganization-plan cache,");
@@ -364,6 +367,18 @@ fn run_bench_mode(args: &mut dyn Iterator<Item = String>) -> ! {
                         apply_threads_flag(&v);
                     }
                     "--no-host" => no_host = true,
+                    "--bins" => {
+                        use blockreorg::spgemm::accum::{set_global_thresholds, BinThresholds};
+                        let v = args
+                            .next()
+                            .unwrap_or_else(|| usage_and_exit("missing --bins value"));
+                        let thresholds = BinThresholds::parse(&v).unwrap_or_else(|| {
+                            usage_and_exit(&format!(
+                                "bad --bins value {v:?}; expected <tiny_max>,<heavy_min>"
+                            ))
+                        });
+                        set_global_thresholds(Some(thresholds));
+                    }
                     other => usage_and_exit(&format!("unknown bench run flag {other:?}")),
                 }
             }
