@@ -444,6 +444,11 @@ mod tests {
                 medium_products: 5,
                 heavy_products: 6,
             }),
+            obs: Some(crate::schema::ObsHostStats {
+                families: 9,
+                samples: 33,
+                span_events: 128,
+            }),
         });
         let cmp = compare(&base, &cur, &Thresholds::default());
         assert!(!cmp.has_regressions(), "{}", cmp.render());

@@ -147,6 +147,24 @@ pub struct HostSection {
     /// legacy reports parse with the field absent. Like the rest of the
     /// `host` section, never compared.
     pub bins: Option<BinHostStats>,
+    /// Size of the process-wide observability registry at the end of the
+    /// run (`br_obs::global().totals()`). `None` in reports written before
+    /// the obs subsystem existed. Informational only — sample counts vary
+    /// with what else ran in the process, so this lives under `host` and
+    /// is never compared.
+    pub obs: Option<ObsHostStats>,
+}
+
+/// Snapshot of the observability registry's size: how many metric
+/// families, label-distinct samples, and span events the run recorded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObsHostStats {
+    /// Registered metric families.
+    pub families: u64,
+    /// Label-distinct instruments across all families.
+    pub samples: u64,
+    /// Span enter/exit events buffered across all threads.
+    pub span_events: u64,
 }
 
 /// Per-bin census of the adaptive host merge engine: how the suite's
@@ -279,6 +297,11 @@ mod tests {
                     medium_products: 9000,
                     heavy_products: 70000,
                 }),
+                obs: Some(ObsHostStats {
+                    families: 12,
+                    samples: 40,
+                    span_events: 256,
+                }),
             }),
         }
     }
@@ -333,6 +356,22 @@ mod tests {
         assert_ne!(legacy, with_null, "the bins key was present to remove");
         let back = BenchReport::from_json(&legacy).expect("pre-bins host section parses");
         assert_eq!(back.host.as_ref().unwrap().bins, None);
+        assert_eq!(back.host.as_ref().unwrap().wall_ms, 1234.5);
+    }
+
+    #[test]
+    fn host_section_without_obs_key_parses_as_none() {
+        // Reports written before the obs subsystem existed have a host
+        // section but no `obs` key: it must read back as `None`.
+        let mut report = sample();
+        if let Some(host) = &mut report.host {
+            host.obs = None;
+        }
+        let with_null = report.to_json();
+        let legacy = with_null.replace(",\n    \"obs\": null", "");
+        assert_ne!(legacy, with_null, "the obs key was present to remove");
+        let back = BenchReport::from_json(&legacy).expect("pre-obs host section parses");
+        assert_eq!(back.host.as_ref().unwrap().obs, None);
         assert_eq!(back.host.as_ref().unwrap().wall_ms, 1234.5);
     }
 

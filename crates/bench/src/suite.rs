@@ -14,8 +14,8 @@
 //!   reorganizer; minutes.
 
 use crate::schema::{
-    git_sha, BenchReport, BinHostStats, CaseMetrics, CaseReport, HostSection, PhaseMetrics,
-    ServiceSection, SCHEMA_VERSION,
+    git_sha, BenchReport, BinHostStats, CaseMetrics, CaseReport, HostSection, ObsHostStats,
+    PhaseMetrics, ServiceSection, SCHEMA_VERSION,
 };
 use block_reorganizer::{BlockReorganizer, ReorganizerConfig};
 use br_datasets::registry::{RealWorldRegistry, ScaleFactor};
@@ -271,12 +271,21 @@ pub fn run_suite_threaded(
             0.0
         }
     };
+    // Registry size at the end of the run. Stored under `host` (and
+    // stripped by --no-host) because sample counts depend on what else
+    // ran in the process, not on the suite's simulated results.
+    let obs_totals = br_obs::global().totals();
     let host = Some(HostSection {
         threads: threads as u64,
         wall_ms,
         cases_per_sec: per_sec(cases.len() as u64),
         jobs_per_sec: per_sec(service.jobs),
         bins: Some(bin_census(suite)),
+        obs: Some(ObsHostStats {
+            families: obs_totals.families,
+            samples: obs_totals.samples,
+            span_events: obs_totals.span_events,
+        }),
     });
     BenchReport {
         schema_version: SCHEMA_VERSION,
@@ -428,8 +437,11 @@ fn run_service_batch(suite: Suite, threads: usize) -> ServiceSection {
     // below are a function of the job list alone, and the report stays
     // byte-identical at any worker count.
     let workers = threads.min(jobs.len()).max(1);
+    // Record job-lifecycle counters and spans in the process-wide registry
+    // so `bench run --metrics` covers the service batch too.
     let batch = SpgemmService::run_batch(
-        ServiceConfig::uniform(DeviceConfig::titan_xp(), workers, 8),
+        ServiceConfig::uniform(DeviceConfig::titan_xp(), workers, 8)
+            .with_registry(br_obs::global_arc()),
         jobs,
     );
     let stats = &batch.stats;

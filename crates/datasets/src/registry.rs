@@ -637,6 +637,29 @@ mod tests {
     }
 
     #[test]
+    fn load_or_generate_falls_back_on_corrupt_files() {
+        // A present-but-unreadable .mtx (truncated download, wrong format)
+        // must not abort the run: the loader warns and generates the
+        // surrogate instead.
+        let dir = std::env::temp_dir().join("br_registry_corrupt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = RealWorldRegistry::get("scircuit").unwrap();
+        let path = dir.join("scircuit.mtx");
+        std::fs::write(
+            &path,
+            "%%MatrixMarket matrix coordinate real general\n2 2 5\n1 1 1.0\n",
+        )
+        .unwrap();
+        let loaded = spec.load_or_generate(&dir, ScaleFactor::Tiny);
+        assert_eq!(loaded, spec.generate(ScaleFactor::Tiny));
+        // Not even a header.
+        std::fs::write(&path, "this is not a matrix\n").unwrap();
+        let loaded = spec.load_or_generate(&dir, ScaleFactor::Tiny);
+        assert_eq!(loaded, spec.generate(ScaleFactor::Tiny));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn generation_is_deterministic() {
         let spec = RealWorldRegistry::get("emailEnron").unwrap();
         assert_eq!(

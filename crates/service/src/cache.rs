@@ -19,6 +19,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use block_reorganizer::config::SplitPolicy;
 use block_reorganizer::plan::ReorgPlan;
 use block_reorganizer::ReorganizerConfig;
+use br_obs::{lock_recover, Counter, Registry};
 use br_spgemm::context::ProblemSignature;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -111,16 +112,13 @@ struct Inner {
     /// (single-flight: later requesters wait instead of rebuilding).
     building: HashSet<PlanKey>,
     tick: u64,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
 }
 
 impl Inner {
     /// Evicts the least-recently-used entry if inserting `key` would
-    /// overflow `capacity`. Shared by [`PlanCache::insert`] and
-    /// [`PlanCache::get_or_build`].
-    fn make_room_for(&mut self, key: &PlanKey, capacity: usize) {
+    /// overflow `capacity`, returning whether an eviction happened. Shared
+    /// by [`PlanCache::insert`] and [`PlanCache::get_or_build`].
+    fn make_room_for(&mut self, key: &PlanKey, capacity: usize) -> bool {
         if !self.map.contains_key(key) && self.map.len() >= capacity {
             if let Some(victim) = self
                 .map
@@ -129,18 +127,39 @@ impl Inner {
                 .map(|(k, _)| k.clone())
             {
                 self.map.remove(&victim);
-                self.evictions += 1;
+                return true;
             }
         }
+        false
     }
 }
 
 /// Thread-safe LRU plan cache.
+///
+/// Counters live in a [`br_obs::Registry`] (one private registry per cache
+/// by default, or a shared one via [`PlanCache::with_registry`]), so the
+/// same numbers that [`PlanCache::stats`] reports are exported by the
+/// service's Prometheus/JSONL exposition. Hits, misses, and evictions are
+/// deterministic under single-flight; the single-flight *wait* counter is
+/// timing-flagged because whether a waiter actually blocks depends on
+/// scheduling.
 pub struct PlanCache {
     capacity: usize,
     inner: Mutex<Inner>,
     /// Signalled when a pending build lands (or is abandoned).
     ready: Condvar,
+    registry: Arc<Registry>,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    single_flight_waits: Counter,
+    /// Counter readings at construction. A shared registry (e.g. the
+    /// process-wide one) hands every cache the *same* named counters, so
+    /// [`PlanCache::stats`] subtracts these to report this cache's own
+    /// activity while the exposition keeps the cumulative totals.
+    hits_base: u64,
+    misses_base: u64,
+    evictions_base: u64,
 }
 
 /// Removes `key` from the building set and wakes waiters when dropped —
@@ -153,11 +172,7 @@ struct BuildGuard<'a> {
 
 impl Drop for BuildGuard<'_> {
     fn drop(&mut self) {
-        let mut inner = self
-            .cache
-            .inner
-            .lock()
-            .unwrap_or_else(|poison| poison.into_inner());
+        let mut inner = lock_recover(&self.cache.inner);
         inner.building.remove(self.key);
         drop(inner);
         self.cache.ready.notify_all();
@@ -165,36 +180,75 @@ impl Drop for BuildGuard<'_> {
 }
 
 impl PlanCache {
-    /// Creates a cache holding at most `capacity` plans (minimum 1).
+    /// Creates a cache holding at most `capacity` plans (minimum 1), with
+    /// its own private metrics registry.
     pub fn new(capacity: usize) -> Self {
+        Self::with_registry(capacity, Arc::new(Registry::new()))
+    }
+
+    /// Creates a cache whose counters are registered in `registry` — the
+    /// service passes its own registry here so cache counters show up in
+    /// the exported exposition.
+    pub fn with_registry(capacity: usize, registry: Arc<Registry>) -> Self {
+        let hits = registry.counter(
+            "br_cache_hits_total",
+            "Plan-cache lookups served from cache (single-flight waiters count as hits).",
+            &[],
+        );
+        let misses = registry.counter(
+            "br_cache_misses_total",
+            "Plan-cache lookups that built a plan.",
+            &[],
+        );
+        let evictions = registry.counter(
+            "br_cache_evictions_total",
+            "Plans evicted to make room.",
+            &[],
+        );
+        let single_flight_waits = registry.timing_counter(
+            "br_cache_single_flight_waits_total",
+            "Requests that blocked on another worker's in-flight build (scheduling-dependent).",
+            &[],
+        );
+        let (hits_base, misses_base, evictions_base) = (hits.get(), misses.get(), evictions.get());
         PlanCache {
             capacity: capacity.max(1),
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
                 building: HashSet::new(),
                 tick: 0,
-                hits: 0,
-                misses: 0,
-                evictions: 0,
             }),
             ready: Condvar::new(),
+            registry,
+            hits,
+            misses,
+            evictions,
+            single_flight_waits,
+            hits_base,
+            misses_base,
+            evictions_base,
         }
+    }
+
+    /// The registry holding this cache's counters.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Looks up a plan, counting a hit or a miss and refreshing recency.
     pub fn lookup(&self, key: &PlanKey) -> Option<Arc<ReorgPlan>> {
-        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        let mut inner = lock_recover(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
         match inner.map.get_mut(key) {
             Some(entry) => {
                 entry.last_used = tick;
                 let plan = entry.plan.clone();
-                inner.hits += 1;
+                self.hits.inc();
                 Some(plan)
             }
             None => {
-                inner.misses += 1;
+                self.misses.inc();
                 None
             }
         }
@@ -203,10 +257,12 @@ impl PlanCache {
     /// Inserts (or replaces) a plan, evicting the least-recently-used entry
     /// if the cache is full.
     pub fn insert(&self, key: PlanKey, plan: Arc<ReorgPlan>) {
-        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        let mut inner = lock_recover(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
-        inner.make_room_for(&key, self.capacity);
+        if inner.make_room_for(&key, self.capacity) {
+            self.evictions.inc();
+        }
         inner.map.insert(
             key,
             Entry {
@@ -234,7 +290,7 @@ impl PlanCache {
         key: &PlanKey,
         build: impl FnOnce() -> Arc<ReorgPlan>,
     ) -> (Arc<ReorgPlan>, bool) {
-        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        let mut inner = lock_recover(&self.inner);
         let mut counted_hit = false;
         loop {
             inner.tick += 1;
@@ -243,7 +299,7 @@ impl PlanCache {
                 entry.last_used = tick;
                 let plan = entry.plan.clone();
                 if !counted_hit {
-                    inner.hits += 1;
+                    self.hits.inc();
                 }
                 return (plan, true);
             }
@@ -251,25 +307,32 @@ impl PlanCache {
                 break;
             }
             // Another worker is building this plan: count the hit now (the
-            // outcome is already determined) and wait for it to land.
+            // outcome is already determined) and wait for it to land. The
+            // wait itself is scheduling-dependent, hence a timing counter.
             if !counted_hit {
-                inner.hits += 1;
+                self.hits.inc();
+                self.single_flight_waits.inc();
                 counted_hit = true;
             }
-            inner = self.ready.wait(inner).expect("plan cache poisoned");
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
         // This call is the builder for `key`.
-        inner.misses += 1;
+        self.misses.inc();
         inner.building.insert(key.clone());
         drop(inner);
 
         let guard = BuildGuard { cache: self, key };
         let plan = build();
         {
-            let mut inner = self.inner.lock().expect("plan cache poisoned");
+            let mut inner = lock_recover(&self.inner);
             inner.tick += 1;
             let tick = inner.tick;
-            inner.make_room_for(key, self.capacity);
+            if inner.make_room_for(key, self.capacity) {
+                self.evictions.inc();
+            }
             inner.map.insert(
                 key.clone(),
                 Entry {
@@ -282,13 +345,14 @@ impl PlanCache {
         (plan, false)
     }
 
-    /// Current counters.
+    /// Current counters — this cache's activity only, even when the
+    /// registry (and therefore the named counters) is shared.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("plan cache poisoned");
+        let inner = lock_recover(&self.inner);
         CacheStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            evictions: inner.evictions,
+            hits: self.hits.get() - self.hits_base,
+            misses: self.misses.get() - self.misses_base,
+            evictions: self.evictions.get() - self.evictions_base,
             entries: inner.map.len(),
             capacity: self.capacity,
         }
@@ -296,7 +360,7 @@ impl PlanCache {
 
     /// Number of resident plans.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("plan cache poisoned").map.len()
+        lock_recover(&self.inner).map.len()
     }
 
     /// True when no plan is resident.
@@ -307,11 +371,7 @@ impl PlanCache {
     /// Whether a key is resident, *without* touching counters or recency
     /// (test/diagnostic hook).
     pub fn contains(&self, key: &PlanKey) -> bool {
-        self.inner
-            .lock()
-            .expect("plan cache poisoned")
-            .map
-            .contains_key(key)
+        lock_recover(&self.inner).map.contains_key(key)
     }
 }
 
@@ -575,6 +635,55 @@ mod tests {
         let (_, cached) = cache.get_or_build(&key, || plan);
         assert!(!cached);
         assert!(cache.contains(&key));
+    }
+
+    #[test]
+    fn counters_surface_in_registry_exposition() {
+        let registry = Arc::new(Registry::new());
+        let cache = PlanCache::with_registry(2, registry.clone());
+        let (key, plan, _) = plan_for(99);
+        assert!(cache.lookup(&key).is_none());
+        cache.insert(key.clone(), plan);
+        assert!(cache.lookup(&key).is_some());
+        let text = registry.render_prometheus(false);
+        assert!(text.contains("br_cache_hits_total 1"), "{text}");
+        assert!(text.contains("br_cache_misses_total 1"), "{text}");
+        assert!(text.contains("br_cache_evictions_total 0"), "{text}");
+        // The wait counter is scheduling-dependent → timing-flagged → only
+        // visible when timing families are requested.
+        assert!(!text.contains("single_flight_waits"), "{text}");
+        let full = registry.render_prometheus(true);
+        assert!(
+            full.contains("br_cache_single_flight_waits_total 0"),
+            "{full}"
+        );
+    }
+
+    #[test]
+    fn stats_are_per_cache_even_with_a_shared_registry() {
+        // Two caches on one registry share the named counters; stats()
+        // must still report only each cache's own activity (the second
+        // cache starts from the first one's cumulative totals).
+        let registry = Arc::new(Registry::new());
+        let first = PlanCache::with_registry(2, registry.clone());
+        let (key, plan, _) = plan_for(7);
+        assert!(first.lookup(&key).is_none());
+        first.insert(key.clone(), plan.clone());
+        assert!(first.lookup(&key).is_some());
+        let s1 = first.stats();
+        assert_eq!((s1.hits, s1.misses), (1, 1));
+
+        let second = PlanCache::with_registry(2, registry.clone());
+        assert!(second.lookup(&key).is_none());
+        second.insert(key.clone(), plan);
+        assert!(second.lookup(&key).is_some());
+        assert!(second.lookup(&key).is_some());
+        let s2 = second.stats();
+        assert_eq!((s2.hits, s2.misses), (2, 1));
+        // The exposition keeps the cumulative process-wide view.
+        let text = registry.render_prometheus(false);
+        assert!(text.contains("br_cache_hits_total 3"), "{text}");
+        assert!(text.contains("br_cache_misses_total 2"), "{text}");
     }
 
     #[test]

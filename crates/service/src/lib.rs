@@ -25,6 +25,16 @@
 //! * [`job`] — job descriptions, plus the job-file format consumed by
 //!   `blockreorg-cli batch`.
 //!
+//! Observability: every service (and its plan cache) registers its
+//! instruments — job lifecycle spans (`job/submit`, `job`, `job/plan`,
+//! `job/execute`), queue gauges, and cache hit/miss/eviction/single-flight
+//! counters — in a [`br_obs::Registry`]. By default each service gets a
+//! private registry; pass one via
+//! [`service::ServiceConfig::with_registry`] (the CLI uses
+//! [`br_obs::global`]) to export them. All queue/cache locks go through
+//! [`br_obs::lock_recover`], so a panicking worker can never poison the
+//! service into a deadlock.
+//!
 //! Everything is std-only (threads + mutex/condvar); the crate adds no
 //! runtime dependencies beyond the workspace.
 //!

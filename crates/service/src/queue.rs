@@ -5,12 +5,20 @@
 //! [`close`]d and drained. The queue also tracks the high-water depth for
 //! [`crate::stats::ServiceStats`].
 //!
+//! Lock discipline: every acquisition goes through
+//! [`br_obs::lock_recover`], so a worker that panics while holding the
+//! queue mutex poisons nothing — the queue state is a plain `VecDeque` plus
+//! two scalars, always consistent at every await point, and the remaining
+//! workers keep draining.
+//!
 //! [`push`]: JobQueue::push
 //! [`pop`]: JobQueue::pop
 //! [`close`]: JobQueue::close
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+
+use br_obs::lock_recover;
 
 struct Inner<T> {
     items: VecDeque<T>,
@@ -41,7 +49,7 @@ impl<T> JobQueue<T> {
     ///
     /// Returns `false` (dropping the item) if the queue is already closed.
     pub fn push(&self, item: T) -> bool {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_recover(&self.inner);
         if inner.closed {
             return false;
         }
@@ -55,7 +63,7 @@ impl<T> JobQueue<T> {
     /// Blocks for the next item; `None` once the queue is closed *and*
     /// drained.
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_recover(&self.inner);
         loop {
             if let Some(item) = inner.items.pop_front() {
                 return Some(item);
@@ -63,30 +71,48 @@ impl<T> JobQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.nonempty.wait(inner).unwrap();
+            inner = self
+                .nonempty
+                .wait(inner)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
     }
 
     /// Marks the queue closed and wakes every waiter. Already-queued items
     /// are still delivered.
     pub fn close(&self) {
-        self.inner.lock().unwrap().closed = true;
+        lock_recover(&self.inner).closed = true;
         self.nonempty.notify_all();
     }
 
     /// Current number of queued items.
     pub fn depth(&self) -> usize {
-        self.inner.lock().unwrap().items.len()
+        lock_recover(&self.inner).items.len()
     }
 
     /// Largest depth ever observed.
     pub fn max_depth(&self) -> usize {
-        self.inner.lock().unwrap().max_depth
+        lock_recover(&self.inner).max_depth
     }
 
     /// Whether the queue has been closed.
     pub fn is_closed(&self) -> bool {
-        self.inner.lock().unwrap().closed
+        lock_recover(&self.inner).closed
+    }
+
+    /// Test hook: panic inside the queue's critical section, leaving the
+    /// mutex poisoned, to prove the poison-recovering lock discipline keeps
+    /// the queue usable afterwards.
+    #[doc(hidden)]
+    pub fn poison_for_test(&self) {
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = lock_recover(&self.inner);
+            panic!("injected panic inside queue critical section");
+        }));
+        assert!(
+            self.inner.is_poisoned(),
+            "mutex must be poisoned by the injected panic"
+        );
     }
 }
 
@@ -98,7 +124,7 @@ impl<T> Default for JobQueue<T> {
 
 impl<T> std::fmt::Debug for JobQueue<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock().unwrap();
+        let inner = lock_recover(&self.inner);
         f.debug_struct("JobQueue")
             .field("depth", &inner.items.len())
             .field("max_depth", &inner.max_depth)
@@ -146,6 +172,21 @@ mod tests {
         q.close();
         assert_eq!(q.pop(), Some("a"), "drain continues after close");
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn poisoned_queue_keeps_serving() {
+        let q: JobQueue<u32> = JobQueue::new();
+        assert!(q.push(1));
+        q.poison_for_test();
+        // Every operation must recover from the poisoned mutex.
+        assert!(q.push(2));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        q.close();
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.max_depth(), 2);
     }
 
     #[test]

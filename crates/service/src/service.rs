@@ -15,6 +15,7 @@ use std::time::Instant;
 use block_reorganizer::plan::{PlanMode, ReorgPlan};
 use br_gpu_sim::device::DeviceConfig;
 use br_gpu_sim::sim::GpuSimulator;
+use br_obs::{Counter, Gauge, Histogram, Registry};
 use br_spgemm::accum::ScratchPool;
 use br_spgemm::context::ProblemContext;
 
@@ -31,6 +32,12 @@ pub struct ServiceConfig {
     pub devices: Vec<DeviceConfig>,
     /// Plan-cache capacity (entries; clamped to ≥ 1).
     pub cache_capacity: usize,
+    /// Metrics registry shared by the service, its plan cache, and its job
+    /// lifecycle spans. `None` gives the service a private registry (so
+    /// concurrent services/tests never share counters); the CLI passes
+    /// [`br_obs::global`] here to fold service metrics into the process
+    /// exposition.
+    pub registry: Option<Arc<Registry>>,
 }
 
 impl Default for ServiceConfig {
@@ -40,6 +47,7 @@ impl Default for ServiceConfig {
         ServiceConfig {
             devices: vec![DeviceConfig::titan_xp()],
             cache_capacity: 32,
+            registry: None,
         }
     }
 }
@@ -50,7 +58,14 @@ impl ServiceConfig {
         ServiceConfig {
             devices: vec![device; workers.max(1)],
             cache_capacity,
+            registry: None,
         }
+    }
+
+    /// Use `registry` for all service instruments (builder-style).
+    pub fn with_registry(mut self, registry: Arc<Registry>) -> Self {
+        self.registry = Some(registry);
+        self
     }
 }
 
@@ -83,11 +98,66 @@ struct WorkerReport {
     busy_ms: f64,
 }
 
+/// Instrument handles shared by the submission side and every worker.
+struct ServiceInstruments {
+    registry: Arc<Registry>,
+    submitted: Counter,
+    completed: Counter,
+    failed: Counter,
+    /// Queue depth over time — scheduling-dependent, hence timing-flagged.
+    queue_depth: Gauge,
+    /// High-water queue depth — also scheduling-dependent.
+    queue_max_depth: Gauge,
+    /// Wall-clock queue wait per job — the "queue" stage of the lifecycle.
+    queue_wait: Histogram,
+}
+
+impl ServiceInstruments {
+    fn new(registry: Arc<Registry>) -> Self {
+        let submitted = registry.counter(
+            "br_jobs_submitted_total",
+            "Jobs accepted into the service queue.",
+            &[],
+        );
+        let completed = registry.counter(
+            "br_jobs_completed_total",
+            "Jobs that finished successfully.",
+            &[],
+        );
+        let failed = registry.counter("br_jobs_failed_total", "Jobs that failed.", &[]);
+        let queue_depth = registry.timing_gauge(
+            "br_queue_depth",
+            "Jobs waiting for a worker, sampled at push/pop (scheduling-dependent).",
+            &[],
+        );
+        let queue_max_depth = registry.timing_gauge(
+            "br_queue_max_depth",
+            "Highest queue depth observed (scheduling-dependent).",
+            &[],
+        );
+        let queue_wait = registry.timing_histogram(
+            "br_job_queue_wait_ns",
+            "Wall-clock nanoseconds a job waited in the queue.",
+            &[],
+        );
+        ServiceInstruments {
+            registry,
+            submitted,
+            completed,
+            failed,
+            queue_depth,
+            queue_max_depth,
+            queue_wait,
+        }
+    }
+}
+
 /// A running worker pool. Submit jobs, then [`drain`](Self::drain) to
 /// collect all results and the final report.
 pub struct SpgemmService {
     queue: Arc<JobQueue<QueuedJob>>,
     cache: Arc<PlanCache>,
+    instruments: Arc<ServiceInstruments>,
     workers: Vec<JoinHandle<WorkerReport>>,
     results: mpsc::Receiver<Completion>,
     started: Instant,
@@ -97,8 +167,16 @@ pub struct SpgemmService {
 impl SpgemmService {
     /// Spawns the worker pool and returns a service accepting submissions.
     pub fn start(config: ServiceConfig) -> Self {
+        let registry = config
+            .registry
+            .clone()
+            .unwrap_or_else(|| Arc::new(Registry::new()));
         let queue: Arc<JobQueue<QueuedJob>> = Arc::new(JobQueue::new());
-        let cache = Arc::new(PlanCache::new(config.cache_capacity));
+        let cache = Arc::new(PlanCache::with_registry(
+            config.cache_capacity,
+            registry.clone(),
+        ));
+        let instruments = Arc::new(ServiceInstruments::new(registry));
         let (tx, rx) = mpsc::channel();
         let workers = config
             .devices
@@ -107,16 +185,18 @@ impl SpgemmService {
             .map(|(index, device)| {
                 let queue = queue.clone();
                 let cache = cache.clone();
+                let instruments = instruments.clone();
                 let tx = tx.clone();
                 thread::Builder::new()
                     .name(format!("br-service-worker-{index}"))
-                    .spawn(move || worker_loop(index, device, queue, cache, tx))
+                    .spawn(move || worker_loop(index, device, queue, cache, instruments, tx))
                     .expect("failed to spawn service worker")
             })
             .collect();
         SpgemmService {
             queue,
             cache,
+            instruments,
             workers,
             results: rx,
             started: Instant::now(),
@@ -126,12 +206,17 @@ impl SpgemmService {
 
     /// Enqueues a job; `false` if the service is already draining.
     pub fn submit(&mut self, job: JobRequest) -> bool {
+        let _span = self.instruments.registry.span("job/submit");
         let accepted = self.queue.push(QueuedJob {
             request: job,
             enqueued: Instant::now(),
         });
         if accepted {
             self.submitted += 1;
+            self.instruments.submitted.inc();
+            self.instruments
+                .queue_depth
+                .set_u64(self.queue.depth() as u64);
         }
         accepted
     }
@@ -141,9 +226,21 @@ impl SpgemmService {
         &self.cache
     }
 
+    /// The registry holding this service's instruments (and its cache's).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.instruments.registry
+    }
+
     /// Jobs currently waiting for a worker.
     pub fn queue_depth(&self) -> usize {
         self.queue.depth()
+    }
+
+    /// Test hook: poison the queue mutex by panicking inside its critical
+    /// section, to prove the service keeps draining afterwards.
+    #[doc(hidden)]
+    pub fn poison_queue_for_test(&self) {
+        self.queue.poison_for_test();
     }
 
     /// Runs a whole batch: submit everything, drain, report.
@@ -161,6 +258,7 @@ impl SpgemmService {
         let SpgemmService {
             queue,
             cache,
+            instruments,
             workers,
             results,
             started,
@@ -171,6 +269,9 @@ impl SpgemmService {
             .into_iter()
             .map(|h| h.join().expect("service worker panicked"))
             .collect();
+        instruments
+            .queue_max_depth
+            .set_u64(queue.max_depth() as u64);
         let mut outcomes = Vec::with_capacity(submitted);
         let mut failures = Vec::new();
         while let Ok(done) = results.try_recv() {
@@ -217,6 +318,7 @@ fn worker_loop(
     device: DeviceConfig,
     queue: Arc<JobQueue<QueuedJob>>,
     cache: Arc<PlanCache>,
+    instruments: Arc<ServiceInstruments>,
     tx: mpsc::Sender<Completion>,
 ) -> WorkerReport {
     let sim = GpuSimulator::new(device.clone());
@@ -226,6 +328,10 @@ fn worker_loop(
     let mut jobs = 0usize;
     let mut busy_ms = 0.0f64;
     while let Some(queued) = queue.pop() {
+        instruments.queue_depth.set_u64(queue.depth() as u64);
+        instruments
+            .queue_wait
+            .observe(queued.enqueued.elapsed().as_nanos() as u64);
         let queue_ms = queued.enqueued.elapsed().as_secs_f64() * 1e3;
         let t0 = Instant::now();
         let done = execute_job(
@@ -233,6 +339,7 @@ fn worker_loop(
             &device,
             &sim,
             &cache,
+            &instruments,
             &pool,
             queued.request,
             queue_ms,
@@ -240,6 +347,10 @@ fn worker_loop(
         );
         busy_ms += t0.elapsed().as_secs_f64() * 1e3;
         jobs += 1;
+        match &done {
+            Completion::Ok(_) => instruments.completed.inc(),
+            Completion::Err(_) => instruments.failed.inc(),
+        }
         if tx.send(done).is_err() {
             break; // collector is gone; nothing left to report to
         }
@@ -258,11 +369,14 @@ fn execute_job(
     device: &DeviceConfig,
     sim: &GpuSimulator,
     cache: &PlanCache,
+    instruments: &ServiceInstruments,
     pool: &ScratchPool<f64>,
     job: JobRequest,
     queue_ms: f64,
     t0: Instant,
 ) -> Completion {
+    let registry = &instruments.registry;
+    let job_span = registry.span("job");
     let fail = |message: String| {
         Completion::Err(JobError {
             id: job.id,
@@ -281,18 +395,25 @@ fn execute_job(
     // produce exactly one build (one miss) and one hit per other job, so
     // the cache counters in the batch report don't depend on worker count
     // or scheduling.
-    let (plan, cache_hit) = cache.get_or_build(&key, || {
-        Arc::new(ReorgPlan::build(&ctx, &job.config, device))
-    });
+    let (plan, cache_hit) = {
+        let _plan_span = registry.span("plan");
+        cache.get_or_build(&key, || {
+            Arc::new(ReorgPlan::build(&ctx, &job.config, device))
+        })
+    };
     let mode = if cache_hit {
         PlanMode::Cached
     } else {
         PlanMode::Cold
     };
-    let run = match plan.execute_with_scratch(sim, &ctx, mode, Some(pool)) {
-        Ok(run) => run,
-        Err(e) => return fail(format!("execution failed: {e}")),
+    let run = {
+        let _exec_span = registry.span("execute");
+        match plan.execute_with_scratch(sim, &ctx, mode, Some(pool)) {
+            Ok(run) => run,
+            Err(e) => return fail(format!("execution failed: {e}")),
+        }
     };
+    drop(job_span);
     Completion::Ok(Box::new(JobOutcome {
         id: job.id,
         label: job.label,

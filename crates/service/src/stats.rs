@@ -212,6 +212,31 @@ mod tests {
     }
 
     #[test]
+    fn empty_outcomes_yield_finite_zero_means_and_nan_free_output() {
+        // Zero jobs must produce 0.0 means (not NaN from 0/0), so the
+        // rendered report and any JSON/exposition built from these numbers
+        // stays parseable.
+        let stats = ServiceStats::from_outcomes(&[], 0, 0.0, CacheStats::default(), 0, vec![]);
+        for v in [
+            stats.mean_total_ms,
+            stats.mean_cold_ms,
+            stats.mean_warm_ms,
+            stats.mean_queue_ms,
+            stats.precalc_ms,
+            stats.expansion_ms,
+            stats.merge_ms,
+            stats.preprocess_ms,
+            stats.cache.hit_rate(),
+        ] {
+            assert!(v.is_finite(), "must be finite, got {v}");
+            assert_eq!(v, 0.0);
+        }
+        let text = stats.to_string();
+        assert!(!text.contains("NaN"), "{text}");
+        assert!(!text.contains("inf"), "{text}");
+    }
+
+    #[test]
     fn zero_jobs_with_failures_still_reports_them() {
         // Every submitted job failed: no outcomes, but the failure count
         // and cache counters must survive into the report.

@@ -163,6 +163,7 @@ fn heterogeneous_devices_cache_plans_per_device() {
     let config = ServiceConfig {
         devices: vec![DeviceConfig::titan_xp(), DeviceConfig::tesla_v100()],
         cache_capacity: 8,
+        ..ServiceConfig::default()
     };
     let batch = SpgemmService::run_batch(config, jobs);
     assert!(batch.failures.is_empty(), "{:?}", batch.failures);
@@ -219,6 +220,83 @@ fn batch_counters_are_deterministic_across_worker_counts() {
             assert_eq!(x.id, y.id);
             assert_bit_identical(&x.result, &y.result, &x.label);
         }
+    }
+}
+
+/// Satellite (lock discipline): a panic inside the queue's critical section
+/// poisons the queue mutex, but every lock acquisition goes through the
+/// poison-recovering helper — the service must keep accepting submissions
+/// and drain every job.
+#[test]
+fn service_drains_after_panic_inside_queue_critical_section() {
+    let a = Arc::new(rmat(RmatConfig::snap_like(7, 6, 33)).to_csr());
+    let mut service = SpgemmService::start(ServiceConfig::uniform(DeviceConfig::titan_xp(), 2, 8));
+    for id in 0..3 {
+        assert!(service.submit(JobRequest::square(id, a.clone())));
+    }
+    // Panic while holding the queue mutex (poisons it), then keep going.
+    service.poison_queue_for_test();
+    for id in 3..6 {
+        assert!(
+            service.submit(JobRequest::square(id, a.clone())),
+            "submissions must survive a poisoned queue mutex"
+        );
+    }
+    let batch = service.drain();
+    assert!(batch.failures.is_empty(), "{:?}", batch.failures);
+    assert_eq!(batch.outcomes.len(), 6, "all jobs drained after poison");
+    let ids: Vec<u64> = batch.outcomes.iter().map(|o| o.id).collect();
+    assert_eq!(ids, (0..6).collect::<Vec<u64>>());
+}
+
+/// The service's non-timing exposition (cache counters, job counters, span
+/// counts) is byte-identical at every worker count: the instruments are
+/// pure functions of the job multiset under single-flight.
+#[test]
+fn service_exposition_is_byte_identical_across_worker_counts() {
+    use br_obs::Registry;
+    const N: u64 = 8;
+    let a = Arc::new(rmat(RmatConfig::snap_like(8, 6, 44)).to_csr());
+    let b = Arc::new(rmat(RmatConfig::snap_like(8, 6, 45)).to_csr());
+    let run = |workers: usize| {
+        let registry = Arc::new(Registry::new());
+        let mut jobs = Vec::new();
+        for id in 0..N {
+            if id % 2 == 0 {
+                jobs.push(JobRequest::square(id, a.clone()));
+            } else {
+                jobs.push(JobRequest::multiply(id, a.clone(), b.clone()));
+            }
+        }
+        let config = ServiceConfig::uniform(DeviceConfig::titan_xp(), workers, 8)
+            .with_registry(registry.clone());
+        let batch = SpgemmService::run_batch(config, jobs);
+        assert!(batch.failures.is_empty(), "{:?}", batch.failures);
+        (
+            registry.render_prometheus(false),
+            registry.render_jsonl(false),
+        )
+    };
+    let (base_prom, base_jsonl) = run(1);
+    assert!(
+        base_prom.contains("br_jobs_submitted_total 8"),
+        "{base_prom}"
+    );
+    assert!(
+        base_prom.contains("br_jobs_completed_total 8"),
+        "{base_prom}"
+    );
+    assert!(base_prom.contains("br_cache_misses_total 2"), "{base_prom}");
+    assert!(base_prom.contains("br_cache_hits_total 6"), "{base_prom}");
+    assert!(
+        base_prom.contains("br_span_total{path=\"job/plan\"} 8"),
+        "{base_prom}"
+    );
+    // Timing-flagged families must be absent from the deterministic view.
+    assert!(!base_prom.contains("br_queue_depth"), "{base_prom}");
+    assert!(!base_prom.contains("br_job_queue_wait_ns"), "{base_prom}");
+    for workers in [2, 4] {
+        assert_eq!((base_prom.clone(), base_jsonl.clone()), run(workers));
     }
 }
 

@@ -298,4 +298,126 @@ mod tests {
             .to_csr();
         assert!(m.approx_eq(&back, 1e-12));
     }
+
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeSet;
+
+    /// Random COO with possibly-duplicate coordinates (CSR compression
+    /// sums them, which is exactly what the round trip must preserve).
+    fn random_coo(rng: &mut SmallRng) -> CooMatrix<f64> {
+        let nrows = rng.gen_range(1usize..32);
+        let ncols = rng.gen_range(1usize..32);
+        let entries = rng.gen_range(0usize..160);
+        let mut coo = CooMatrix::with_capacity(nrows, ncols, entries);
+        for _ in 0..entries {
+            let r = rng.gen_range(0..nrows) as u32;
+            let c = rng.gen_range(0..ncols) as u32;
+            coo.push(r, c, rng.gen_range(-8.0f64..8.0)).unwrap();
+        }
+        coo
+    }
+
+    /// Random distinct coordinates on or below the diagonal of an n×n
+    /// matrix — the storable half of a symmetric/skew-symmetric file.
+    fn random_lower_triangle(rng: &mut SmallRng, strict: bool) -> (usize, BTreeSet<(u32, u32)>) {
+        let n = rng.gen_range(2usize..24);
+        let entries = rng.gen_range(1usize..64);
+        let mut coords = BTreeSet::new();
+        for _ in 0..entries {
+            let r = rng.gen_range(0..n) as u32;
+            let c = rng.gen_range(0..r + 1);
+            if !(strict && r == c) {
+                coords.insert((r, c));
+            }
+        }
+        (n, coords)
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+        /// Property: write → read is lossless for arbitrary COO matrices.
+        /// The writer prints `{:e}`, which in Rust is shortest-round-trip,
+        /// so equality is exact — not approximate.
+        #[test]
+        fn prop_write_read_roundtrip_is_exact(seed in 0u64..10_000) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let m = random_coo(&mut rng).to_csr();
+            let mut buf = Vec::new();
+            write_matrix_market(&m, &mut buf).unwrap();
+            let back = read_matrix_market::<f64, _>(buf.as_slice()).unwrap().to_csr();
+            proptest::prop_assert_eq!(back, m);
+        }
+
+        /// Property: a `symmetric` file expands to exactly the matrix its
+        /// explicit `general` form describes, for random lower triangles.
+        #[test]
+        fn prop_symmetric_matches_explicit_general(seed in 0u64..10_000) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let (n, coords) = random_lower_triangle(&mut rng, false);
+            let mut sym = format!(
+                "%%MatrixMarket matrix coordinate real symmetric\n{n} {n} {}\n",
+                coords.len()
+            );
+            let mut gen = CooMatrix::with_capacity(n, n, coords.len() * 2);
+            for &(r, c) in &coords {
+                let v = rng.gen_range(-4.0f64..4.0);
+                sym.push_str(&format!("{} {} {v:e}\n", r + 1, c + 1));
+                gen.push(r, c, v).unwrap();
+                if r != c {
+                    gen.push(c, r, v).unwrap();
+                }
+            }
+            let m = read_matrix_market::<f64, _>(sym.as_bytes()).unwrap().to_csr();
+            proptest::prop_assert_eq!(m, gen.to_csr());
+        }
+
+        /// Property: a `skew-symmetric` file mirrors with negated values;
+        /// strictly-lower storage only.
+        #[test]
+        fn prop_skew_symmetric_negates_mirror(seed in 0u64..10_000) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let (n, coords) = random_lower_triangle(&mut rng, true);
+            let mut skew = format!(
+                "%%MatrixMarket matrix coordinate real skew-symmetric\n{n} {n} {}\n",
+                coords.len()
+            );
+            let mut gen = CooMatrix::with_capacity(n, n, coords.len() * 2);
+            for &(r, c) in &coords {
+                let v = rng.gen_range(-4.0f64..4.0);
+                skew.push_str(&format!("{} {} {v:e}\n", r + 1, c + 1));
+                gen.push(r, c, v).unwrap();
+                gen.push(c, r, -v).unwrap();
+            }
+            let m = read_matrix_market::<f64, _>(skew.as_bytes()).unwrap().to_csr();
+            proptest::prop_assert_eq!(m, gen.to_csr());
+        }
+
+        /// Property: a `pattern` file reads as ones at exactly the listed
+        /// (distinct) coordinates.
+        #[test]
+        fn prop_pattern_reads_as_ones(seed in 0u64..10_000) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let nrows = rng.gen_range(1usize..24);
+            let ncols = rng.gen_range(1usize..24);
+            let mut coords = BTreeSet::new();
+            for _ in 0..rng.gen_range(0usize..80) {
+                coords.insert((
+                    rng.gen_range(0..nrows) as u32,
+                    rng.gen_range(0..ncols) as u32,
+                ));
+            }
+            let mut text = format!(
+                "%%MatrixMarket matrix coordinate pattern general\n{nrows} {ncols} {}\n",
+                coords.len()
+            );
+            let mut gen = CooMatrix::with_capacity(nrows, ncols, coords.len());
+            for &(r, c) in &coords {
+                text.push_str(&format!("{} {}\n", r + 1, c + 1));
+                gen.push(r, c, 1.0f64).unwrap();
+            }
+            let m = read_matrix_market::<f64, _>(text.as_bytes()).unwrap().to_csr();
+            proptest::prop_assert_eq!(m, gen.to_csr());
+        }
+    }
 }

@@ -288,7 +288,7 @@ mod tests {
             assert_eq!(*b.first().unwrap(), 0);
             assert_eq!(*b.last().unwrap(), weights.len());
             assert!(b.len() <= parts + 1);
-            assert!(b.windows(2).all(|w| w[0] < w[1] || w[0] == w[1]));
+            assert!(b.windows(2).all(|w| w[0] <= w[1]));
         }
         assert_eq!(weighted_bounds(&[], 4), vec![0, 0]);
     }

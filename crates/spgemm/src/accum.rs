@@ -34,11 +34,44 @@
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
+use br_obs::Counter;
 use br_sparse::ops::row_intermediate_nnz_threaded;
 use br_sparse::{par, CsrMatrix, Result, Scalar, SparseError};
 use serde::{Deserialize, Serialize};
+
+/// Per-bin row counters in the process-wide registry, one per [`RowBin`].
+/// Handles are cached so the merge hot path never touches the registry
+/// lock; counts are batched per [`merge_rows_into`] call, and additions
+/// commute, so the totals are a pure function of the merged work at any
+/// thread count.
+fn merged_row_counters() -> &'static [Counter; 3] {
+    static COUNTERS: OnceLock<[Counter; 3]> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let reg = br_obs::global();
+        let help = "Output rows merged, by bin kernel.";
+        [
+            reg.counter("br_spgemm_rows_merged_total", help, &[("bin", "tiny")]),
+            reg.counter("br_spgemm_rows_merged_total", help, &[("bin", "medium")]),
+            reg.counter("br_spgemm_rows_merged_total", help, &[("bin", "heavy")]),
+        ]
+    })
+}
+
+/// Scratch footprint high-water gauge. Which scratch handles which rows
+/// (and therefore how far each one grows) depends on pool assignment and
+/// the thread partition, so this is timing-flagged.
+fn scratch_footprint_gauge() -> &'static br_obs::Gauge {
+    static GAUGE: OnceLock<br_obs::Gauge> = OnceLock::new();
+    GAUGE.get_or_init(|| {
+        br_obs::global().timing_gauge(
+            "br_spgemm_scratch_footprint_bytes",
+            "High-water merge-scratch footprint (scheduling/pool-dependent).",
+            &[],
+        )
+    })
+}
 
 /// Row-bin boundaries on the intermediate-product upper bound.
 ///
@@ -205,6 +238,7 @@ impl RowBins {
         b: &CsrMatrix<T>,
         thresholds: BinThresholds,
     ) -> Result<RowBins> {
+        let _span = br_obs::global().span("spgemm_classify");
         let weights = row_intermediate_nnz_threaded(a, b, par::effective_threads(None))?;
         Ok(Self::classify(&weights, thresholds))
     }
@@ -266,6 +300,19 @@ impl<T: Scalar> MergeScratch<T> {
             hash_used: Vec::new(),
             row_buf: Vec::new(),
         }
+    }
+
+    /// Approximate heap footprint of this scratch's buffers — the
+    /// high-water quantity exported through the obs gauge.
+    pub fn footprint_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.stamps.capacity() * size_of::<u8>()
+            + self.dense_vals.capacity() * size_of::<T>()
+            + self.touched.capacity() * size_of::<u32>()
+            + self.hash_keys.capacity() * size_of::<u32>()
+            + self.hash_vals.capacity() * size_of::<T>()
+            + self.hash_used.capacity() * size_of::<usize>()
+            + self.row_buf.capacity() * size_of::<(u32, T)>()
     }
 
     /// Grows the dense accumulator to cover `ncols` columns (stamp 0 =
@@ -475,10 +522,13 @@ pub fn merge_rows_into<T: Scalar>(
     val.clear();
     ptr.push(0);
     scratch.ensure_dense(b.ncols());
+    // Batched per-bin tallies: one atomic add per bin per call, not per row.
+    let mut merged = [0u64; 3];
     for r in rows {
         let (a_cols, a_vals) = a.row(r);
         let products = bins.row_products[r];
-        match bins.thresholds.bin_of(products) {
+        let bin = bins.thresholds.bin_of(products);
+        match bin {
             RowBin::Tiny => scratch.merge_row_tiny(a_cols, a_vals, b, idx, val),
             RowBin::Medium => {
                 let cap = ((products.max(1) as usize) * 2).next_power_of_two();
@@ -486,8 +536,16 @@ pub fn merge_rows_into<T: Scalar>(
             }
             RowBin::Heavy => scratch.merge_row_dense(a_cols, a_vals, b, idx, val),
         }
+        merged[bin as usize] += 1;
         ptr.push(idx.len());
     }
+    let counters = merged_row_counters();
+    for (counter, &n) in counters.iter().zip(merged.iter()) {
+        if n > 0 {
+            counter.add(n);
+        }
+    }
+    scratch_footprint_gauge().set_max(scratch.footprint_bytes() as f64);
 }
 
 /// Adaptive row-binned spGEMM: classifies rows, then merges each through
@@ -529,6 +587,10 @@ pub fn spgemm_adaptive_planned<T: Scalar>(
             a.nrows()
         )));
     }
+    // The numeric merge phase. Opened on the calling thread (one span per
+    // multiply); the fan-out below never opens spans inside short-lived
+    // worker threads.
+    let _span = br_obs::global().span("spgemm_merge");
     let threads = threads.max(1).min(a.nrows().max(1));
     let acquire = || match pool {
         Some(p) => p.acquire(),
@@ -664,6 +726,37 @@ mod tests {
 
         let bad = CsrMatrix::<f64>::zeros(2, 3);
         assert!(spgemm_adaptive(&bad, &bad, 2, BinThresholds::default()).is_err());
+    }
+
+    #[test]
+    fn merge_tallies_per_bin_rows_in_the_global_registry() {
+        let a = rmat(RmatConfig::graph500(8, 8, 13)).to_csr();
+        let thresholds = BinThresholds {
+            tiny_max: 8,
+            heavy_min: 256,
+        };
+        let bins = RowBins::of(&a, &a, thresholds).unwrap();
+        assert!(
+            bins.rows.iter().all(|&r| r > 0),
+            "want all bins populated: {:?}",
+            bins.rows
+        );
+        let counters = merged_row_counters();
+        let before: Vec<u64> = counters.iter().map(|c| c.get()).collect();
+        let _ = spgemm_adaptive_planned(&a, &a, 2, &bins, None).unwrap();
+        // The global registry is shared with concurrently running tests, so
+        // assert monotone deltas of at least this merge's contribution.
+        for (i, counter) in counters.iter().enumerate() {
+            assert!(
+                counter.get() >= before[i] + bins.rows[i],
+                "bin {i}: {} < {} + {}",
+                counter.get(),
+                before[i],
+                bins.rows[i]
+            );
+        }
+        let footprint = scratch_footprint_gauge().get();
+        assert!(footprint > 0.0, "scratch high-water must be recorded");
     }
 
     #[test]

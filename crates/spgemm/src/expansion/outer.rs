@@ -32,6 +32,7 @@ pub fn outer_expansion_launch<T: Scalar>(
     block_size: u32,
     row_major_chat: bool,
 ) -> KernelLaunch {
+    let _span = br_obs::global().span("spgemm_expansion");
     let chat_offsets = ctx.chat_block_offsets();
     let mut blocks = Vec::new();
     for i in 0..ctx.inner_dim() {

@@ -23,6 +23,7 @@ pub fn row_expansion_launch<T: Scalar>(
     ws: &Workspace,
     block_size: u32,
 ) -> KernelLaunch {
+    let _span = br_obs::global().span("spgemm_expansion");
     let chat_rows = ctx.chat_row_offsets();
     let mut blocks = Vec::new();
     for r in 0..ctx.nrows() {

@@ -28,14 +28,67 @@ if [[ ! -f "$baseline" ]]; then
 fi
 
 echo "== determinism check: 1 thread vs 8 threads must be byte-identical =="
-BR_THREADS=1 $cli bench run --suite quick --no-host --out BENCH_quick.t1.json >/dev/null
-BR_THREADS=8 $cli bench run --suite quick --no-host --out BENCH_quick.t8.json >/dev/null
+BR_THREADS=1 $cli bench run --suite quick --no-host --out BENCH_quick.t1.json \
+    --metrics metrics.t1.prom >/dev/null
+BR_THREADS=8 $cli bench run --suite quick --no-host --out BENCH_quick.t8.json \
+    --metrics metrics.t8.prom >/dev/null
 if ! cmp -s BENCH_quick.t1.json BENCH_quick.t8.json; then
     echo "error: BENCH_quick.json differs between BR_THREADS=1 and BR_THREADS=8" >&2
     diff BENCH_quick.t1.json BENCH_quick.t8.json | head -40 >&2 || true
     exit 1
 fi
 echo "ok: report is byte-identical at any thread count"
+
+echo "== metrics determinism: exposition must be byte-identical too =="
+# The default --metrics dump contains only deterministic families, so the
+# Prometheus text and the JSONL must byte-compare between BR_THREADS=1 and
+# BR_THREADS=8 (each process ran the identical job multiset).
+for pair in "metrics.t1.prom metrics.t8.prom" \
+            "metrics.t1.prom.jsonl metrics.t8.prom.jsonl"; do
+    # shellcheck disable=SC2086  # intentional word split into the two paths
+    set -- $pair
+    if ! cmp -s "$1" "$2"; then
+        echo "error: metrics exposition differs between BR_THREADS=1 and BR_THREADS=8 ($1 vs $2)" >&2
+        diff "$1" "$2" | head -40 >&2 || true
+        exit 1
+    fi
+done
+# And a rerun at the same thread count must reproduce the same bytes.
+BR_THREADS=8 $cli bench run --suite quick --no-host --out BENCH_quick.rerun.json \
+    --metrics metrics.rerun.prom >/dev/null
+if ! cmp -s metrics.t8.prom metrics.rerun.prom; then
+    echo "error: metrics exposition differs between identical reruns" >&2
+    diff metrics.t8.prom metrics.rerun.prom | head -40 >&2 || true
+    exit 1
+fi
+# Sanity: the dump actually carries the pipeline's instruments.
+for family in br_sim_kernel_launches_total br_spgemm_rows_merged_total \
+              br_cache_hits_total br_jobs_submitted_total br_span_total; do
+    if ! grep -q "^$family" metrics.t8.prom; then
+        echo "error: expected metric family $family missing from metrics.t8.prom" >&2
+        exit 1
+    fi
+done
+rm -f metrics.t1.prom metrics.t8.prom metrics.rerun.prom \
+      metrics.t1.prom.jsonl metrics.t8.prom.jsonl metrics.rerun.prom.jsonl \
+      BENCH_quick.rerun.json
+echo "ok: metrics exposition is byte-identical across thread counts and reruns"
+
+echo "== baseline byte-identity: instrumentation must not move a single byte =="
+# Everything the report tracks is a pure function of simulated execution,
+# so a fresh --no-host run must reproduce the checked-in baseline exactly.
+# Legitimate differences only: the git_sha provenance line, and the
+# explicit '"host": null' a --no-host run writes where pre-host-section
+# baselines omitted the key entirely.
+normalize() {
+    grep -v '"git_sha"' "$1" | sed -z 's/,\n  "host": null//'
+}
+if ! cmp -s <(normalize BENCH_quick.t1.json) <(normalize "$baseline"); then
+    echo "error: BENCH_quick.json deviates byte-for-byte from $baseline" >&2
+    diff <(normalize "$baseline") <(normalize BENCH_quick.t1.json) | head -40 >&2 || true
+    exit 1
+fi
+echo "ok: fresh report is byte-identical to the checked-in baseline"
 
 echo "== determinism check: non-default --bins must be byte-identical too =="
 BR_THREADS=8 $cli bench run --suite quick --no-host --bins 4,512 \

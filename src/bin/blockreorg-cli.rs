@@ -9,8 +9,10 @@
 //!                  [--square | --pair-with <file.mtx>] [--verify] [--list]
 //!   blockreorg-cli batch --jobs <file> [--device <d1,d2,..>] [--workers <n>]
 //!                  [--cache <entries>] [--threads <n>]
+//!                  [--metrics <path>] [--metrics-timing]
 //!   blockreorg-cli bench run [--suite quick|full|scaling] [--out <path>]
 //!                  [--threads <n>] [--no-host] [--bins <tiny>,<heavy>]
+//!                  [--metrics <path>] [--metrics-timing]
 //!   blockreorg-cli bench compare <baseline.json> <current.json>
 //!                  [--cycles-pct <pct>]
 //!
@@ -53,6 +55,8 @@ struct BatchOptions {
     devices: String,
     workers: usize,
     cache: usize,
+    metrics: Option<String>,
+    metrics_timing: bool,
 }
 
 fn print_usage() {
@@ -62,10 +66,19 @@ fn print_usage() {
     println!("                      [--pair-with <mtx>] [--verify] [--report] [--tune] [--list]");
     println!("       blockreorg-cli batch --jobs <file> [--device <d1,d2,..>] [--workers <n>]");
     println!("                      [--cache <entries>] [--threads <n>]");
+    println!("                      [--metrics <path>] [--metrics-timing]");
     println!("       blockreorg-cli bench run [--suite quick|full|scaling] [--out <path>]");
     println!("                      [--threads <n>] [--no-host] [--bins <tiny>,<heavy>]");
+    println!("                      [--metrics <path>] [--metrics-timing]");
     println!("       blockreorg-cli bench compare <baseline.json> <current.json>");
     println!("                      [--cycles-pct <pct>]");
+    println!();
+    println!("--metrics <path> dumps the process-wide observability registry on exit:");
+    println!("Prometheus text to <path>, JSONL to <path>.jsonl. The default dump contains");
+    println!("only deterministic families (counters/histograms keyed by content), so the");
+    println!("files byte-compare across repeated runs and any --threads / BR_THREADS");
+    println!("setting. --metrics-timing adds wall-clock families (queue waits, span");
+    println!("durations, LBI/L2 gauges) — informational, not byte-stable.");
     println!();
     println!("bench mode runs a fixed (dataset x method x device) grid on the simulator,");
     println!("writes a deterministic BENCH_<suite>.json report, and compares reports with");
@@ -170,6 +183,8 @@ fn parse_batch_options(args: &mut dyn Iterator<Item = String>) -> BatchOptions {
         devices: "titanxp".to_string(),
         workers: 0,
         cache: 32,
+        metrics: None,
+        metrics_timing: false,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -179,6 +194,8 @@ fn parse_batch_options(args: &mut dyn Iterator<Item = String>) -> BatchOptions {
             }
             "--jobs" => o.jobs = Some(next_value(args, "--jobs")),
             "--device" => o.devices = next_value(args, "--device"),
+            "--metrics" => o.metrics = Some(next_value(args, "--metrics")),
+            "--metrics-timing" => o.metrics_timing = true,
             "--workers" => {
                 o.workers = next_value(args, "--workers")
                     .parse()
@@ -268,6 +285,24 @@ fn report(name: &str, total_ms: f64, gflops: f64, nnz_c: usize) {
     );
 }
 
+/// Dumps the process-wide observability registry: Prometheus text to
+/// `path`, one JSON object per line to `path.jsonl`. With `timing = false`
+/// (the default) only deterministic families are written, so the files
+/// byte-compare across repeated runs and any `BR_THREADS` setting;
+/// `--metrics-timing` adds the timing families (queue depths, wall-clock
+/// histograms, span durations) for human inspection.
+fn write_metrics(path: &str, timing: bool) {
+    let reg = blockreorg::obs::global();
+    if let Err(e) = std::fs::write(path, reg.render_prometheus(timing)) {
+        runtime_error(&format!("cannot write {path}: {e}"));
+    }
+    let jsonl = format!("{path}.jsonl");
+    if let Err(e) = std::fs::write(&jsonl, reg.render_jsonl(timing)) {
+        runtime_error(&format!("cannot write {jsonl}: {e}"));
+    }
+    println!("wrote metrics: {path} (Prometheus), {jsonl} (JSONL)");
+}
+
 fn run_batch_mode(o: BatchOptions) -> ! {
     let path = o
         .jobs
@@ -297,10 +332,17 @@ fn run_batch_mode(o: BatchOptions) -> ! {
     }
     println!();
 
+    if o.metrics_timing {
+        blockreorg::obs::install_wall_clock(blockreorg::obs::global());
+    }
     let batch = SpgemmService::run_batch(
         ServiceConfig {
             devices,
             cache_capacity: o.cache,
+            // Job-lifecycle spans and cache counters land in the same
+            // process-wide registry as the spgemm / gpu-sim instruments,
+            // so one --metrics dump covers the whole pipeline.
+            registry: Some(blockreorg::obs::global_arc()),
         },
         jobs,
     );
@@ -317,6 +359,9 @@ fn run_batch_mode(o: BatchOptions) -> ! {
     }
     println!();
     print!("{}", batch.stats);
+    if let Some(path) = &o.metrics {
+        write_metrics(path, o.metrics_timing);
+    }
     if batch.failures.is_empty() {
         exit(0)
     }
@@ -342,6 +387,8 @@ fn run_bench_mode(args: &mut dyn Iterator<Item = String>) -> ! {
             let mut suite = Suite::Quick;
             let mut out: Option<String> = None;
             let mut no_host = false;
+            let mut metrics: Option<String> = None;
+            let mut metrics_timing = false;
             while let Some(arg) = args.next() {
                 match arg.as_str() {
                     "--suite" => {
@@ -367,6 +414,13 @@ fn run_bench_mode(args: &mut dyn Iterator<Item = String>) -> ! {
                         apply_threads_flag(&v);
                     }
                     "--no-host" => no_host = true,
+                    "--metrics" => {
+                        metrics = Some(
+                            args.next()
+                                .unwrap_or_else(|| usage_and_exit("missing --metrics path")),
+                        );
+                    }
+                    "--metrics-timing" => metrics_timing = true,
                     "--bins" => {
                         use blockreorg::spgemm::accum::{set_global_thresholds, BinThresholds};
                         let v = args
@@ -381,6 +435,9 @@ fn run_bench_mode(args: &mut dyn Iterator<Item = String>) -> ! {
                     }
                     other => usage_and_exit(&format!("unknown bench run flag {other:?}")),
                 }
+            }
+            if metrics_timing {
+                blockreorg::obs::install_wall_clock(blockreorg::obs::global());
             }
             let path = out.unwrap_or_else(|| format!("BENCH_{}.json", suite.name()));
             let mut report = run_suite(suite, |line| println!("{line}"));
@@ -397,6 +454,9 @@ fn run_bench_mode(args: &mut dyn Iterator<Item = String>) -> ! {
             }
             if let Err(e) = std::fs::write(&path, report.to_json()) {
                 runtime_error(&format!("cannot write {path}: {e}"));
+            }
+            if let Some(metrics_path) = &metrics {
+                write_metrics(metrics_path, metrics_timing);
             }
             println!(
                 "\nwrote {path}: {} cases, model v{}, git {}",
