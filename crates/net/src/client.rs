@@ -1,0 +1,244 @@
+//! A small synchronous client for the `br-net` wire protocol.
+//!
+//! [`NetClient::connect`] performs the `Hello`/`HelloAck` handshake, then
+//! submissions can be pipelined freely: the server answers `Shed`/`Reject`
+//! immediately and `Result` when a worker finishes, so
+//! [`next_response`](NetClient::next_response) interleaves them in server
+//! order. [`collect_responses`](NetClient::collect_responses) gathers
+//! exactly one response per outstanding request (drain notices are folded
+//! into the summary, not counted as responses).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{self, BufReader};
+use std::net::TcpStream;
+
+use crate::frame::{read_frame, write_frame, Frame, FrameError, Lane, ProtocolError};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport error.
+    Io(io::Error),
+    /// The server's bytes violated the protocol.
+    Protocol(ProtocolError),
+    /// The server refused the connection (draining or handshake error).
+    Refused(String),
+    /// The server closed before answering everything outstanding.
+    ServerClosed,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Refused(m) => write!(f, "connection refused: {m}"),
+            ClientError::ServerClosed => write!(f, "server closed the connection early"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => ClientError::Io(e),
+            FrameError::Protocol(e) => ClientError::Protocol(e),
+            FrameError::UnexpectedEof => ClientError::ServerClosed,
+        }
+    }
+}
+
+/// What the server advertised in its `HelloAck`.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerInfo {
+    /// Server protocol version.
+    pub version: u8,
+    /// Whether the worker gate is held (send `Release` to open it).
+    pub held: bool,
+    /// The server's shed threshold.
+    pub shed_threshold: u32,
+    /// The server's per-client quota.
+    pub quota: u32,
+}
+
+/// Tally of one [`NetClient::collect_responses`] call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResponseSummary {
+    /// `Result` responses, in arrival order, as `(request_id, cache_hit)`.
+    pub results: Vec<(u64, bool)>,
+    /// `Shed` responses (request ids, arrival order).
+    pub shed: Vec<u64>,
+    /// `Reject` responses as `(request_id, reason name)`.
+    pub rejected: Vec<(u64, &'static str)>,
+    /// Whether a `DrainNotice` arrived while collecting.
+    pub drain_notice: bool,
+}
+
+impl ResponseSummary {
+    /// Total per-request responses collected.
+    pub fn total(&self) -> usize {
+        self.results.len() + self.shed.len() + self.rejected.len()
+    }
+
+    /// Response counts keyed by kind name (deterministic ordering).
+    pub fn counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut m = BTreeMap::new();
+        m.insert("result", self.results.len());
+        m.insert("shed", self.shed.len());
+        for (_, reason) in &self.rejected {
+            *m.entry(reason).or_insert(0) += 1;
+        }
+        m
+    }
+}
+
+/// A connected, handshaken client.
+pub struct NetClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    info: ServerInfo,
+}
+
+impl NetClient {
+    /// Connects, sends `Hello`, and waits for the `HelloAck`.
+    pub fn connect(addr: &str, client_id: &str) -> Result<NetClient, ClientError> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true).ok();
+        let mut reader = BufReader::new(writer.try_clone()?);
+        let mut w = writer.try_clone()?;
+        write_frame(
+            &mut w,
+            &Frame::Hello {
+                client_id: client_id.to_string(),
+            },
+        )?;
+        match read_frame(&mut reader)? {
+            Some(Frame::HelloAck {
+                version,
+                held,
+                shed_threshold,
+                quota,
+            }) => Ok(NetClient {
+                writer,
+                reader,
+                info: ServerInfo {
+                    version,
+                    held,
+                    shed_threshold,
+                    quota,
+                },
+            }),
+            Some(Frame::DrainNotice { message }) | Some(Frame::Error { message }) => {
+                Err(ClientError::Refused(message))
+            }
+            Some(other) => Err(ClientError::Refused(format!(
+                "expected HelloAck, got {}",
+                other.name()
+            ))),
+            None => Err(ClientError::ServerClosed),
+        }
+    }
+
+    /// What the server advertised at handshake time.
+    pub fn server_info(&self) -> ServerInfo {
+        self.info
+    }
+
+    /// Fire-and-forget submission; the response arrives via
+    /// [`next_response`](Self::next_response).
+    pub fn submit(
+        &mut self,
+        request_id: u64,
+        lane: Lane,
+        deadline_ms: u32,
+        spec: &str,
+    ) -> Result<(), ClientError> {
+        write_frame(
+            &mut self.writer,
+            &Frame::Submit {
+                request_id,
+                lane,
+                deadline_ms,
+                spec: spec.to_string(),
+            },
+        )?;
+        Ok(())
+    }
+
+    /// Opens a held server's worker gate.
+    pub fn release(&mut self) -> Result<(), ClientError> {
+        write_frame(&mut self.writer, &Frame::Release)?;
+        Ok(())
+    }
+
+    /// Asks the server to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        write_frame(&mut self.writer, &Frame::Shutdown)?;
+        Ok(())
+    }
+
+    /// Announces a clean close.
+    pub fn goodbye(&mut self) -> Result<(), ClientError> {
+        write_frame(&mut self.writer, &Frame::Goodbye)?;
+        Ok(())
+    }
+
+    /// Next server frame; `None` on clean EOF.
+    pub fn next_response(&mut self) -> Result<Option<Frame>, ClientError> {
+        Ok(read_frame(&mut self.reader)?)
+    }
+
+    /// Collects exactly `expected` per-request responses (`Result`, `Shed`,
+    /// or `Reject`). `DrainNotice` is recorded but not counted; any other
+    /// frame or an early close is an error.
+    pub fn collect_responses(&mut self, expected: usize) -> Result<ResponseSummary, ClientError> {
+        let mut summary = ResponseSummary::default();
+        while summary.total() < expected {
+            match self.next_response()? {
+                Some(Frame::Result {
+                    request_id,
+                    cache_hit,
+                    ..
+                }) => summary.results.push((request_id, cache_hit)),
+                Some(Frame::Shed { request_id, .. }) => summary.shed.push(request_id),
+                Some(Frame::Reject {
+                    request_id, code, ..
+                }) => summary.rejected.push((request_id, code.name())),
+                Some(Frame::DrainNotice { .. }) => summary.drain_notice = true,
+                Some(Frame::Error { message }) => return Err(ClientError::Refused(message)),
+                Some(other) => {
+                    return Err(ClientError::Refused(format!(
+                        "unexpected {} frame",
+                        other.name()
+                    )))
+                }
+                None => return Err(ClientError::ServerClosed),
+            }
+        }
+        Ok(summary)
+    }
+
+    /// Reads frames until EOF, recording any late `DrainNotice` into
+    /// `summary`. Useful after `shutdown` to witness the drain.
+    pub fn drain_to_eof(&mut self, summary: &mut ResponseSummary) -> Result<(), ClientError> {
+        loop {
+            match self.next_response() {
+                Ok(Some(Frame::DrainNotice { .. })) => summary.drain_notice = true,
+                Ok(Some(_)) => {}
+                Ok(None) => return Ok(()),
+                // The server may RST after drain; treat as closed.
+                Err(ClientError::Io(_)) | Err(ClientError::ServerClosed) => return Ok(()),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}

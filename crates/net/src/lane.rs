@@ -1,0 +1,239 @@
+//! Two-lane bounded job queue with a worker gate.
+//!
+//! The admission controller pushes into one of two priority lanes; workers
+//! pop interactive work strictly before batch work. The queue is bounded —
+//! [`LaneQueue::try_push`] never blocks and returns a typed
+//! [`LanePushError::Full`] once the *combined* depth reaches capacity,
+//! which is exactly the serving layer's shed decision: capacity == shed
+//! threshold, so `max_depth() <= threshold` holds structurally.
+//!
+//! The gate (`held`) exists for deterministic admission accounting: a held
+//! queue accepts pushes but delivers nothing, so a test (or the bench
+//! gate's loopback flood) can submit its whole load, observe shed/quota
+//! decisions that are a pure function of arrival order, then
+//! [`release`](LaneQueue::release) the workers. [`close`](LaneQueue::close)
+//! also releases, so a drain started while held still finishes every
+//! queued job.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use br_obs::lock_recover;
+
+use crate::frame::Lane;
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LanePushError {
+    /// Combined depth is at capacity — the shed condition.
+    Full {
+        /// Depth observed at the decision.
+        depth: usize,
+    },
+    /// The queue is closed (server draining).
+    Closed,
+}
+
+struct Inner<T> {
+    lanes: [VecDeque<T>; 2],
+    capacity: usize,
+    closed: bool,
+    held: bool,
+    max_depth: usize,
+}
+
+impl<T> Inner<T> {
+    fn depth(&self) -> usize {
+        self.lanes[0].len() + self.lanes[1].len()
+    }
+}
+
+/// Bounded two-lane MPMC queue (see module docs).
+pub struct LaneQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+}
+
+impl<T> LaneQueue<T> {
+    /// A queue shedding at `capacity` (clamped to ≥ 1), optionally starting
+    /// with the worker gate held.
+    pub fn new(capacity: usize, held: bool) -> Self {
+        LaneQueue {
+            inner: Mutex::new(Inner {
+                lanes: [VecDeque::new(), VecDeque::new()],
+                capacity: capacity.max(1),
+                closed: false,
+                held,
+                max_depth: 0,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Non-blocking admission: enqueues onto `lane` and returns the
+    /// combined depth after the push, or a typed rejection.
+    pub fn try_push(&self, lane: Lane, item: T) -> Result<usize, LanePushError> {
+        let mut inner = lock_recover(&self.inner);
+        if inner.closed {
+            return Err(LanePushError::Closed);
+        }
+        let depth = inner.depth();
+        if depth >= inner.capacity {
+            return Err(LanePushError::Full { depth });
+        }
+        inner.lanes[lane.index()].push_back(item);
+        let depth = depth + 1;
+        inner.max_depth = inner.max_depth.max(depth);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks for the next item, draining interactive before batch.
+    /// `None` once the queue is closed *and* empty.
+    pub fn pop(&self) -> Option<(Lane, T)> {
+        let mut inner = lock_recover(&self.inner);
+        loop {
+            if !inner.held {
+                for lane in Lane::ALL {
+                    if let Some(item) = inner.lanes[lane.index()].pop_front() {
+                        return Some((lane, item));
+                    }
+                }
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Opens the worker gate; returns whether it was held.
+    pub fn release(&self) -> bool {
+        let mut inner = lock_recover(&self.inner);
+        let was_held = inner.held;
+        inner.held = false;
+        drop(inner);
+        self.ready.notify_all();
+        was_held
+    }
+
+    /// Closes the queue (new pushes rejected, queued items still
+    /// delivered) and opens the gate so a held drain finishes.
+    pub fn close(&self) {
+        let mut inner = lock_recover(&self.inner);
+        inner.closed = true;
+        inner.held = false;
+        drop(inner);
+        self.ready.notify_all();
+    }
+
+    /// Combined depth across both lanes.
+    pub fn depth(&self) -> usize {
+        lock_recover(&self.inner).depth()
+    }
+
+    /// Depth of one lane.
+    pub fn lane_depth(&self, lane: Lane) -> usize {
+        lock_recover(&self.inner).lanes[lane.index()].len()
+    }
+
+    /// Highest combined depth ever observed (never exceeds capacity).
+    pub fn max_depth(&self) -> usize {
+        lock_recover(&self.inner).max_depth
+    }
+
+    /// The shed threshold.
+    pub fn capacity(&self) -> usize {
+        lock_recover(&self.inner).capacity
+    }
+
+    /// Whether the gate is currently held.
+    pub fn is_held(&self) -> bool {
+        lock_recover(&self.inner).held
+    }
+
+    /// Whether the queue has been closed.
+    pub fn is_closed(&self) -> bool {
+        lock_recover(&self.inner).closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn sheds_exactly_at_capacity_and_tracks_high_water() {
+        let q = LaneQueue::new(3, true);
+        assert_eq!(q.try_push(Lane::Batch, 1), Ok(1));
+        assert_eq!(q.try_push(Lane::Interactive, 2), Ok(2));
+        assert_eq!(q.try_push(Lane::Batch, 3), Ok(3));
+        assert_eq!(
+            q.try_push(Lane::Interactive, 4),
+            Err(LanePushError::Full { depth: 3 })
+        );
+        assert_eq!(q.max_depth(), 3);
+        assert_eq!(q.lane_depth(Lane::Interactive), 1);
+        assert_eq!(q.lane_depth(Lane::Batch), 2);
+    }
+
+    #[test]
+    fn interactive_drains_before_batch() {
+        let q = LaneQueue::new(8, false);
+        q.try_push(Lane::Batch, "b1").unwrap();
+        q.try_push(Lane::Batch, "b2").unwrap();
+        q.try_push(Lane::Interactive, "i1").unwrap();
+        q.try_push(Lane::Interactive, "i2").unwrap();
+        let order: Vec<&str> = std::iter::from_fn(|| {
+            if q.depth() > 0 {
+                q.pop().map(|(_, v)| v)
+            } else {
+                None
+            }
+        })
+        .collect();
+        assert_eq!(order, vec!["i1", "i2", "b1", "b2"]);
+    }
+
+    #[test]
+    fn held_queue_delivers_nothing_until_release() {
+        let q: Arc<LaneQueue<u32>> = Arc::new(LaneQueue::new(4, true));
+        q.try_push(Lane::Interactive, 7).unwrap();
+        let popper = {
+            let q = q.clone();
+            thread::spawn(move || q.pop())
+        };
+        // The gate is held: the popper must still be blocked.
+        thread::sleep(std::time::Duration::from_millis(30));
+        assert!(!popper.is_finished(), "pop must block while held");
+        assert!(q.release());
+        assert_eq!(popper.join().unwrap(), Some((Lane::Interactive, 7)));
+    }
+
+    #[test]
+    fn close_releases_gate_and_drains_queued_items() {
+        let q: LaneQueue<u32> = LaneQueue::new(4, true);
+        q.try_push(Lane::Batch, 1).unwrap();
+        q.close();
+        assert_eq!(q.pop(), Some((Lane::Batch, 1)), "held drain still runs");
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.try_push(Lane::Batch, 2), Err(LanePushError::Closed));
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let q: LaneQueue<u32> = LaneQueue::new(0, false);
+        assert_eq!(q.capacity(), 1);
+        assert_eq!(q.try_push(Lane::Batch, 1), Ok(1));
+        assert!(matches!(
+            q.try_push(Lane::Batch, 2),
+            Err(LanePushError::Full { depth: 1 })
+        ));
+    }
+}

@@ -1,0 +1,759 @@
+//! The TCP serving front end: listener, connection state machine,
+//! admission control, worker pool, and graceful drain.
+//!
+//! ## Connection state machine
+//!
+//! ```text
+//! accept ── ExpectHello ──Hello──► Ready ──Shutdown──► (drain initiated)
+//!              │                    │ Submit → Result | Shed | Reject
+//!              │ anything else      │ Release → open the worker gate
+//!              ▼                    │ Goodbye / EOF → close
+//!           Error + close           ▼
+//!                                 closed
+//! ```
+//!
+//! ## Admission decision (per `Submit`, in arrival order per connection)
+//!
+//! 1. no `Hello` yet → `Reject(NotReady)`
+//! 2. draining → `Reject(Draining)`
+//! 3. spec unparseable / unloadable / `repeat != 1` → `Reject(BadSpec)`
+//! 4. client already has `quota` in-flight jobs → `Reject(QuotaExceeded)`
+//! 5. combined lane depth at the shed threshold → `Shed`
+//! 6. otherwise → enqueue; exactly one `Result` (or `Reject(Failed)` /
+//!    `Reject(DeadlineExpired)`) follows later.
+//!
+//! With the worker gate held (`ServerConfig::hold`), steps 1–6 are a pure
+//! function of the offered load: nothing leaves the queue, so the
+//! shed/quota/saturation counters are byte-identical across reruns and
+//! any `BR_THREADS` setting — the property `scripts/bench_gate.sh` checks.
+//!
+//! ## Drain protocol
+//!
+//! A `Shutdown` frame (from any authenticated connection) flips the
+//! draining flag once: every open connection gets a `DrainNotice`, the
+//! lane queue closes (queued jobs still execute; the gate opens if held),
+//! the listener stops accepting, workers finish and exit, remaining
+//! connections are flushed and closed, and [`NetServer::run`] returns.
+
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use block_reorganizer::plan::{PlanMode, ReorgPlan};
+use block_reorganizer::ReorganizerConfig;
+use br_gpu_sim::device::DeviceConfig;
+use br_gpu_sim::sim::GpuSimulator;
+use br_obs::{lock_recover, Counter, Gauge, Histogram, Registry};
+use br_service::cache::{PlanCache, PlanKey};
+use br_service::job::parse_job_file;
+use br_sparse::CsrMatrix;
+use br_spgemm::accum::ScratchPool;
+use br_spgemm::context::ProblemContext;
+
+use crate::frame::{read_frame, write_frame, Frame, FrameError, Lane, RejectCode, VERSION};
+use crate::lane::{LanePushError, LaneQueue};
+
+/// How to provision the serving front end.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// One worker per entry (duplicates = several workers on one model).
+    pub devices: Vec<DeviceConfig>,
+    /// Plan-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Combined lane-queue capacity; submissions beyond it are shed.
+    pub shed_threshold: usize,
+    /// Max admitted-but-unfinished jobs per client id.
+    pub quota: u64,
+    /// Start with the worker gate held: admission decisions become a pure
+    /// function of arrival order until a `Release` frame opens the gate.
+    pub hold: bool,
+    /// Reorganizer configuration applied to every job.
+    pub config: ReorganizerConfig,
+    /// Metrics registry; `None` gives the server a private one.
+    pub registry: Option<Arc<Registry>>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            devices: vec![DeviceConfig::titan_xp()],
+            cache_capacity: 32,
+            shed_threshold: 64,
+            quota: 256,
+            hold: false,
+            config: ReorganizerConfig::default(),
+            registry: None,
+        }
+    }
+}
+
+/// Final accounting of one serve run, read off the deterministic counters.
+#[derive(Debug, Clone, Default)]
+pub struct ServeReport {
+    /// Connections accepted (excluding ones refused during drain).
+    pub connections: u64,
+    /// `Submit` frames received.
+    pub requests: u64,
+    /// Requests admitted into a lane.
+    pub admitted: u64,
+    /// `Result` responses sent.
+    pub results: u64,
+    /// Requests shed at the queue threshold.
+    pub shed: u64,
+    /// Requests refused by the per-client quota.
+    pub quota_rejected: u64,
+    /// Requests refused for other typed reasons (bad spec, draining, …).
+    pub other_rejected: u64,
+    /// Protocol errors observed across all connections.
+    pub protocol_errors: u64,
+    /// Highest combined queue depth observed (≤ the shed threshold).
+    pub queue_depth_max: usize,
+}
+
+impl std::fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "serve: {} connections, {} requests ({} admitted, {} shed, {} quota-rejected, {} other-rejected)",
+            self.connections,
+            self.requests,
+            self.admitted,
+            self.shed,
+            self.quota_rejected,
+            self.other_rejected
+        )?;
+        writeln!(
+            f,
+            "       {} results, queue depth max {}, {} protocol errors",
+            self.results, self.queue_depth_max, self.protocol_errors
+        )
+    }
+}
+
+/// Per-lane + per-reason instrument handles. Every cell is registered at
+/// server start, so the exposition's family set is identical no matter
+/// which events actually occur.
+struct NetInstruments {
+    registry: Arc<Registry>,
+    connections: Counter,
+    requests: [Counter; 2],
+    admitted: [Counter; 2],
+    shed: [Counter; 2],
+    saturation: [Counter; 2],
+    results: [Counter; 2],
+    reject_quota: Counter,
+    reject_bad_spec: Counter,
+    reject_draining: Counter,
+    reject_not_ready: Counter,
+    reject_failed: Counter,
+    drain_notices: Counter,
+    protocol_errors: Counter,
+    /// Wall-clock dependent, hence timing-flagged (strict dumps omit it).
+    deadline_expired: Counter,
+    lane_depth: [Gauge; 2],
+    lane_depth_max: [Gauge; 2],
+    queue_wait: [Histogram; 2],
+}
+
+impl NetInstruments {
+    fn new(registry: Arc<Registry>) -> Self {
+        let per_lane = |name: &str, help: &str| {
+            [Lane::Interactive, Lane::Batch]
+                .map(|l| registry.counter(name, help, &[("lane", l.name())]))
+        };
+        let reject = |reason: &str| {
+            registry.counter(
+                "br_net_rejects_total",
+                "Requests refused with a typed Reject response.",
+                &[("reason", reason)],
+            )
+        };
+        NetInstruments {
+            connections: registry.counter(
+                "br_net_connections_total",
+                "Connections accepted by the listener.",
+                &[],
+            ),
+            requests: per_lane("br_net_requests_total", "Submit frames received."),
+            admitted: per_lane("br_net_admitted_total", "Requests admitted into a lane."),
+            shed: per_lane(
+                "br_net_shed_total",
+                "Requests shed because the queue was at the shed threshold.",
+            ),
+            saturation: per_lane(
+                "br_net_saturation_total",
+                "Admissions that filled the queue to the shed threshold.",
+            ),
+            results: per_lane("br_net_results_total", "Result responses sent."),
+            reject_quota: reject("quota"),
+            reject_bad_spec: reject("bad_spec"),
+            reject_draining: reject("draining"),
+            reject_not_ready: reject("not_ready"),
+            reject_failed: reject("failed"),
+            drain_notices: registry.counter(
+                "br_net_drain_notices_total",
+                "DrainNotice frames sent at drain start.",
+                &[],
+            ),
+            protocol_errors: registry.counter(
+                "br_net_protocol_errors_total",
+                "Malformed or unexpected frames received.",
+                &[],
+            ),
+            deadline_expired: registry.timing_counter(
+                "br_net_deadline_expired_total",
+                "Admitted requests whose deadline passed before execution (wall-clock dependent).",
+                &[],
+            ),
+            lane_depth: [Lane::Interactive, Lane::Batch].map(|l| {
+                registry.timing_gauge(
+                    "br_net_lane_depth",
+                    "Queued jobs per lane, sampled at push/pop (scheduling-dependent).",
+                    &[("lane", l.name())],
+                )
+            }),
+            lane_depth_max: [Lane::Interactive, Lane::Batch].map(|l| {
+                registry.timing_gauge(
+                    "br_net_lane_depth_max",
+                    "Highest per-lane depth observed (scheduling-dependent).",
+                    &[("lane", l.name())],
+                )
+            }),
+            queue_wait: [Lane::Interactive, Lane::Batch].map(|l| {
+                registry.timing_histogram(
+                    "br_net_queue_wait_ns",
+                    "Wall-clock nanoseconds a request waited in its lane.",
+                    &[("lane", l.name())],
+                )
+            }),
+            registry,
+        }
+    }
+
+    fn reject_counter(&self, code: RejectCode) -> Option<&Counter> {
+        match code {
+            RejectCode::QuotaExceeded => Some(&self.reject_quota),
+            RejectCode::BadSpec => Some(&self.reject_bad_spec),
+            RejectCode::Draining => Some(&self.reject_draining),
+            RejectCode::NotReady => Some(&self.reject_not_ready),
+            RejectCode::Failed => Some(&self.reject_failed),
+            // Wall-clock dependent: counted by the timing-flagged
+            // deadline_expired counter instead, so strict metric dumps
+            // stay a pure function of the offered load.
+            RejectCode::DeadlineExpired => None,
+        }
+    }
+}
+
+/// Per-client in-flight accounting for quota enforcement.
+struct Admission {
+    quota: u64,
+    inflight: Mutex<HashMap<String, u64>>,
+}
+
+impl Admission {
+    fn new(quota: u64) -> Self {
+        Admission {
+            quota: quota.max(1),
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Reserves one in-flight slot for `client`; `false` if at quota.
+    fn try_acquire(&self, client: &str) -> bool {
+        let mut map = lock_recover(&self.inflight);
+        let n = map.entry(client.to_string()).or_insert(0);
+        if *n >= self.quota {
+            return false;
+        }
+        *n += 1;
+        true
+    }
+
+    /// Returns `client`'s slot after its job finished (or expired).
+    fn release(&self, client: &str) {
+        let mut map = lock_recover(&self.inflight);
+        if let Some(n) = map.get_mut(client) {
+            *n = n.saturating_sub(1);
+        }
+    }
+}
+
+/// An admitted request waiting for (or being executed by) a worker.
+struct NetJob {
+    request_id: u64,
+    client_id: String,
+    label: String,
+    deadline: Option<Instant>,
+    a: Arc<CsrMatrix<f64>>,
+    b: Arc<CsrMatrix<f64>>,
+    config: ReorganizerConfig,
+    reply: mpsc::Sender<Frame>,
+    enqueued: Instant,
+}
+
+struct ConnHandle {
+    tx: mpsc::Sender<Frame>,
+    stream: TcpStream,
+}
+
+struct Shared {
+    queue: LaneQueue<NetJob>,
+    cache: PlanCache,
+    admission: Admission,
+    instruments: NetInstruments,
+    draining: AtomicBool,
+    conns: Mutex<HashMap<u64, ConnHandle>>,
+    next_conn_id: AtomicU64,
+    local_addr: SocketAddr,
+    reorg_config: ReorganizerConfig,
+    shed_threshold: usize,
+    quota: u64,
+}
+
+impl Shared {
+    fn initiate_drain(&self) {
+        if self.draining.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let conns = lock_recover(&self.conns);
+        for handle in conns.values() {
+            if handle
+                .tx
+                .send(Frame::DrainNotice {
+                    message: "server draining: finishing in-flight jobs, accepting no new work"
+                        .to_string(),
+                })
+                .is_ok()
+            {
+                self.instruments.drain_notices.inc();
+            }
+        }
+        drop(conns);
+        // Queued jobs still run (close also opens a held gate); workers
+        // exit once the backlog is gone.
+        self.queue.close();
+        // Wake the accept loop so `run` can move on to joining workers.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+
+    fn set_depth_gauges(&self) {
+        for lane in Lane::ALL {
+            let depth = self.queue.lane_depth(lane) as u64;
+            let g = &self.instruments.lane_depth[lane.index()];
+            g.set_u64(depth);
+            self.instruments.lane_depth_max[lane.index()].set_max(depth as f64);
+        }
+    }
+}
+
+/// A bound, not-yet-running server. [`bind`](Self::bind) separates listener
+/// setup (whose failure the CLI maps to exit code 3) from serving.
+pub struct NetServer {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds the listener and spawns the worker pool. The returned server
+    /// does not accept connections until [`run`](Self::run).
+    pub fn bind(addr: &str, config: ServerConfig) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let registry = config
+            .registry
+            .clone()
+            .unwrap_or_else(|| Arc::new(Registry::new()));
+        let shared = Arc::new(Shared {
+            queue: LaneQueue::new(config.shed_threshold, config.hold),
+            cache: PlanCache::with_registry(config.cache_capacity, registry.clone()),
+            admission: Admission::new(config.quota),
+            instruments: NetInstruments::new(registry),
+            draining: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
+            local_addr,
+            reorg_config: config.config,
+            shed_threshold: config.shed_threshold.max(1),
+            quota: config.quota.max(1),
+        });
+        let workers = config
+            .devices
+            .into_iter()
+            .enumerate()
+            .map(|(index, device)| {
+                let shared = shared.clone();
+                thread::Builder::new()
+                    .name(format!("br-net-worker-{index}"))
+                    .spawn(move || worker_loop(index, device, shared))
+                    .expect("failed to spawn net worker")
+            })
+            .collect();
+        Ok(NetServer {
+            listener,
+            shared,
+            workers,
+        })
+    }
+
+    /// The bound address (useful with `--listen 127.0.0.1:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// The registry holding this server's instruments.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.shared.instruments.registry
+    }
+
+    /// Serves until a `Shutdown` frame completes the drain, then reports.
+    pub fn run(self) -> ServeReport {
+        let NetServer {
+            listener,
+            shared,
+            workers,
+        } = self;
+        let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            if shared.draining.load(Ordering::SeqCst) {
+                // Refuse late arrivals (including the drain wake-up
+                // connection) with a best-effort notice.
+                let mut s = stream;
+                let _ = write_frame(
+                    &mut s,
+                    &Frame::DrainNotice {
+                        message: "server draining: connection refused".to_string(),
+                    },
+                );
+                let _ = s.shutdown(SockShutdown::Both);
+                break;
+            }
+            shared.instruments.connections.inc();
+            let conn_id = shared.next_conn_id.fetch_add(1, Ordering::SeqCst);
+            let shared = Arc::clone(&shared);
+            conn_threads.push(
+                thread::Builder::new()
+                    .name(format!("br-net-conn-{conn_id}"))
+                    .spawn(move || connection_loop(conn_id, stream, shared))
+                    .expect("failed to spawn connection thread"),
+            );
+        }
+        // Drain: workers finish the closed queue's backlog, then exit.
+        for w in workers {
+            w.join().expect("net worker panicked");
+        }
+        // Every result is now in its connection's write channel. Close the
+        // read side of surviving connections; each reader exits, its
+        // writer flushes the channel backlog, and the thread finishes.
+        let leftovers: Vec<ConnHandle> = {
+            let mut conns = lock_recover(&shared.conns);
+            conns.drain().map(|(_, h)| h).collect()
+        };
+        for handle in leftovers {
+            let _ = handle.stream.shutdown(SockShutdown::Read);
+        }
+        for t in conn_threads {
+            t.join().expect("connection thread panicked");
+        }
+        let i = &shared.instruments;
+        let lane_sum = |c: &[Counter; 2]| c[0].get() + c[1].get();
+        ServeReport {
+            connections: i.connections.get(),
+            requests: lane_sum(&i.requests),
+            admitted: lane_sum(&i.admitted),
+            results: lane_sum(&i.results),
+            shed: lane_sum(&i.shed),
+            quota_rejected: i.reject_quota.get(),
+            other_rejected: i.reject_bad_spec.get()
+                + i.reject_draining.get()
+                + i.reject_not_ready.get()
+                + i.reject_failed.get(),
+            protocol_errors: i.protocol_errors.get(),
+            queue_depth_max: shared.queue.max_depth(),
+        }
+    }
+}
+
+fn connection_loop(conn_id: u64, stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let (tx, rx) = mpsc::channel::<Frame>();
+    let Ok(write_stream) = stream.try_clone() else {
+        return;
+    };
+    let Ok(registry_stream) = stream.try_clone() else {
+        return;
+    };
+    let writer = thread::Builder::new()
+        .name(format!("br-net-writer-{conn_id}"))
+        .spawn(move || {
+            let mut w = write_stream;
+            for frame in rx {
+                if write_frame(&mut w, &frame).is_err() {
+                    break;
+                }
+            }
+            let _ = w.shutdown(SockShutdown::Write);
+        })
+        .expect("failed to spawn writer thread");
+    lock_recover(&shared.conns).insert(
+        conn_id,
+        ConnHandle {
+            tx: tx.clone(),
+            stream: registry_stream,
+        },
+    );
+
+    let mut reader = BufReader::new(stream);
+    let mut client_id: Option<String> = None;
+    loop {
+        match read_frame(&mut reader) {
+            Ok(None) => break,
+            Ok(Some(frame)) => match frame {
+                Frame::Hello { client_id: id } => {
+                    if client_id.is_some() {
+                        shared.instruments.protocol_errors.inc();
+                        let _ = tx.send(Frame::Error {
+                            message: "duplicate Hello".to_string(),
+                        });
+                        break;
+                    }
+                    client_id = Some(id);
+                    let _ = tx.send(Frame::HelloAck {
+                        version: VERSION,
+                        held: shared.queue.is_held(),
+                        shed_threshold: shared.shed_threshold as u32,
+                        quota: shared.quota.min(u32::MAX as u64) as u32,
+                    });
+                }
+                Frame::Submit {
+                    request_id,
+                    lane,
+                    deadline_ms,
+                    spec,
+                } => handle_submit(
+                    &shared,
+                    &tx,
+                    client_id.as_deref(),
+                    request_id,
+                    lane,
+                    deadline_ms,
+                    &spec,
+                ),
+                Frame::Release => {
+                    shared.queue.release();
+                }
+                Frame::Shutdown => shared.initiate_drain(),
+                Frame::Goodbye => break,
+                unexpected => {
+                    shared.instruments.protocol_errors.inc();
+                    let _ = tx.send(Frame::Error {
+                        message: format!("unexpected {} frame from client", unexpected.name()),
+                    });
+                    break;
+                }
+            },
+            Err(FrameError::Protocol(e)) => {
+                shared.instruments.protocol_errors.inc();
+                let _ = tx.send(Frame::Error {
+                    message: e.to_string(),
+                });
+                break;
+            }
+            Err(_) => break, // transport error or mid-frame EOF
+        }
+    }
+    lock_recover(&shared.conns).remove(&conn_id);
+    drop(tx);
+    let _ = writer.join();
+}
+
+fn handle_submit(
+    shared: &Shared,
+    tx: &mpsc::Sender<Frame>,
+    client_id: Option<&str>,
+    request_id: u64,
+    lane: Lane,
+    deadline_ms: u32,
+    spec: &str,
+) {
+    let i = &shared.instruments;
+    i.requests[lane.index()].inc();
+    let reject = |code: RejectCode, message: String| {
+        if let Some(counter) = i.reject_counter(code) {
+            counter.inc();
+        }
+        let _ = tx.send(Frame::Reject {
+            request_id,
+            code,
+            message,
+        });
+    };
+    let Some(client) = client_id else {
+        reject(
+            RejectCode::NotReady,
+            "Submit before Hello handshake".to_string(),
+        );
+        return;
+    };
+    if shared.draining.load(Ordering::SeqCst) {
+        reject(
+            RejectCode::Draining,
+            "server is draining; no new work accepted".to_string(),
+        );
+        return;
+    }
+    let (label, a, b) = match materialize_spec(spec) {
+        Ok(job) => job,
+        Err(message) => {
+            reject(RejectCode::BadSpec, message);
+            return;
+        }
+    };
+    if !shared.admission.try_acquire(client) {
+        reject(
+            RejectCode::QuotaExceeded,
+            format!(
+                "client {client:?} already has {} jobs in flight",
+                shared.quota
+            ),
+        );
+        return;
+    }
+    let deadline =
+        (deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(deadline_ms as u64));
+    let job = NetJob {
+        request_id,
+        client_id: client.to_string(),
+        label,
+        deadline,
+        a,
+        b,
+        config: shared.reorg_config,
+        reply: tx.clone(),
+        enqueued: Instant::now(),
+    };
+    match shared.queue.try_push(lane, job) {
+        Ok(depth) => {
+            i.admitted[lane.index()].inc();
+            if depth == shared.shed_threshold {
+                i.saturation[lane.index()].inc();
+            }
+            shared.set_depth_gauges();
+        }
+        Err(LanePushError::Full { depth }) => {
+            shared.admission.release(client);
+            i.shed[lane.index()].inc();
+            let _ = tx.send(Frame::Shed {
+                request_id,
+                lane,
+                depth: depth as u32,
+                threshold: shared.shed_threshold as u32,
+            });
+        }
+        Err(LanePushError::Closed) => {
+            shared.admission.release(client);
+            reject(
+                RejectCode::Draining,
+                "server is draining; no new work accepted".to_string(),
+            );
+        }
+    }
+}
+
+/// Parses a one-line job spec and loads its operands.
+#[allow(clippy::type_complexity)]
+fn materialize_spec(
+    spec: &str,
+) -> Result<(String, Arc<CsrMatrix<f64>>, Arc<CsrMatrix<f64>>), String> {
+    let specs = parse_job_file(spec)?;
+    let [one] = specs.as_slice() else {
+        return Err("a Submit frame carries exactly one job line".to_string());
+    };
+    if one.repeat != 1 {
+        return Err("repeat must be 1 over the wire (send one Submit per job)".to_string());
+    }
+    let a = Arc::new(one.source.load()?);
+    let b = match &one.pair {
+        Some(src) => Arc::new(src.load()?),
+        None => a.clone(),
+    };
+    Ok((one.source.label(), a, b))
+}
+
+fn worker_loop(index: usize, device: DeviceConfig, shared: Arc<Shared>) {
+    let sim = GpuSimulator::new(device.clone());
+    let pool = ScratchPool::new();
+    let i = &shared.instruments;
+    while let Some((lane, job)) = shared.queue.pop() {
+        shared.set_depth_gauges();
+        i.queue_wait[lane.index()].observe(job.enqueued.elapsed().as_nanos() as u64);
+        if let Some(deadline) = job.deadline {
+            if Instant::now() > deadline {
+                i.deadline_expired.inc();
+                let _ = job.reply.send(Frame::Reject {
+                    request_id: job.request_id,
+                    code: RejectCode::DeadlineExpired,
+                    message: "deadline passed while queued".to_string(),
+                });
+                shared.admission.release(&job.client_id);
+                continue;
+            }
+        }
+        let response = execute_job(index, &device, &sim, &shared.cache, &pool, &job);
+        match &response {
+            Frame::Result { .. } => i.results[lane.index()].inc(),
+            Frame::Reject { .. } => i.reject_failed.inc(),
+            _ => unreachable!("workers only produce Result or Reject"),
+        }
+        let _ = job.reply.send(response);
+        shared.admission.release(&job.client_id);
+    }
+}
+
+fn execute_job(
+    worker: usize,
+    device: &DeviceConfig,
+    sim: &GpuSimulator,
+    cache: &PlanCache,
+    pool: &ScratchPool<f64>,
+    job: &NetJob,
+) -> Frame {
+    let fail = |message: String| Frame::Reject {
+        request_id: job.request_id,
+        code: RejectCode::Failed,
+        message,
+    };
+    let ctx = match ProblemContext::from_shared(job.a.clone(), job.b.clone()) {
+        Ok(ctx) => ctx,
+        Err(e) => return fail(format!("invalid operands: {e}")),
+    };
+    let key = PlanKey::new(ctx.signature(), &device.name, &job.config);
+    // Single-flight get_or_build keeps hit/miss counters a pure function
+    // of the admitted job multiset, independent of worker count.
+    let (plan, cache_hit) = cache.get_or_build(&key, || {
+        Arc::new(ReorgPlan::build(&ctx, &job.config, device))
+    });
+    let mode = if cache_hit {
+        PlanMode::Cached
+    } else {
+        PlanMode::Cold
+    };
+    match plan.execute_with_scratch(sim, &ctx, mode, Some(pool)) {
+        Ok(run) => Frame::Result {
+            request_id: job.request_id,
+            label: job.label.clone(),
+            worker: worker as u32,
+            cache_hit,
+            total_ms: run.total_ms,
+            gflops: run.gflops(),
+            nnz_c: run.result.nnz() as u64,
+        },
+        Err(e) => fail(format!("execution failed: {e}")),
+    }
+}

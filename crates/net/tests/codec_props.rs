@@ -1,0 +1,209 @@
+//! Property tests for the wire codec: every frame round-trips through
+//! `encode`/`decode` and `write_frame`/`read_frame`, and **no** byte
+//! sequence — truncated, oversized, or arbitrary garbage — ever panics
+//! the decoder; malformed input always surfaces as a typed
+//! [`ProtocolError`] / [`FrameError`].
+
+use std::io;
+
+use br_net::frame::{
+    read_frame, Frame, FrameError, Lane, ProtocolError, RejectCode, HEADER_LEN, MAGIC, MAX_PAYLOAD,
+    VERSION,
+};
+use proptest::prelude::*;
+
+/// Deterministically expands a handful of drawn scalars into one frame of
+/// any type. ASCII-only strings keep the generator simple; dedicated unit
+/// tests in `frame.rs` cover UTF-8 and boundary lengths.
+fn build_frame(kind: u8, a: u64, b: u32, flag: bool, bytes: &[u8]) -> Frame {
+    let text: String = bytes.iter().map(|&c| (b' ' + (c % 94)) as char).collect();
+    let lane = if flag { Lane::Interactive } else { Lane::Batch };
+    match kind % 11 {
+        0 => Frame::Hello { client_id: text },
+        1 => Frame::HelloAck {
+            version: VERSION,
+            held: flag,
+            shed_threshold: b,
+            quota: b.wrapping_add(1),
+        },
+        2 => Frame::Submit {
+            request_id: a,
+            lane,
+            deadline_ms: b,
+            spec: text,
+        },
+        3 => Frame::Result {
+            request_id: a,
+            label: text,
+            worker: b,
+            cache_hit: flag,
+            total_ms: (a % 1_000_000) as f64 / 64.0,
+            gflops: (b % 100_000) as f64 / 128.0,
+            nnz_c: a.wrapping_mul(3),
+        },
+        4 => Frame::Shed {
+            request_id: a,
+            lane,
+            depth: b,
+            threshold: b.wrapping_add(7),
+        },
+        5 => {
+            let codes = [
+                RejectCode::QuotaExceeded,
+                RejectCode::BadSpec,
+                RejectCode::Draining,
+                RejectCode::DeadlineExpired,
+                RejectCode::NotReady,
+                RejectCode::Failed,
+            ];
+            Frame::Reject {
+                request_id: a,
+                code: codes[(b as usize) % codes.len()],
+                message: text,
+            }
+        }
+        6 => Frame::Release,
+        7 => Frame::Shutdown,
+        8 => Frame::DrainNotice { message: text },
+        9 => Frame::Goodbye,
+        _ => Frame::Error { message: text },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_frame_round_trips(
+        kind in 0u8..22,
+        a in any::<u64>(),
+        b in any::<u32>(),
+        flag in any::<bool>(),
+        bytes in proptest::collection::vec(any::<u8>(), 0..48),
+    ) {
+        let frame = build_frame(kind, a, b, flag, &bytes);
+        let wire = frame.encode();
+        prop_assert_eq!(Frame::decode(&wire).unwrap(), frame.clone());
+        let mut cursor = io::Cursor::new(&wire);
+        prop_assert_eq!(read_frame(&mut cursor).unwrap(), Some(frame));
+        prop_assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF after one frame");
+    }
+
+    #[test]
+    fn truncation_at_any_cut_is_a_typed_error(
+        kind in 0u8..22,
+        a in any::<u64>(),
+        b in any::<u32>(),
+        flag in any::<bool>(),
+        bytes in proptest::collection::vec(any::<u8>(), 0..48),
+        cut_seed in any::<u64>(),
+    ) {
+        let wire = build_frame(kind, a, b, flag, &bytes).encode();
+        let cut = (cut_seed as usize) % wire.len();
+        // A strict prefix must never decode (every payload byte is load-
+        // bearing) and must never panic.
+        prop_assert!(Frame::decode(&wire[..cut]).is_err());
+        // Off a stream: a cut inside the header of the *first* read is a
+        // clean EOF only at offset zero; everywhere else it is mid-frame.
+        let mut cursor = io::Cursor::new(&wire[..cut]);
+        match read_frame(&mut cursor) {
+            Ok(None) => prop_assert_eq!(cut, 0, "Ok(None) only at a frame boundary"),
+            Ok(Some(_)) => prop_assert!(false, "decoded a truncated frame"),
+            Err(FrameError::UnexpectedEof) | Err(FrameError::Protocol(_)) => {}
+            Err(FrameError::Io(e)) => prop_assert!(false, "unexpected i/o error: {e}"),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected(
+        kind in 0u8..22,
+        a in any::<u64>(),
+        b in any::<u32>(),
+        flag in any::<bool>(),
+        extra in proptest::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let mut wire = build_frame(kind, a, b, flag, b"x").encode();
+        let expect = extra.len();
+        wire.extend_from_slice(&extra);
+        prop_assert_eq!(
+            Frame::decode(&wire),
+            Err(ProtocolError::TrailingBytes { extra: expect })
+        );
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // Whatever the bytes, decode returns; a success must re-encode to
+        // exactly the input (the codec is a bijection on valid frames).
+        if let Ok(frame) = Frame::decode(&bytes) {
+            prop_assert_eq!(frame.encode(), bytes.clone());
+        }
+        let mut cursor = io::Cursor::new(&bytes);
+        let _ = read_frame(&mut cursor);
+    }
+
+    #[test]
+    fn garbage_payload_under_valid_header_never_panics(
+        kind in 0u8..16,
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        // A well-formed header over arbitrary payload bytes: the payload
+        // cursor must fail typed (or round-trip) without panicking.
+        let mut wire = Vec::with_capacity(HEADER_LEN + payload.len());
+        wire.extend_from_slice(&MAGIC);
+        wire.push(VERSION);
+        wire.push(kind);
+        wire.extend_from_slice(&[0, 0]);
+        wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        wire.extend_from_slice(&payload);
+        if let Ok(frame) = Frame::decode(&wire) {
+            prop_assert_eq!(frame.encode(), wire.clone());
+        }
+    }
+
+    #[test]
+    fn oversized_declared_length_is_rejected_before_allocation(
+        kind in 0u8..16,
+        over in 1u32..1024,
+    ) {
+        let len = MAX_PAYLOAD as u32 + over;
+        let mut wire = Vec::with_capacity(HEADER_LEN);
+        wire.extend_from_slice(&MAGIC);
+        wire.push(VERSION);
+        wire.push(kind);
+        wire.extend_from_slice(&[0, 0]);
+        wire.extend_from_slice(&len.to_le_bytes());
+        prop_assert_eq!(Frame::decode(&wire), Err(ProtocolError::Oversized { len }));
+        // The streaming reader must refuse from the header alone — it never
+        // allocates or waits for an over-limit payload.
+        let mut cursor = io::Cursor::new(&wire);
+        match read_frame(&mut cursor) {
+            Err(FrameError::Protocol(ProtocolError::Oversized { len: l })) => {
+                prop_assert_eq!(l, len)
+            }
+            other => prop_assert!(false, "expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_and_reserved_are_typed(
+        corrupt_at in 0u64..8,
+        value in 1u8..255,
+    ) {
+        let mut wire = Frame::Goodbye.encode();
+        let at = corrupt_at as usize;
+        wire[at] = wire[at].wrapping_add(value);
+        match (at, Frame::decode(&wire)) {
+            (0..=3, Err(ProtocolError::BadMagic(_))) => {}
+            (4, Err(ProtocolError::UnsupportedVersion(_))) => {}
+            // The type byte may mutate into another no-payload frame —
+            // still a valid wire frame — or any typed payload error.
+            (5, Ok(Frame::Release | Frame::Shutdown)) => {}
+            (5, Err(_)) => {}
+            (6..=7, Err(ProtocolError::NonzeroReserved)) => {}
+            (at, other) => prop_assert!(false, "byte {at}: unexpected {other:?}"),
+        }
+    }
+}

@@ -64,13 +64,13 @@ pub mod stats;
 pub mod prelude {
     pub use crate::cache::{CacheStats, PlanCache, PlanKey};
     pub use crate::job::{JobError, JobOutcome, JobRequest, JobSpec, MatrixSource};
-    pub use crate::queue::JobQueue;
-    pub use crate::service::{BatchOutcome, ServiceConfig, SpgemmService};
+    pub use crate::queue::{JobQueue, PushError};
+    pub use crate::service::{BatchOutcome, ServiceConfig, SpgemmService, SubmitError};
     pub use crate::stats::{ServiceStats, WorkerStats};
 }
 
 pub use cache::{CacheStats, PlanCache, PlanKey};
 pub use job::{JobError, JobOutcome, JobRequest};
-pub use queue::JobQueue;
-pub use service::{BatchOutcome, ServiceConfig, SpgemmService};
+pub use queue::{JobQueue, PushError};
+pub use service::{BatchOutcome, ServiceConfig, SpgemmService, SubmitError};
 pub use stats::{ServiceStats, WorkerStats};

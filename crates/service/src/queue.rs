@@ -20,8 +20,37 @@ use std::sync::{Condvar, Mutex};
 
 use br_obs::lock_recover;
 
+/// Why [`JobQueue::try_push`] refused an item. The rejected item is handed
+/// back so the caller can answer its submitter (the admission-control
+/// composition point for the wire front end and the in-process batch path).
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is bounded and at capacity.
+    Full(T),
+    /// The queue has been closed.
+    Closed(T),
+}
+
+impl<T> PushError<T> {
+    /// The rejected item.
+    pub fn into_item(self) -> T {
+        match self {
+            PushError::Full(item) | PushError::Closed(item) => item,
+        }
+    }
+
+    /// Short reason name for messages and metrics labels.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            PushError::Full(_) => "full",
+            PushError::Closed(_) => "closed",
+        }
+    }
+}
+
 struct Inner<T> {
     items: VecDeque<T>,
+    capacity: Option<usize>,
     closed: bool,
     max_depth: usize,
 }
@@ -33,11 +62,22 @@ pub struct JobQueue<T> {
 }
 
 impl<T> JobQueue<T> {
-    /// An open, empty queue.
+    /// An open, empty, unbounded queue.
     pub fn new() -> Self {
+        Self::with_capacity(None)
+    }
+
+    /// An open, empty queue shedding pushes beyond `capacity` items
+    /// (clamped to ≥ 1).
+    pub fn bounded(capacity: usize) -> Self {
+        Self::with_capacity(Some(capacity.max(1)))
+    }
+
+    fn with_capacity(capacity: Option<usize>) -> Self {
         JobQueue {
             inner: Mutex::new(Inner {
                 items: VecDeque::new(),
+                capacity,
                 closed: false,
                 max_depth: 0,
             }),
@@ -47,17 +87,31 @@ impl<T> JobQueue<T> {
 
     /// Enqueues an item and wakes one waiting worker.
     ///
-    /// Returns `false` (dropping the item) if the queue is already closed.
+    /// Returns `false` (dropping the item) if the queue is closed or — on
+    /// a [`bounded`](Self::bounded) queue — full. Callers that need the
+    /// item back or the rejection reason use [`try_push`](Self::try_push).
     pub fn push(&self, item: T) -> bool {
+        self.try_push(item).is_ok()
+    }
+
+    /// Non-blocking admission: enqueues and returns the depth after the
+    /// push, or a typed rejection carrying the item back.
+    pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
         let mut inner = lock_recover(&self.inner);
         if inner.closed {
-            return false;
+            return Err(PushError::Closed(item));
+        }
+        if let Some(capacity) = inner.capacity {
+            if inner.items.len() >= capacity {
+                return Err(PushError::Full(item));
+            }
         }
         inner.items.push_back(item);
-        inner.max_depth = inner.max_depth.max(inner.items.len());
+        let depth = inner.items.len();
+        inner.max_depth = inner.max_depth.max(depth);
         drop(inner);
         self.nonempty.notify_one();
-        true
+        Ok(depth)
     }
 
     /// Blocks for the next item; `None` once the queue is closed *and*
@@ -98,6 +152,11 @@ impl<T> JobQueue<T> {
     /// Whether the queue has been closed.
     pub fn is_closed(&self) -> bool {
         lock_recover(&self.inner).closed
+    }
+
+    /// The capacity bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        lock_recover(&self.inner).capacity
     }
 
     /// Test hook: panic inside the queue's critical section, leaving the
@@ -187,6 +246,32 @@ mod tests {
         q.close();
         assert_eq!(q.pop(), None);
         assert_eq!(q.max_depth(), 2);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_with_typed_rejection() {
+        let q = JobQueue::bounded(2);
+        assert_eq!(q.capacity(), Some(2));
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert!(!q.push(4), "push mirrors the typed rejection");
+        assert_eq!(q.max_depth(), 2, "bound caps the high-water mark");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(5), Ok(2), "room frees up after a pop");
+        q.close();
+        let err = q.try_push(6).unwrap_err();
+        assert_eq!(err.reason(), "closed");
+        assert_eq!(err.into_item(), 6, "rejection hands the item back");
+    }
+
+    #[test]
+    fn unbounded_queue_never_sheds() {
+        let q = JobQueue::new();
+        assert_eq!(q.capacity(), None);
+        for i in 0..1000usize {
+            assert_eq!(q.try_push(i), Ok(i + 1));
+        }
     }
 
     #[test]

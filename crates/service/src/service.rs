@@ -21,7 +21,7 @@ use br_spgemm::context::ProblemContext;
 
 use crate::cache::{PlanCache, PlanKey};
 use crate::job::{JobError, JobOutcome, JobRequest};
-use crate::queue::JobQueue;
+use crate::queue::{JobQueue, PushError};
 use crate::stats::{ServiceStats, WorkerStats};
 
 /// How to provision the service.
@@ -32,6 +32,12 @@ pub struct ServiceConfig {
     pub devices: Vec<DeviceConfig>,
     /// Plan-cache capacity (entries; clamped to ≥ 1).
     pub cache_capacity: usize,
+    /// Optional job-queue bound. `None` (the default) keeps the queue
+    /// unbounded; `Some(n)` makes [`SpgemmService::try_submit`] shed with
+    /// a typed [`SubmitError::QueueFull`] once `n` jobs are waiting — the
+    /// same admission-control rejection the wire front end (`br-net`)
+    /// applies at its shed threshold.
+    pub queue_capacity: Option<usize>,
     /// Metrics registry shared by the service, its plan cache, and its job
     /// lifecycle spans. `None` gives the service a private registry (so
     /// concurrent services/tests never share counters); the CLI passes
@@ -47,6 +53,7 @@ impl Default for ServiceConfig {
         ServiceConfig {
             devices: vec![DeviceConfig::titan_xp()],
             cache_capacity: 32,
+            queue_capacity: None,
             registry: None,
         }
     }
@@ -58,6 +65,7 @@ impl ServiceConfig {
         ServiceConfig {
             devices: vec![device; workers.max(1)],
             cache_capacity,
+            queue_capacity: None,
             registry: None,
         }
     }
@@ -66,6 +74,39 @@ impl ServiceConfig {
     pub fn with_registry(mut self, registry: Arc<Registry>) -> Self {
         self.registry = Some(registry);
         self
+    }
+
+    /// Bound the job queue at `capacity` entries (builder-style).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = Some(capacity);
+        self
+    }
+}
+
+/// Why [`SpgemmService::try_submit`] refused a job (the job comes back).
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity.
+    QueueFull(JobRequest),
+    /// The service is already draining.
+    Draining(JobRequest),
+}
+
+impl SubmitError {
+    /// The refused job.
+    pub fn into_job(self) -> JobRequest {
+        match self {
+            SubmitError::QueueFull(job) | SubmitError::Draining(job) => job,
+        }
+    }
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull(job) => write!(f, "queue full, job {} rejected", job.id),
+            SubmitError::Draining(job) => write!(f, "service draining, job {} rejected", job.id),
+        }
     }
 }
 
@@ -171,7 +212,10 @@ impl SpgemmService {
             .registry
             .clone()
             .unwrap_or_else(|| Arc::new(Registry::new()));
-        let queue: Arc<JobQueue<QueuedJob>> = Arc::new(JobQueue::new());
+        let queue: Arc<JobQueue<QueuedJob>> = Arc::new(match config.queue_capacity {
+            Some(capacity) => JobQueue::bounded(capacity),
+            None => JobQueue::new(),
+        });
         let cache = Arc::new(PlanCache::with_registry(
             config.cache_capacity,
             registry.clone(),
@@ -204,21 +248,29 @@ impl SpgemmService {
         }
     }
 
-    /// Enqueues a job; `false` if the service is already draining.
+    /// Enqueues a job; `false` if the service is draining or the bounded
+    /// queue is full (see [`try_submit`](Self::try_submit) for the typed
+    /// rejection that hands the job back).
     pub fn submit(&mut self, job: JobRequest) -> bool {
+        self.try_submit(job).is_ok()
+    }
+
+    /// Non-blocking admission into the service queue.
+    pub fn try_submit(&mut self, job: JobRequest) -> Result<(), SubmitError> {
         let _span = self.instruments.registry.span("job/submit");
-        let accepted = self.queue.push(QueuedJob {
+        match self.queue.try_push(QueuedJob {
             request: job,
             enqueued: Instant::now(),
-        });
-        if accepted {
-            self.submitted += 1;
-            self.instruments.submitted.inc();
-            self.instruments
-                .queue_depth
-                .set_u64(self.queue.depth() as u64);
+        }) {
+            Ok(depth) => {
+                self.submitted += 1;
+                self.instruments.submitted.inc();
+                self.instruments.queue_depth.set_u64(depth as u64);
+                Ok(())
+            }
+            Err(PushError::Full(queued)) => Err(SubmitError::QueueFull(queued.request)),
+            Err(PushError::Closed(queued)) => Err(SubmitError::Draining(queued.request)),
         }
-        accepted
     }
 
     /// Shared plan cache (inspectable mid-run).
@@ -243,13 +295,30 @@ impl SpgemmService {
         self.queue.poison_for_test();
     }
 
-    /// Runs a whole batch: submit everything, drain, report.
+    /// Runs a whole batch: submit everything, drain, report. On a bounded
+    /// queue (`queue_capacity`), jobs refused by admission control appear
+    /// in `failures` with a "queue full" message instead of vanishing.
     pub fn run_batch(config: ServiceConfig, jobs: Vec<JobRequest>) -> BatchOutcome {
         let mut service = Self::start(config);
+        let mut rejected = Vec::new();
         for job in jobs {
-            service.submit(job);
+            if let Err(err) = service.try_submit(job) {
+                let message = err.to_string();
+                let job = err.into_job();
+                rejected.push(JobError {
+                    id: job.id,
+                    label: job.label,
+                    message,
+                });
+            }
         }
-        service.drain()
+        let mut batch = service.drain();
+        if !rejected.is_empty() {
+            batch.stats.failures += rejected.len();
+            batch.failures.extend(rejected);
+            batch.failures.sort_by_key(|f| f.id);
+        }
+        batch
     }
 
     /// Closes the queue, waits for every worker to finish, and assembles

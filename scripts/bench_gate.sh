@@ -101,6 +101,75 @@ fi
 rm -f BENCH_quick.t1.json BENCH_quick.t8.json BENCH_quick.bins.json
 echo "ok: row-bin thresholds never change the report"
 
+echo "== net flood determinism: admission accounting is a pure function of load =="
+# Flood a held br-net server (worker gate closed, shed threshold 6, ample
+# quota): 16 alternating-lane submissions admit 6 and shed 10 purely by
+# arrival order, then Release drains and Shutdown exits the server, which
+# dumps its metrics. The strict exposition must byte-compare across
+# BR_THREADS=1/8 and across reruns — shedding never depends on how fast
+# workers drain.
+net_flood() {
+    local threads="$1" tag="$2"
+    rm -f "net.$tag.port"
+    BR_THREADS="$threads" $cli serve --listen 127.0.0.1:0 \
+        --port-file "net.$tag.port" --hold --workers 2 \
+        --shed-threshold 6 --quota 64 --metrics "net.$tag.prom" \
+        >/dev/null &
+    local server_pid=$!
+    local tries=0
+    until [[ -s "net.$tag.port" ]]; do
+        tries=$((tries + 1))
+        if [[ $tries -gt 100 ]]; then
+            echo "error: serve never wrote net.$tag.port" >&2
+            kill "$server_pid" 2>/dev/null || true
+            exit 1
+        fi
+        sleep 0.1
+    done
+    $cli client --connect "$(cat "net.$tag.port")" --client-id flood \
+        --spec 'rmat=6,4' --count 16 --lane alternate \
+        --release --shutdown --quiet >/dev/null
+    wait "$server_pid"
+}
+net_flood 1 t1
+net_flood 8 t8
+net_flood 8 rerun
+for pair in "net.t1.prom net.t8.prom" \
+            "net.t8.prom net.rerun.prom" \
+            "net.t1.prom.jsonl net.t8.prom.jsonl" \
+            "net.t8.prom.jsonl net.rerun.prom.jsonl"; do
+    # shellcheck disable=SC2086  # intentional word split into the two paths
+    set -- $pair
+    if ! cmp -s "$1" "$2"; then
+        echo "error: net metrics exposition differs ($1 vs $2)" >&2
+        diff "$1" "$2" | head -40 >&2 || true
+        exit 1
+    fi
+done
+for family in br_net_requests_total br_net_admitted_total br_net_shed_total \
+              br_net_saturation_total br_net_rejects_total \
+              br_net_results_total br_net_drain_notices_total; do
+    if ! grep -q "^$family" net.t8.prom; then
+        echo "error: expected metric family $family missing from net.t8.prom" >&2
+        exit 1
+    fi
+done
+# The held-gate flood admits exactly 6 and sheds exactly 10, per lane 3/5.
+for line in 'br_net_shed_total{lane="batch"} 5' \
+            'br_net_shed_total{lane="interactive"} 5' \
+            'br_net_results_total{lane="batch"} 3' \
+            'br_net_results_total{lane="interactive"} 3'; do
+    if ! grep -qF "$line" net.t8.prom; then
+        echo "error: expected '$line' in net.t8.prom" >&2
+        grep '^br_net' net.t8.prom >&2 || true
+        exit 1
+    fi
+done
+rm -f net.t1.prom net.t8.prom net.rerun.prom \
+      net.t1.prom.jsonl net.t8.prom.jsonl net.rerun.prom.jsonl \
+      net.t1.port net.t8.port net.rerun.port
+echo "ok: shed/quota accounting is byte-identical across thread counts and reruns"
+
 echo "== bench gate: quick suite, cycle threshold ${threshold}% =="
 $cli bench run --suite quick --out BENCH_quick.json
 

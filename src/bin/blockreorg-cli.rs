@@ -8,8 +8,15 @@
 //!                  [--method <name>] [--device <name>] [--scale <div>]
 //!                  [--square | --pair-with <file.mtx>] [--verify] [--list]
 //!   blockreorg-cli batch --jobs <file> [--device <d1,d2,..>] [--workers <n>]
-//!                  [--cache <entries>] [--threads <n>]
+//!                  [--cache <entries>] [--queue-cap <n>] [--threads <n>]
 //!                  [--metrics <path>] [--metrics-timing]
+//!   blockreorg-cli serve --listen <addr> [--workers <n>] [--device <name>]
+//!                  [--cache <entries>] [--shed-threshold <n>] [--quota <n>]
+//!                  [--hold] [--port-file <path>] [--threads <n>]
+//!                  [--metrics <path>] [--metrics-timing]
+//!   blockreorg-cli client --connect <addr> [--client-id <id>] --spec '<jobline>'
+//!                  [--count <n>] [--lane interactive|batch|alternate]
+//!                  [--deadline-ms <n>] [--release] [--shutdown] [--quiet]
 //!   blockreorg-cli bench run [--suite quick|full|scaling] [--out <path>]
 //!                  [--threads <n>] [--no-host] [--bins <tiny>,<heavy>]
 //!                  [--metrics <path>] [--metrics-timing]
@@ -20,11 +27,13 @@
 //!   blockreorg-cli --dataset youtube --method reorganizer --verify --report
 //!   blockreorg-cli --rmat 14,8 --method all --device v100
 //!   blockreorg-cli batch --jobs jobs.txt --device titanxp --workers 4
+//!   blockreorg-cli serve --listen 127.0.0.1:7474 --workers 2 --shed-threshold 64
+//!   blockreorg-cli client --connect 127.0.0.1:7474 --spec 'rmat=8,6' --count 4 --shutdown
 //!   blockreorg-cli --list
 //! ```
 //!
 //! Exit codes: 0 success, 1 runtime failure (I/O, failed jobs, failed
-//! verification), 2 usage error.
+//! verification), 2 usage error, 3 bind/listen failure in serve mode.
 
 use blockreorg::datasets::registry::ScaleFactor;
 use blockreorg::prelude::*;
@@ -55,8 +64,34 @@ struct BatchOptions {
     devices: String,
     workers: usize,
     cache: usize,
+    queue_cap: Option<usize>,
     metrics: Option<String>,
     metrics_timing: bool,
+}
+
+struct ServeOptions {
+    listen: Option<String>,
+    workers: usize,
+    device: String,
+    cache: usize,
+    shed_threshold: usize,
+    quota: u64,
+    hold: bool,
+    port_file: Option<String>,
+    metrics: Option<String>,
+    metrics_timing: bool,
+}
+
+struct ClientOptions {
+    connect: Option<String>,
+    client_id: String,
+    spec: Option<String>,
+    count: u64,
+    lane: String,
+    deadline_ms: u32,
+    release: bool,
+    shutdown: bool,
+    quiet: bool,
 }
 
 fn print_usage() {
@@ -65,8 +100,15 @@ fn print_usage() {
     println!("                      [--device {DEVICE_CHOICES}] [--scale <divisor>]");
     println!("                      [--pair-with <mtx>] [--verify] [--report] [--tune] [--list]");
     println!("       blockreorg-cli batch --jobs <file> [--device <d1,d2,..>] [--workers <n>]");
-    println!("                      [--cache <entries>] [--threads <n>]");
+    println!("                      [--cache <entries>] [--queue-cap <n>] [--threads <n>]");
     println!("                      [--metrics <path>] [--metrics-timing]");
+    println!("       blockreorg-cli serve --listen <addr> [--workers <n>] [--device <name>]");
+    println!("                      [--cache <entries>] [--shed-threshold <n>] [--quota <n>]");
+    println!("                      [--hold] [--port-file <path>] [--threads <n>]");
+    println!("                      [--metrics <path>] [--metrics-timing]");
+    println!("       blockreorg-cli client --connect <addr> [--client-id <id>] --spec '<jobline>'");
+    println!("                      [--count <n>] [--lane interactive|batch|alternate]");
+    println!("                      [--deadline-ms <n>] [--release] [--shutdown] [--quiet]");
     println!("       blockreorg-cli bench run [--suite quick|full|scaling] [--out <path>]");
     println!("                      [--threads <n>] [--no-host] [--bins <tiny>,<heavy>]");
     println!("                      [--metrics <path>] [--metrics-timing]");
@@ -98,9 +140,19 @@ fn print_usage() {
     println!("then prints per-phase latency, cache hit rate, and per-device utilization.");
     println!("Job-file lines: 'dataset=<name> [scale=<div>] [repeat=<n>]',");
     println!("'rmat=<scale,ef> [seed=<n>] [repeat=<n>]', or 'input=<mtx> [pair=<mtx>]';");
-    println!("'#' starts a comment.");
+    println!("'#' starts a comment. --queue-cap bounds the submission queue; jobs beyond");
+    println!("the bound are reported as failures instead of queued.");
     println!();
-    println!("exit codes: 0 success, 1 runtime failure, 2 usage error");
+    println!("serve mode hosts the br-net TCP front end (length-prefixed binary frames,");
+    println!("interactive/batch priority lanes, per-client quotas, load shedding at");
+    println!("--shed-threshold, per-request deadlines, graceful drain on a Shutdown");
+    println!("frame). --hold keeps the worker gate closed until a client sends Release,");
+    println!("making shed/quota accounting a pure function of arrival order. --port-file");
+    println!("writes the bound address (useful with ':0' ephemeral listens). client mode");
+    println!("submits --count copies of the --spec job line and prints the response tally.");
+    println!();
+    println!("exit codes: 0 success, 1 runtime failure, 2 usage error, 3 bind/listen");
+    println!("failure in serve mode");
 }
 
 fn usage_and_exit(msg: &str) -> ! {
@@ -183,6 +235,7 @@ fn parse_batch_options(args: &mut dyn Iterator<Item = String>) -> BatchOptions {
         devices: "titanxp".to_string(),
         workers: 0,
         cache: 32,
+        queue_cap: None,
         metrics: None,
         metrics_timing: false,
     };
@@ -209,8 +262,125 @@ fn parse_batch_options(args: &mut dyn Iterator<Item = String>) -> BatchOptions {
                     .parse()
                     .unwrap_or_else(|_| usage_and_exit("--cache must be a positive integer"));
             }
+            "--queue-cap" => {
+                let cap: usize = next_value(args, "--queue-cap")
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("--queue-cap must be a positive integer"));
+                if cap == 0 {
+                    usage_and_exit("--queue-cap must be >= 1");
+                }
+                o.queue_cap = Some(cap);
+            }
             "--threads" => apply_threads_flag(&next_value(args, "--threads")),
             other => usage_and_exit(&format!("unknown flag {other:?} in batch mode")),
+        }
+    }
+    o
+}
+
+fn parse_serve_options(args: &mut dyn Iterator<Item = String>) -> ServeOptions {
+    let mut o = ServeOptions {
+        listen: None,
+        workers: 1,
+        device: "titanxp".to_string(),
+        cache: 32,
+        shed_threshold: 64,
+        quota: 256,
+        hold: false,
+        port_file: None,
+        metrics: None,
+        metrics_timing: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                print_usage();
+                exit(0)
+            }
+            "--listen" => o.listen = Some(next_value(args, "--listen")),
+            "--device" => o.device = next_value(args, "--device"),
+            "--port-file" => o.port_file = Some(next_value(args, "--port-file")),
+            "--metrics" => o.metrics = Some(next_value(args, "--metrics")),
+            "--metrics-timing" => o.metrics_timing = true,
+            "--hold" => o.hold = true,
+            "--workers" => {
+                o.workers = next_value(args, "--workers")
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("--workers must be a positive integer"));
+                if o.workers == 0 {
+                    usage_and_exit("--workers must be >= 1");
+                }
+            }
+            "--cache" => {
+                o.cache = next_value(args, "--cache")
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("--cache must be a positive integer"));
+            }
+            "--shed-threshold" => {
+                o.shed_threshold =
+                    next_value(args, "--shed-threshold")
+                        .parse()
+                        .unwrap_or_else(|_| {
+                            usage_and_exit("--shed-threshold must be a positive integer")
+                        });
+                if o.shed_threshold == 0 {
+                    usage_and_exit("--shed-threshold must be >= 1");
+                }
+            }
+            "--quota" => {
+                o.quota = next_value(args, "--quota")
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("--quota must be a positive integer"));
+                if o.quota == 0 {
+                    usage_and_exit("--quota must be >= 1");
+                }
+            }
+            "--threads" => apply_threads_flag(&next_value(args, "--threads")),
+            other => usage_and_exit(&format!("unknown flag {other:?} in serve mode")),
+        }
+    }
+    o
+}
+
+fn parse_client_options(args: &mut dyn Iterator<Item = String>) -> ClientOptions {
+    let mut o = ClientOptions {
+        connect: None,
+        client_id: "cli".to_string(),
+        spec: None,
+        count: 1,
+        lane: "interactive".to_string(),
+        deadline_ms: 0,
+        release: false,
+        shutdown: false,
+        quiet: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                print_usage();
+                exit(0)
+            }
+            "--connect" => o.connect = Some(next_value(args, "--connect")),
+            "--client-id" => o.client_id = next_value(args, "--client-id"),
+            "--spec" => o.spec = Some(next_value(args, "--spec")),
+            "--lane" => o.lane = next_value(args, "--lane"),
+            "--release" => o.release = true,
+            "--shutdown" => o.shutdown = true,
+            "--quiet" => o.quiet = true,
+            "--count" => {
+                o.count = next_value(args, "--count")
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("--count must be a positive integer"));
+                if o.count == 0 {
+                    usage_and_exit("--count must be >= 1");
+                }
+            }
+            "--deadline-ms" => {
+                o.deadline_ms = next_value(args, "--deadline-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("--deadline-ms must be an integer"));
+            }
+            other => usage_and_exit(&format!("unknown flag {other:?} in client mode")),
         }
     }
     o
@@ -339,6 +509,7 @@ fn run_batch_mode(o: BatchOptions) -> ! {
         ServiceConfig {
             devices,
             cache_capacity: o.cache,
+            queue_capacity: o.queue_cap,
             // Job-lifecycle spans and cache counters land in the same
             // process-wide registry as the spgemm / gpu-sim instruments,
             // so one --metrics dump covers the whole pipeline.
@@ -372,6 +543,156 @@ fn run_batch_mode(o: BatchOptions) -> ! {
         );
     }
     exit(1)
+}
+
+/// `serve` — hosts the br-net TCP front end over a worker pool, runs
+/// until a client's `Shutdown` frame completes the graceful drain, then
+/// prints the serve report and exits 0. Bind/listen failures exit 3 so
+/// scripts can tell "port taken" from "jobs failed".
+fn run_serve_mode(o: ServeOptions) -> ! {
+    use blockreorg::net::server::{NetServer, ServerConfig};
+
+    let listen = o
+        .listen
+        .unwrap_or_else(|| usage_and_exit("serve mode requires --listen <addr>"));
+    let device = device_of(&o.device);
+    let devices = vec![device; o.workers];
+    if o.metrics_timing {
+        blockreorg::obs::install_wall_clock(blockreorg::obs::global());
+    }
+    let config = ServerConfig {
+        devices,
+        cache_capacity: o.cache,
+        shed_threshold: o.shed_threshold,
+        quota: o.quota,
+        hold: o.hold,
+        config: ReorganizerConfig::default(),
+        // Net admission counters share the process-wide registry with the
+        // spgemm / gpu-sim instruments, so one --metrics dump covers the
+        // whole serving path.
+        registry: Some(blockreorg::obs::global_arc()),
+    };
+    let server = match NetServer::bind(&listen, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind/listen on {listen}: {e}");
+            exit(3)
+        }
+    };
+    let addr = server.local_addr();
+    if let Some(path) = &o.port_file {
+        if let Err(e) = std::fs::write(path, format!("{addr}\n")) {
+            runtime_error(&format!("cannot write port file {path}: {e}"));
+        }
+    }
+    println!(
+        "serving on {addr}: {} workers, shed threshold {}, quota {}{}",
+        o.workers,
+        o.shed_threshold,
+        o.quota,
+        if o.hold { ", worker gate held" } else { "" }
+    );
+    let report = server.run();
+    print!("{report}");
+    if let Some(path) = &o.metrics {
+        write_metrics(path, o.metrics_timing);
+    }
+    exit(0)
+}
+
+/// `client` — submits `--count` copies of a job line over the wire,
+/// collects exactly one response per request, and prints the tally.
+fn run_client_mode(o: ClientOptions) -> ! {
+    use blockreorg::net::client::NetClient;
+    use blockreorg::net::frame::Lane;
+
+    let addr = o
+        .connect
+        .unwrap_or_else(|| usage_and_exit("client mode requires --connect <addr>"));
+    let spec = o
+        .spec
+        .unwrap_or_else(|| usage_and_exit("client mode requires --spec '<jobline>'"));
+    let lane_of = |id: u64| match o.lane.as_str() {
+        "interactive" => Lane::Interactive,
+        "batch" => Lane::Batch,
+        "alternate" => {
+            if id.is_multiple_of(2) {
+                Lane::Interactive
+            } else {
+                Lane::Batch
+            }
+        }
+        other => usage_and_exit(&format!(
+            "unknown lane {other:?}; valid lanes: interactive, batch, alternate"
+        )),
+    };
+    let mut client = NetClient::connect(&addr, &o.client_id)
+        .unwrap_or_else(|e| runtime_error(&format!("cannot connect to {addr}: {e}")));
+    let info = client.server_info();
+    if !o.quiet {
+        println!(
+            "connected to {addr}: protocol v{}, shed threshold {}, quota {}{}",
+            info.version,
+            info.shed_threshold,
+            info.quota,
+            if info.held { ", worker gate held" } else { "" }
+        );
+    }
+    let fail = |e: blockreorg::net::client::ClientError| -> ! {
+        runtime_error(&format!("client error: {e}"))
+    };
+    for id in 0..o.count {
+        client
+            .submit(id, lane_of(id), o.deadline_ms, &spec)
+            .unwrap_or_else(|e| fail(e));
+    }
+    if o.release {
+        client.release().unwrap_or_else(|e| fail(e));
+    }
+    let mut summary = client
+        .collect_responses(o.count as usize)
+        .unwrap_or_else(|e| fail(e));
+    if o.shutdown {
+        client.shutdown().unwrap_or_else(|e| fail(e));
+        client
+            .drain_to_eof(&mut summary)
+            .unwrap_or_else(|e| fail(e));
+    } else {
+        client.goodbye().ok();
+    }
+    let counts = summary.counts();
+    let tally: Vec<String> = counts
+        .iter()
+        .filter(|(_, n)| **n > 0)
+        .map(|(kind, n)| format!("{kind} {n}"))
+        .collect();
+    println!(
+        "client {}: {} submitted, {} responses ({}){}",
+        o.client_id,
+        o.count,
+        summary.total(),
+        tally.join(", "),
+        if summary.drain_notice {
+            ", drain notice received"
+        } else {
+            ""
+        }
+    );
+    if !o.quiet {
+        for (id, cache_hit) in &summary.results {
+            println!(
+                "  request {id}: result ({})",
+                if *cache_hit { "hit" } else { "miss" }
+            );
+        }
+        for id in &summary.shed {
+            println!("  request {id}: shed");
+        }
+        for (id, reason) in &summary.rejected {
+            println!("  request {id}: rejected ({reason})");
+        }
+    }
+    exit(0)
 }
 
 /// `bench run` / `bench compare` — the regression-tracking front end over
@@ -518,10 +839,20 @@ fn run_bench_mode(args: &mut dyn Iterator<Item = String>) -> ! {
 fn main() {
     let mut args = std::env::args().skip(1).peekable();
     match args.peek().map(String::as_str) {
-        Some("batch") | Some("serve") => {
+        Some("batch") => {
             args.next();
             let o = parse_batch_options(&mut args);
             run_batch_mode(o)
+        }
+        Some("serve") => {
+            args.next();
+            let o = parse_serve_options(&mut args);
+            run_serve_mode(o)
+        }
+        Some("client") => {
+            args.next();
+            let o = parse_client_options(&mut args);
+            run_client_mode(o)
         }
         Some("bench") => {
             args.next();

@@ -28,6 +28,7 @@ pub use block_reorganizer;
 pub use br_bench as bench;
 pub use br_datasets as datasets;
 pub use br_gpu_sim as gpu_sim;
+pub use br_net as net;
 pub use br_obs as obs;
 pub use br_service as service;
 pub use br_sparse as sparse;
