@@ -27,6 +27,10 @@ pub struct Thresholds {
     pub sync_stall_abs: f64,
     /// Maximum allowed absolute drop of the service cache hit rate.
     pub cache_hit_abs: f64,
+    /// Maximum allowed relative increase of a plan case's modeled build
+    /// `ops` — the cold-plan latency gate of the `estplan` suite (default
+    /// 10.0).
+    pub plan_ops_pct: f64,
 }
 
 impl Default for Thresholds {
@@ -38,6 +42,7 @@ impl Default for Thresholds {
             l2_hit_abs: 0.02,
             sync_stall_abs: 0.02,
             cache_hit_abs: 0.0,
+            plan_ops_pct: 10.0,
         }
     }
 }
@@ -281,6 +286,51 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, t: &Thresholds) ->
             ));
         }
     }
+    match (&baseline.plan, &current.plan) {
+        (Some(base_plan), Some(cur_plan)) => {
+            if base_plan.estimator_fingerprint != cur_plan.estimator_fingerprint {
+                errors.push("estimator config fingerprint differs between reports".to_string());
+            } else {
+                for base_case in &base_plan.cases {
+                    let Some(cur_case) = cur_plan.cases.iter().find(|c| c.id == base_case.id)
+                    else {
+                        errors.push(format!(
+                            "plan case {} missing from current report",
+                            base_case.id
+                        ));
+                        continue;
+                    };
+                    // A changed mode or method means the planner made a
+                    // different decision — like a model change, refresh
+                    // the baseline instead of comparing its cost.
+                    if base_case.mode != cur_case.mode || base_case.method != cur_case.method {
+                        errors.push(format!(
+                            "plan case {}: planning decision changed ({}/{} -> {}/{})",
+                            base_case.id,
+                            base_case.mode,
+                            base_case.method,
+                            cur_case.mode,
+                            cur_case.method
+                        ));
+                        continue;
+                    }
+                    rows.push(relative_row(
+                        format!("{} plan_ops", base_case.id),
+                        base_case.ops as f64,
+                        cur_case.ops as f64,
+                        t.plan_ops_pct,
+                        BadDirection::Up,
+                    ));
+                }
+            }
+        }
+        (Some(_), None) => {
+            errors.push("plan section missing from current report".to_string());
+        }
+        // A new plan section against a pre-estimator baseline is
+        // informational, like a new case: nothing to compare against yet.
+        (None, _) => {}
+    }
     let describe_host = |r: &BenchReport| {
         r.host.as_ref().map(|h| {
             format!(
@@ -411,8 +461,26 @@ mod tests {
                 cache_evictions: 0,
                 cache_hit_rate: 2.0 / 3.0,
             },
+            plan: None,
             host: None,
         }
+    }
+
+    fn plan_report(ops: u64) -> BenchReport {
+        let mut r = report(1e6);
+        r.suite = "estplan".to_string();
+        r.plan = Some(crate::schema::PlanSection {
+            estimator_fingerprint: 0xabc,
+            cases: vec![crate::schema::PlanCaseReport {
+                id: "harbor@tiny/plan-estimate/titan-xp".to_string(),
+                mode: "estimate".to_string(),
+                method: "reorganized".to_string(),
+                ops,
+                sampled_cols: 64,
+                rel_band_ppm: 90_000,
+            }],
+        });
+        r
     }
 
     #[test]
@@ -535,6 +603,71 @@ mod tests {
         let cmp = compare(&base, &cur, &Thresholds::default());
         assert!(!cmp.has_regressions(), "{}", cmp.render());
         assert!(cmp.rows.iter().any(|r| r.label.contains("new case")));
+    }
+
+    #[test]
+    fn plan_ops_within_tolerance_passes_and_regression_fails() {
+        // 8% growth sits inside the default 10% plan gate.
+        let cmp = compare(
+            &plan_report(1000),
+            &plan_report(1080),
+            &Thresholds::default(),
+        );
+        assert!(!cmp.has_regressions(), "{}", cmp.render());
+        // 12% growth fails it.
+        let cmp = compare(
+            &plan_report(1000),
+            &plan_report(1120),
+            &Thresholds::default(),
+        );
+        assert!(cmp.has_regressions());
+        let rendered = cmp.render();
+        assert!(rendered.contains("plan_ops"), "{rendered}");
+        // And the threshold is adjustable.
+        let wide = Thresholds {
+            plan_ops_pct: 20.0,
+            ..Thresholds::default()
+        };
+        assert!(!compare(&plan_report(1000), &plan_report(1120), &wide).has_regressions());
+    }
+
+    #[test]
+    fn changed_planning_decision_is_an_error() {
+        let base = plan_report(1000);
+        let mut cur = plan_report(1000);
+        cur.plan.as_mut().unwrap().cases[0].method = "row-product".to_string();
+        let cmp = compare(&base, &cur, &Thresholds::default());
+        assert!(cmp.has_regressions());
+        assert!(
+            cmp.errors.iter().any(|e| e.contains("planning decision")),
+            "{:?}",
+            cmp.errors
+        );
+        // Estimator fingerprint skew is an identity error too.
+        let mut cur = plan_report(1000);
+        cur.plan.as_mut().unwrap().estimator_fingerprint = 0xdef;
+        assert!(compare(&base, &cur, &Thresholds::default())
+            .errors
+            .iter()
+            .any(|e| e.contains("estimator config fingerprint")));
+    }
+
+    #[test]
+    fn plan_section_presence_mismatches() {
+        // Baseline gated a plan section; current dropped it: error.
+        let base = plan_report(1000);
+        let mut cur = plan_report(1000);
+        cur.plan = None;
+        let cmp = compare(&base, &cur, &Thresholds::default());
+        assert!(cmp
+            .errors
+            .iter()
+            .any(|e| e.contains("plan section missing")));
+        // New plan section against a pre-estimator baseline: informational.
+        let mut base = plan_report(1000);
+        base.plan = None;
+        let cmp = compare(&base, &plan_report(1000), &Thresholds::default());
+        assert!(!cmp.has_regressions(), "{}", cmp.render());
     }
 
     #[test]

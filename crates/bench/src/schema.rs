@@ -39,11 +39,17 @@ pub struct BenchReport {
     pub cases: Vec<CaseReport>,
     /// Plan-cache service batch measurements.
     pub service: ServiceSection,
+    /// Estimation-based planning measurements (`estplan` suite): one entry
+    /// per plan-building case, recording the planner's decisions and its
+    /// modeled cold-plan cost. `None` for suites that don't build plans
+    /// directly and in reports written before the section existed — legacy
+    /// reports parse with the key absent.
+    pub plan: Option<PlanSection>,
     /// Host-side wall-clock measurements of the run itself (worker count,
     /// elapsed time, throughput). `None` in reports written before the
     /// section existed and in runs invoked with `--no-host` (byte-compare
     /// workflows). **Not a tracked metric**: wall clock varies run to run,
-    /// so [`crate::compare`] ignores this section entirely.
+    /// so [`mod@crate::compare`] ignores this section entirely.
     pub host: Option<HostSection>,
 }
 
@@ -125,6 +131,44 @@ pub struct ServiceSection {
     pub cache_evictions: u64,
     /// hits / (hits + misses).
     pub cache_hit_rate: f64,
+}
+
+/// Estimation-based planning measurements: the `estplan` suite builds one
+/// plan per (dataset, flavor) grid point — exact precalculation vs the
+/// sampling estimator — and records what the planner decided plus its
+/// modeled host cost. Every field is a pure function of the operands'
+/// structure and the estimator configuration, so the section byte-compares
+/// across runs and thread counts; `compare` gates the `ops` column with
+/// [`crate::compare::Thresholds::plan_ops_pct`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanSection {
+    /// [`EstimatorConfig::fingerprint`](br_spgemm::estimate::EstimatorConfig)
+    /// of the estimator setting in effect (0 when estimation is disabled).
+    /// Baseline/current skew here is an identity error, like
+    /// `config_fingerprint`.
+    pub estimator_fingerprint: u64,
+    /// Per-case planning records, in suite definition order.
+    pub cases: Vec<PlanCaseReport>,
+}
+
+/// One plan build's record in the `estplan` suite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanCaseReport {
+    /// Case identity, same scheme as [`CaseReport::id`].
+    pub id: String,
+    /// How the plan's workloads were obtained: `exact`, `estimate`, or
+    /// `fallback` (estimation attempted, band too wide, exact pass added).
+    pub mode: String,
+    /// Expansion method the planner chose (`reorganized`, `row-product`,
+    /// `outer-product`, `esc`, `hash`).
+    pub method: String,
+    /// Modeled host operations of the plan build — the deterministic
+    /// cold-plan latency metric the CI `plan-bench` job gates on.
+    pub ops: u64,
+    /// Columns of `A` the estimator sampled (0 on the exact path).
+    pub sampled_cols: u64,
+    /// Relative confidence-band half-width, in ppm (0 on the exact path).
+    pub rel_band_ppm: u64,
 }
 
 /// Wall-clock diagnostics of the benchmark run itself — the only section
@@ -282,6 +326,7 @@ mod tests {
                 cache_evictions: 0,
                 cache_hit_rate: 0.75,
             },
+            plan: None,
             host: Some(HostSection {
                 threads: 4,
                 wall_ms: 1234.5,
@@ -373,6 +418,40 @@ mod tests {
         let back = BenchReport::from_json(&legacy).expect("pre-obs host section parses");
         assert_eq!(back.host.as_ref().unwrap().obs, None);
         assert_eq!(back.host.as_ref().unwrap().wall_ms, 1234.5);
+    }
+
+    #[test]
+    fn legacy_report_without_plan_section_still_parses() {
+        // Reports written before estimation-based planning existed (e.g.
+        // the checked-in quick baseline) have no `plan` key: it must read
+        // back as `None` under the same schema version, not error.
+        let report = sample();
+        let text = report.to_json();
+        let legacy = text.replace(",\n  \"plan\": null", "");
+        assert_ne!(legacy, text, "the plan key was present to remove");
+        let back = BenchReport::from_json(&legacy).expect("legacy layout parses");
+        assert_eq!(back.plan, None);
+        assert_eq!(back.cases, report.cases);
+    }
+
+    #[test]
+    fn plan_section_roundtrips_when_present() {
+        let mut report = sample();
+        report.plan = Some(PlanSection {
+            estimator_fingerprint: 0xfeed,
+            cases: vec![PlanCaseReport {
+                id: "harbor@tiny/plan-estimate/titan-xp".to_string(),
+                mode: "estimate".to_string(),
+                method: "reorganized".to_string(),
+                ops: 1234,
+                sampled_cols: 64,
+                rel_band_ppm: 104_000,
+            }],
+        });
+        let text = report.to_json();
+        let back = BenchReport::from_json(&text).unwrap();
+        assert_eq!(back.plan, report.plan);
+        assert_eq!(back.to_json(), text, "re-serialization is stable");
     }
 
     #[test]

@@ -15,8 +15,9 @@
 
 use crate::schema::{
     git_sha, BenchReport, BinHostStats, CaseMetrics, CaseReport, HostSection, ObsHostStats,
-    PhaseMetrics, ServiceSection, SCHEMA_VERSION,
+    PhaseMetrics, PlanCaseReport, PlanSection, ServiceSection, SCHEMA_VERSION,
 };
+use block_reorganizer::plan::{PlanMode, ReorgPlan};
 use block_reorganizer::{BlockReorganizer, ReorganizerConfig};
 use br_datasets::registry::{RealWorldRegistry, ScaleFactor};
 use br_gpu_sim::device::DeviceConfig;
@@ -25,6 +26,7 @@ use br_service::cache::config_fingerprint;
 use br_service::prelude::*;
 use br_sparse::par;
 use br_spgemm::accum::{effective_thresholds_for, RowBins};
+use br_spgemm::estimate::effective_estimator;
 use br_spgemm::pipeline::{run_method, SpgemmMethod, SpgemmRun};
 use std::sync::Arc;
 use std::time::Instant;
@@ -38,6 +40,10 @@ pub enum Suite {
     Full,
     /// Device/scale sweep.
     Scaling,
+    /// Cold-plan planning-latency gate: the quick grid's datasets, each
+    /// planned twice — exact precalculation vs the sampling estimator —
+    /// and executed cold. Records a [`crate::schema::PlanSection`].
+    Estplan,
 }
 
 impl Suite {
@@ -47,6 +53,7 @@ impl Suite {
             "quick" => Some(Suite::Quick),
             "full" => Some(Suite::Full),
             "scaling" => Some(Suite::Scaling),
+            "estplan" => Some(Suite::Estplan),
             _ => None,
         }
     }
@@ -57,6 +64,7 @@ impl Suite {
             Suite::Quick => "quick",
             Suite::Full => "full",
             Suite::Scaling => "scaling",
+            Suite::Estplan => "estplan",
         }
     }
 
@@ -117,6 +125,20 @@ impl Suite {
                 }
                 out
             }
+            Suite::Estplan => {
+                let mut out = Vec::new();
+                for dataset in ["harbor", "emailEnron", "patents_main"] {
+                    for method in [MethodSel::PlanExact, MethodSel::PlanEstimate] {
+                        out.push(BenchCase {
+                            dataset,
+                            scale: ScaleFactor::Tiny,
+                            method,
+                            device: DeviceSel::TitanXp,
+                        });
+                    }
+                }
+                out
+            }
             Suite::Scaling => {
                 let mut out = Vec::new();
                 for dataset in ["harbor", "emailEnron"] {
@@ -157,6 +179,14 @@ pub enum MethodSel {
     Baseline(SpgemmMethod),
     /// The Block Reorganizer (default config).
     Reorganizer,
+    /// Build a [`ReorgPlan`] with exact precalculation and execute it cold
+    /// (`estplan` suite).
+    PlanExact,
+    /// Build a [`ReorgPlan`] with the sampling estimator (per-problem
+    /// method selection, estimated bin thresholds) and execute it cold
+    /// (`estplan` suite). Honors the process-wide estimator override:
+    /// `--no-estimate` makes this flavor plan exactly too.
+    PlanEstimate,
 }
 
 impl MethodSel {
@@ -165,6 +195,8 @@ impl MethodSel {
         match self {
             MethodSel::Baseline(m) => m.name(),
             MethodSel::Reorganizer => "Block-Reorganizer",
+            MethodSel::PlanExact => "plan-exact",
+            MethodSel::PlanEstimate => "plan-estimate",
         }
     }
 }
@@ -250,8 +282,14 @@ pub fn run_suite_threaded(
     let threads = threads.max(1);
     let config = ReorganizerConfig::default();
     let grid = suite.cases();
-    let cases: Vec<CaseReport> =
+    let results: Vec<(CaseReport, Option<PlanCaseReport>)> =
         par::ordered_map(&grid, threads, |_, case| run_case(case, &config));
+    let mut cases = Vec::with_capacity(results.len());
+    let mut plan_cases = Vec::new();
+    for (case, plan_case) in results {
+        cases.push(case);
+        plan_cases.extend(plan_case);
+    }
     for report in &cases {
         progress(&format!(
             "{:<55} {:>14.0} cycles  {:>9.3} ms",
@@ -287,6 +325,19 @@ pub fn run_suite_threaded(
             span_events: obs_totals.span_events,
         }),
     });
+    // The estimator setting that planned the estplan cases identifies the
+    // section the same way config_fingerprint identifies the grid.
+    let plan = (suite == Suite::Estplan).then(|| {
+        let setting = effective_estimator();
+        PlanSection {
+            estimator_fingerprint: if setting.enabled {
+                setting.config.fingerprint()
+            } else {
+                0
+            },
+            cases: plan_cases,
+        }
+    });
     BenchReport {
         schema_version: SCHEMA_VERSION,
         suite: suite.name().to_string(),
@@ -295,25 +346,54 @@ pub fn run_suite_threaded(
         config_fingerprint: config_fingerprint(&config),
         cases,
         service,
+        plan,
         host,
     }
 }
 
-/// Runs one grid point.
-fn run_case(case: &BenchCase, config: &ReorganizerConfig) -> CaseReport {
+/// Runs one grid point. Plan-building cases (`estplan` suite) also return
+/// the planner's decision record for the report's plan section.
+fn run_case(case: &BenchCase, config: &ReorganizerConfig) -> (CaseReport, Option<PlanCaseReport>) {
     let spec = RealWorldRegistry::get(case.dataset)
         .unwrap_or_else(|| panic!("suite references unknown dataset {:?}", case.dataset));
     let a = spec.generate(case.scale);
     let ctx = crate::harness::square_context(&a);
     let device = case.device.config();
+    let mut plan_case = None;
     let run: SpgemmRun<f64> = match case.method {
         MethodSel::Baseline(m) => run_method(&ctx, m, &device).expect("square shapes always agree"),
         MethodSel::Reorganizer => BlockReorganizer::new(*config)
             .multiply_ctx(&ctx, &device)
             .expect("square shapes always agree")
             .to_spgemm_run(),
+        MethodSel::PlanExact | MethodSel::PlanEstimate => {
+            let setting = effective_estimator();
+            let plan = if case.method == MethodSel::PlanEstimate && setting.enabled {
+                ReorgPlan::build_estimated(&ctx, config, &device, &setting.config)
+            } else {
+                ReorgPlan::build(&ctx, config, &device)
+            };
+            plan_case = Some(PlanCaseReport {
+                id: case.id(),
+                mode: if plan.build.fallback {
+                    "fallback"
+                } else if plan.build.estimated {
+                    "estimate"
+                } else {
+                    "exact"
+                }
+                .to_string(),
+                method: plan.method.name().to_string(),
+                ops: plan.build.ops,
+                sampled_cols: plan.build.sampled_cols,
+                rel_band_ppm: plan.build.rel_band_ppm,
+            });
+            plan.execute(&ctx, &device, PlanMode::Cold)
+                .expect("square shapes always agree")
+                .to_spgemm_run()
+        }
     };
-    CaseReport {
+    let report = CaseReport {
         id: case.id(),
         dataset: case.dataset.to_string(),
         scale: case.scale.label(),
@@ -321,7 +401,8 @@ fn run_case(case: &BenchCase, config: &ReorganizerConfig) -> CaseReport {
         device: device.name.clone(),
         device_fingerprint: device.fingerprint(),
         metrics: metrics_of(&run),
-    }
+    };
+    (report, plan_case)
 }
 
 /// Folds a run's kernel profiles into the tracked counters.
@@ -420,7 +501,7 @@ fn run_service_batch(suite: Suite, threads: usize) -> ServiceSection {
     let (repeats, scale) = match suite {
         Suite::Quick => (3usize, ScaleFactor::Tiny),
         Suite::Full => (4, ScaleFactor::Default),
-        Suite::Scaling => (3, ScaleFactor::Tiny),
+        Suite::Scaling | Suite::Estplan => (3, ScaleFactor::Tiny),
     };
     let mut jobs = Vec::new();
     let mut id = 0u64;
@@ -461,7 +542,7 @@ mod tests {
 
     #[test]
     fn suite_parsing_and_names_roundtrip() {
-        for s in [Suite::Quick, Suite::Full, Suite::Scaling] {
+        for s in [Suite::Quick, Suite::Full, Suite::Scaling, Suite::Estplan] {
             assert_eq!(Suite::parse(s.name()), Some(s));
         }
         assert_eq!(Suite::parse("nope"), None);
@@ -469,7 +550,7 @@ mod tests {
 
     #[test]
     fn case_ids_are_unique_within_each_suite() {
-        for suite in [Suite::Quick, Suite::Full, Suite::Scaling] {
+        for suite in [Suite::Quick, Suite::Full, Suite::Scaling, Suite::Estplan] {
             let ids: Vec<String> = suite.cases().iter().map(BenchCase::id).collect();
             let mut dedup = ids.clone();
             dedup.sort();
@@ -480,7 +561,7 @@ mod tests {
 
     #[test]
     fn quick_suite_references_known_datasets_only() {
-        for suite in [Suite::Quick, Suite::Full, Suite::Scaling] {
+        for suite in [Suite::Quick, Suite::Full, Suite::Scaling, Suite::Estplan] {
             for case in suite.cases() {
                 assert!(
                     RealWorldRegistry::get(case.dataset).is_some(),
@@ -573,5 +654,72 @@ mod tests {
             report.service.cache_hits >= 2,
             "repeated jobs must hit the plan cache"
         );
+    }
+
+    /// ISSUE acceptance criterion: on the quick grid's datasets the
+    /// estimated plan build costs ≤ half the exact precalc (modeled ops),
+    /// never falls back, produces identical output, and its cold execution
+    /// stays within the compare gate's makespan tolerance.
+    #[test]
+    fn estplan_estimate_flavor_halves_cold_plan_cost_at_matched_makespan() {
+        let report = run_suite(Suite::Estplan, |_| {});
+        let plan = report
+            .plan
+            .as_ref()
+            .expect("estplan records a plan section");
+        assert_eq!(report.cases.len(), 6);
+        assert_eq!(plan.cases.len(), 6);
+        for dataset in ["harbor", "emailEnron", "patents_main"] {
+            let case = |flavor: &str| {
+                let id = format!("{dataset}@tiny/{flavor}/titan-xp");
+                (
+                    report.case(&id).unwrap_or_else(|| panic!("missing {id}")),
+                    plan.cases
+                        .iter()
+                        .find(|c| c.id == id)
+                        .unwrap_or_else(|| panic!("missing plan record {id}")),
+                )
+            };
+            let (exact_case, exact_plan) = case("plan-exact");
+            let (est_case, est_plan) = case("plan-estimate");
+            assert_eq!(exact_plan.mode, "exact");
+            assert_eq!(exact_plan.method, "reorganized");
+            assert_eq!(
+                est_plan.mode, "estimate",
+                "{dataset}: band {} ppm forced a fallback",
+                est_plan.rel_band_ppm
+            );
+            assert!(
+                exact_plan.ops >= 2 * est_plan.ops,
+                "{dataset}: cold-plan cost must drop >= 2x (exact {} vs estimated {})",
+                exact_plan.ops,
+                est_plan.ops
+            );
+            // Identical work and identical results whichever way it planned.
+            assert_eq!(exact_case.metrics.flops, est_case.metrics.flops);
+            assert_eq!(exact_case.metrics.result_nnz, est_case.metrics.result_nnz);
+            // Estimation may only change simulated scheduling within the
+            // compare gate's tolerance, never degrade it beyond the gate.
+            let delta = (est_case.metrics.makespan_cycles - exact_case.metrics.makespan_cycles)
+                / exact_case.metrics.makespan_cycles;
+            assert!(
+                delta <= 0.05,
+                "{dataset}: estimated plan regressed makespan {:.2}% (method {})",
+                delta * 100.0,
+                est_plan.method
+            );
+        }
+    }
+
+    /// The estplan report is byte-identical across thread counts and
+    /// reruns, like the quick suite — the determinism contract the
+    /// bench_gate estimator step byte-compares.
+    #[test]
+    fn estplan_suite_is_byte_identical_at_any_thread_count() {
+        let mut seq = run_suite_threaded(Suite::Estplan, 1, |_| {});
+        let mut par4 = run_suite_threaded(Suite::Estplan, 4, |_| {});
+        seq.host = None;
+        par4.host = None;
+        assert_eq!(seq.to_json(), par4.to_json());
     }
 }

@@ -31,10 +31,22 @@ pub struct LimitPlan {
 impl LimitPlan {
     /// Plans limiting for all output rows.
     pub fn of<T: Scalar>(ctx: &ProblemContext<T>, config: &ReorganizerConfig) -> Self {
-        let productive_rows = ctx.row_products.iter().filter(|&&p| p > 0).count().max(1);
-        let mean = ctx.intermediate_total as f64 / productive_rows as f64;
+        Self::from_products(&ctx.row_products, ctx.intermediate_total, config)
+    }
+
+    /// Plans limiting from a per-row workload slice directly — the path the
+    /// estimation-based planner uses, where `row_products` are extrapolated
+    /// from a sample instead of exactly precalculated. `intermediate_total`
+    /// stays exact either way (it comes from the cheap block-products pass).
+    pub fn from_products(
+        row_products: &[u64],
+        intermediate_total: u64,
+        config: &ReorganizerConfig,
+    ) -> Self {
+        let productive_rows = row_products.iter().filter(|&&p| p > 0).count().max(1);
+        let mean = intermediate_total as f64 / productive_rows as f64;
         let threshold = (config.beta * mean).ceil().max(1.0) as u64;
-        let limited = ctx.row_products.iter().map(|&p| p > threshold).collect();
+        let limited = row_products.iter().map(|&p| p > threshold).collect();
         LimitPlan {
             limited,
             threshold,

@@ -29,8 +29,14 @@ use br_gpu_sim::sim::GpuSimulator;
 use br_gpu_sim::trace::KernelLaunch;
 use br_sparse::error::SparseError;
 use br_sparse::{Result, Scalar};
-use br_spgemm::accum::{effective_thresholds_for, spgemm_adaptive_planned, RowBins, ScratchPool};
+use br_spgemm::accum::{
+    effective_thresholds_for, global_thresholds, spgemm_adaptive_planned, RowBins, ScratchPool,
+};
 use br_spgemm::context::{ProblemContext, ProblemSignature};
+use br_spgemm::estimate::{
+    estimate_workload, exact_plan_ops, select_method, select_thresholds, EstimatorConfig,
+    MethodChoice,
+};
 use br_spgemm::expansion::outer::outer_pair_block;
 use br_spgemm::merge::gustavson::gustavson_merge_launch;
 use br_spgemm::numeric::default_threads;
@@ -89,6 +95,53 @@ pub struct ReorgPlan {
     pub bins: RowBins,
     /// Host-side B-Splitting preprocessing cost paid at build time, ms.
     pub preprocess_ms: f64,
+    /// Expansion method the planner chose for this problem. Always
+    /// [`MethodChoice::Reorganized`] on the exact path; the estimator may
+    /// route a problem to a baseline scheme, which swaps the *simulated*
+    /// launch stream only — the host numeric multiply always runs the
+    /// adaptive engine, so output is bit-identical either way.
+    pub method: MethodChoice,
+    /// How this plan's workloads were obtained (exact vs estimated).
+    pub build: PlanBuild,
+}
+
+/// Provenance of a plan's workload quantities: whether they were exactly
+/// precalculated or sampled, how tight the estimate was, and the modeled
+/// host cost of the build — the deterministic cold-plan latency metric the
+/// `estplan` bench suite gates on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlanBuild {
+    /// Whether the sampling estimator was asked for (even if it fell back).
+    pub estimated: bool,
+    /// Whether the confidence band exceeded the tolerance, forcing exact
+    /// precalculation on top of the sampling pass.
+    pub fallback: bool,
+    /// Columns of `A` the estimator sampled (0 on the exact path).
+    pub sampled_cols: u64,
+    /// Relative confidence-band half-width, in ppm (0 on the exact path).
+    pub rel_band_ppm: u64,
+    /// Modeled host operations the plan build cost: selection + scatter +
+    /// sampled symbolic on the estimated path, `row_products` scan + full
+    /// symbolic SPA on the exact path (shared block-products work excluded
+    /// from both).
+    pub ops: u64,
+    /// [`EstimatorConfig::fingerprint`] the plan was built under; 0 on the
+    /// exact path. Part of the plan-cache key.
+    pub estimator_fingerprint: u64,
+}
+
+impl PlanBuild {
+    /// Provenance of an exactly-precalculated plan.
+    fn exact(ops: u64) -> Self {
+        PlanBuild {
+            estimated: false,
+            fallback: false,
+            sampled_cols: 0,
+            rel_band_ppm: 0,
+            ops,
+            estimator_fingerprint: 0,
+        }
+    }
 }
 
 impl ReorgPlan {
@@ -129,6 +182,91 @@ impl ReorgPlan {
             limit_plan,
             bins,
             preprocess_ms: host_ms,
+            method: MethodChoice::Reorganized,
+            build: PlanBuild::exact(exact_plan_ops(ctx)),
+        }
+    }
+
+    /// [`ReorgPlan::build`] driven by the sampling estimator: per-row
+    /// workloads and `nnz(C)` are extrapolated from a seeded column/row
+    /// sample, the expansion method is chosen per problem, and the merge
+    /// bin thresholds are sized from the estimated distribution. When the
+    /// estimate's confidence band is wider than `estimator.tolerance`, the
+    /// planner falls back to exact precalculation (charging both passes).
+    ///
+    /// The resulting plan is still a value-independent artifact: the sample
+    /// is derived from the operands' structure hashes and the estimator
+    /// fingerprint, so structurally identical problems always produce the
+    /// identical plan.
+    pub fn build_estimated<T: Scalar>(
+        ctx: &ProblemContext<T>,
+        config: &ReorganizerConfig,
+        device: &DeviceConfig,
+        estimator: &EstimatorConfig,
+    ) -> Self {
+        let est = estimate_workload(ctx, estimator);
+        let rel_band_ppm = (est.rel_band * 1e6) as u64;
+        if !est.within(estimator) {
+            // Band too wide: pay for exact precalc on top of the sample.
+            let mut plan = Self::build(ctx, config, device);
+            plan.build = PlanBuild {
+                estimated: true,
+                fallback: true,
+                sampled_cols: est.sampled_cols as u64,
+                rel_band_ppm,
+                ops: est.ops + plan.build.ops,
+                estimator_fingerprint: estimator.fingerprint(),
+            };
+            return plan;
+        }
+        // Classification, splitting, and gathering read only the exact
+        // block-products pass, which both paths share — identical to build.
+        let classification = Classification::of(ctx, config);
+        let split_plans = if config.enable_split && !classification.dominators.is_empty() {
+            plan_splits(
+                ctx,
+                &classification.dominators,
+                config.split_policy,
+                device,
+                classification.threshold,
+            )
+        } else {
+            Vec::new()
+        };
+        let host_ms = preprocess_ms(ctx, &split_plans);
+        let gather_plan = if config.enable_gather && !classification.low_performers.is_empty() {
+            plan_gathers(ctx, &classification.low_performers, config.gather_block)
+        } else {
+            GatherPlan::default()
+        };
+        // Limiting and binning run from the *extrapolated* row workloads.
+        // Under-estimates are safe: the merge hash grows on demand, and bin
+        // choice can never change the numeric result.
+        let limit_plan =
+            LimitPlan::from_products(&est.row_products, ctx.intermediate_total, config);
+        let thresholds =
+            global_thresholds().unwrap_or_else(|| select_thresholds(&est, ctx.ncols()));
+        let bins = RowBins::classify(&est.row_products, thresholds);
+        let method = select_method(ctx, &est);
+        ReorgPlan {
+            config: *config,
+            device_name: device.name.clone(),
+            signature: ctx.signature(),
+            classification,
+            split_plans,
+            gather_plan,
+            limit_plan,
+            bins,
+            preprocess_ms: host_ms,
+            method,
+            build: PlanBuild {
+                estimated: true,
+                fallback: false,
+                sampled_cols: est.sampled_cols as u64,
+                rel_band_ppm,
+                ops: est.ops,
+                estimator_fingerprint: estimator.fingerprint(),
+            },
         }
     }
 
@@ -177,22 +315,59 @@ impl ReorgPlan {
             )));
         }
         let ws = Workspace::for_context(ctx);
-        let (expansion, mut stats) = self.expansion_launch(ctx, &ws);
-        stats.limited_rows = self.limit_plan.limited_count();
-        let merge = gustavson_merge_launch(ctx, &ws, self.config.block_size, true, |r| {
-            self.limit_plan.extra_smem(r)
-        });
-
-        let (launches, host_ms) = match mode {
-            PlanMode::Cold => (
-                vec![precalc_launch(ctx, &ws), expansion, merge],
-                self.preprocess_ms,
+        // The chosen method swaps the simulated launch stream; the host
+        // numeric multiply below always runs the adaptive engine with the
+        // plan's bins, so the result is bit-identical whichever method the
+        // estimator picked.
+        let (name, launches, host_ms, stats) = match self.method {
+            MethodChoice::Reorganized => {
+                let (expansion, mut stats) = self.expansion_launch(ctx, &ws);
+                stats.limited_rows = self.limit_plan.limited_count();
+                let merge = gustavson_merge_launch(ctx, &ws, self.config.block_size, true, |r| {
+                    self.limit_plan.extra_smem(r)
+                });
+                let (launches, host_ms) = match mode {
+                    PlanMode::Cold => (
+                        vec![precalc_launch(ctx, &ws), expansion, merge],
+                        self.preprocess_ms,
+                    ),
+                    PlanMode::Cached => (vec![expansion, merge], 0.0),
+                };
+                ("Block-Reorganizer", launches, host_ms, stats)
+            }
+            // Baseline methods carry no reorganizer preprocessing, and
+            // their launch streams already include any symbolic phase the
+            // scheme itself pays (e.g. cuSPARSE's sizing pass) — so Cold
+            // and Cached execute identically, matching the standalone
+            // baselines in `br_spgemm::methods`.
+            MethodChoice::RowProduct => (
+                self.method.name(),
+                br_spgemm::methods::row_product::launches(ctx, &ws),
+                0.0,
+                ReorgStats::default(),
             ),
-            PlanMode::Cached => (vec![expansion, merge], 0.0),
+            MethodChoice::OuterProduct => (
+                self.method.name(),
+                br_spgemm::methods::outer_product::launches(ctx, &ws),
+                0.0,
+                ReorgStats::default(),
+            ),
+            MethodChoice::Esc => (
+                self.method.name(),
+                br_spgemm::methods::cusp_esc::launches(ctx, &ws),
+                0.0,
+                ReorgStats::default(),
+            ),
+            MethodChoice::Hash => (
+                self.method.name(),
+                br_spgemm::methods::cusparse_like::launches(ctx, &ws),
+                0.0,
+                ReorgStats::default(),
+            ),
         };
         let run = assemble_run_on(
             sim,
-            "Block-Reorganizer",
+            name,
             spgemm_adaptive_planned(&ctx.a, &ctx.b, default_threads(), &self.bins, pool)?,
             &launches,
             &ws.layout,
@@ -393,6 +568,106 @@ mod tests {
         let other = CsrMatrix::<f64>::identity(a.nrows());
         let other_ctx = ProblemContext::new(&other, &other).unwrap();
         assert!(plan.execute(&other_ctx, &dev, PlanMode::Cached).is_err());
+    }
+
+    #[test]
+    fn estimated_plan_output_is_bit_identical_to_exact() {
+        let a = skewed();
+        let dev = DeviceConfig::titan_xp();
+        let ctx = ProblemContext::new(&a, &a).unwrap();
+        let cfg = ReorganizerConfig::default();
+        let exact = ReorgPlan::build(&ctx, &cfg, &dev);
+        let est = ReorgPlan::build_estimated(&ctx, &cfg, &dev, &EstimatorConfig::default());
+        assert!(est.build.estimated);
+        assert!(!exact.build.estimated);
+        assert!(
+            est.build.fallback || est.build.ops * 2 <= exact.build.ops,
+            "estimated build must be >=2x cheaper: {} vs {}",
+            est.build.ops,
+            exact.build.ops
+        );
+        for mode in [PlanMode::Cold, PlanMode::Cached] {
+            let re = exact.execute(&ctx, &dev, mode).unwrap();
+            let rs = est.execute(&ctx, &dev, mode).unwrap();
+            assert_eq!(rs.result.ptr(), re.result.ptr());
+            assert_eq!(rs.result.idx(), re.result.idx());
+            assert!(
+                rs.result.approx_eq(&re.result, 0.0),
+                "values must be bitwise equal"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_full_sample_reproduces_the_exact_plan_workloads() {
+        let a = skewed();
+        let dev = DeviceConfig::titan_xp();
+        let ctx = ProblemContext::new(&a, &a).unwrap();
+        let cfg = ReorganizerConfig::default();
+        let full = EstimatorConfig {
+            samples: ctx.inner_dim().max(ctx.nrows()) + 1,
+            tolerance: 0.0,
+        };
+        let exact = ReorgPlan::build(&ctx, &cfg, &dev);
+        let est = ReorgPlan::build_estimated(&ctx, &cfg, &dev, &full);
+        assert!(
+            !est.build.fallback,
+            "full sample is exact, never falls back"
+        );
+        assert_eq!(est.bins.row_products, exact.bins.row_products);
+        assert_eq!(est.limit_plan, exact.limit_plan);
+    }
+
+    #[test]
+    fn wide_band_falls_back_to_exact_precalc() {
+        let a = skewed();
+        let dev = DeviceConfig::titan_xp();
+        let ctx = ProblemContext::new(&a, &a).unwrap();
+        let cfg = ReorganizerConfig::default();
+        let strict = EstimatorConfig {
+            samples: 8,
+            tolerance: 0.0,
+        };
+        let est = ReorgPlan::build_estimated(&ctx, &cfg, &dev, &strict);
+        assert!(est.build.fallback);
+        assert_eq!(est.method, MethodChoice::Reorganized);
+        // Fallback plans carry the exact workloads.
+        let exact = ReorgPlan::build(&ctx, &cfg, &dev);
+        assert_eq!(est.bins, exact.bins);
+        // And charge both the sample and the exact pass.
+        assert!(est.build.ops > exact.build.ops);
+    }
+
+    #[test]
+    fn method_dispatch_swaps_launches_but_not_the_result() {
+        let a = skewed();
+        let dev = DeviceConfig::titan_xp();
+        let ctx = ProblemContext::new(&a, &a).unwrap();
+        let cfg = ReorganizerConfig::default();
+        let base = ReorgPlan::build(&ctx, &cfg, &dev);
+        let oracle = base.execute(&ctx, &dev, PlanMode::Cached).unwrap();
+        for (method, launches) in [
+            (MethodChoice::RowProduct, 2usize),
+            (MethodChoice::OuterProduct, 2),
+            (MethodChoice::Esc, 6),
+            (MethodChoice::Hash, 2),
+        ] {
+            let mut plan = base.clone();
+            plan.method = method;
+            // Baseline methods ignore Cold-vs-Cached: no precalc launch.
+            let cold = plan.execute(&ctx, &dev, PlanMode::Cold).unwrap();
+            let warm = plan.execute(&ctx, &dev, PlanMode::Cached).unwrap();
+            assert_eq!(cold.preprocess_ms, 0.0, "{method:?}");
+            assert_eq!(cold.profiles.len(), warm.profiles.len());
+            if launches == 2 {
+                assert_eq!(cold.profiles.len(), 2, "{method:?}");
+            } else {
+                assert!(cold.profiles.len() >= 3, "{method:?} has sort passes");
+            }
+            assert_eq!(warm.result.ptr(), oracle.result.ptr());
+            assert_eq!(warm.result.idx(), oracle.result.idx());
+            assert!(warm.result.approx_eq(&oracle.result, 0.0));
+        }
     }
 
     #[test]

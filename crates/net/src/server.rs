@@ -53,6 +53,7 @@ use br_service::job::parse_job_file;
 use br_sparse::CsrMatrix;
 use br_spgemm::accum::ScratchPool;
 use br_spgemm::context::ProblemContext;
+use br_spgemm::estimate::EstimatorConfig;
 
 use crate::frame::{read_frame, write_frame, Frame, FrameError, Lane, RejectCode, VERSION};
 use crate::lane::{LanePushError, LaneQueue};
@@ -75,6 +76,12 @@ pub struct ServerConfig {
     pub config: ReorganizerConfig,
     /// Metrics registry; `None` gives the server a private one.
     pub registry: Option<Arc<Registry>>,
+    /// Estimation-based planning: `None` (default) builds plans with the
+    /// exact symbolic precalc, `Some(cfg)` builds them from a seeded sample
+    /// (method auto-selection + estimated bin thresholds, exact fallback
+    /// when the confidence band exceeds `cfg.tolerance`). Part of the plan
+    /// cache key, so flipping it never aliases cached plans.
+    pub estimator: Option<EstimatorConfig>,
 }
 
 impl Default for ServerConfig {
@@ -87,6 +94,7 @@ impl Default for ServerConfig {
             hold: false,
             config: ReorganizerConfig::default(),
             registry: None,
+            estimator: None,
         }
     }
 }
@@ -311,6 +319,7 @@ struct Shared {
     next_conn_id: AtomicU64,
     local_addr: SocketAddr,
     reorg_config: ReorganizerConfig,
+    estimator: Option<EstimatorConfig>,
     shed_threshold: usize,
     quota: u64,
 }
@@ -379,6 +388,7 @@ impl NetServer {
             next_conn_id: AtomicU64::new(0),
             local_addr,
             reorg_config: config.config,
+            estimator: config.estimator,
             shed_threshold: config.shed_threshold.max(1),
             quota: config.quota.max(1),
         });
@@ -705,7 +715,15 @@ fn worker_loop(index: usize, device: DeviceConfig, shared: Arc<Shared>) {
                 continue;
             }
         }
-        let response = execute_job(index, &device, &sim, &shared.cache, &pool, &job);
+        let response = execute_job(
+            index,
+            &device,
+            &sim,
+            &shared.cache,
+            &pool,
+            shared.estimator,
+            &job,
+        );
         match &response {
             Frame::Result { .. } => i.results[lane.index()].inc(),
             Frame::Reject { .. } => i.reject_failed.inc(),
@@ -722,6 +740,7 @@ fn execute_job(
     sim: &GpuSimulator,
     cache: &PlanCache,
     pool: &ScratchPool<f64>,
+    estimator: Option<EstimatorConfig>,
     job: &NetJob,
 ) -> Frame {
     let fail = |message: String| Frame::Reject {
@@ -733,11 +752,19 @@ fn execute_job(
         Ok(ctx) => ctx,
         Err(e) => return fail(format!("invalid operands: {e}")),
     };
-    let key = PlanKey::new(ctx.signature(), &device.name, &job.config);
+    let key = PlanKey::with_estimator(
+        ctx.signature(),
+        &device.name,
+        &job.config,
+        estimator.as_ref(),
+    );
     // Single-flight get_or_build keeps hit/miss counters a pure function
     // of the admitted job multiset, independent of worker count.
     let (plan, cache_hit) = cache.get_or_build(&key, || {
-        Arc::new(ReorgPlan::build(&ctx, &job.config, device))
+        Arc::new(match estimator {
+            Some(est) => ReorgPlan::build_estimated(&ctx, &job.config, device, &est),
+            None => ReorgPlan::build(&ctx, &job.config, device),
+        })
     });
     let mode = if cache_hit {
         PlanMode::Cached

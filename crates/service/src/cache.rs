@@ -21,6 +21,7 @@ use block_reorganizer::plan::ReorgPlan;
 use block_reorganizer::ReorganizerConfig;
 use br_obs::{lock_recover, Counter, Registry};
 use br_spgemm::context::ProblemSignature;
+use br_spgemm::estimate::EstimatorConfig;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -61,15 +62,33 @@ pub struct PlanKey {
     pub device: String,
     /// [`config_fingerprint`] of the reorganizer configuration.
     pub config: u64,
+    /// [`EstimatorConfig::fingerprint`] when the service plans via the
+    /// sampling estimator, 0 on the exact path. Plans built from different
+    /// estimator settings (or exactly) are different artifacts — their
+    /// method choice and bin thresholds can differ — so they must not
+    /// alias in the cache.
+    pub estimator: u64,
 }
 
 impl PlanKey {
-    /// Builds the key for one request.
+    /// Builds the key for one exactly-planned request.
     pub fn new(problem: ProblemSignature, device: &str, config: &ReorganizerConfig) -> Self {
+        Self::with_estimator(problem, device, config, None)
+    }
+
+    /// Builds the key for one request, estimator-planned when `estimator`
+    /// is set.
+    pub fn with_estimator(
+        problem: ProblemSignature,
+        device: &str,
+        config: &ReorganizerConfig,
+        estimator: Option<&EstimatorConfig>,
+    ) -> Self {
         PlanKey {
             problem,
             device: device.to_string(),
             config: config_fingerprint(config),
+            estimator: estimator.map_or(0, EstimatorConfig::fingerprint),
         }
     }
 }
@@ -461,6 +480,31 @@ mod tests {
         };
         let other_cfg = PlanKey::new(ctx.signature(), "NVIDIA TITAN Xp", &strict);
         assert_ne!(key.config, other_cfg.config);
+    }
+
+    #[test]
+    fn estimator_settings_separate_keys() {
+        let (key, _, ctx) = plan_for(5);
+        let cfg = ReorganizerConfig::default();
+        let est = EstimatorConfig::default();
+        let estimated =
+            PlanKey::with_estimator(ctx.signature(), "NVIDIA TITAN Xp", &cfg, Some(&est));
+        // Exact vs estimated must not alias.
+        assert_ne!(key, estimated);
+        assert_eq!(key.estimator, 0);
+        // Different estimator settings must not alias either.
+        let other = EstimatorConfig {
+            samples: 128,
+            ..est
+        };
+        let other_key =
+            PlanKey::with_estimator(ctx.signature(), "NVIDIA TITAN Xp", &cfg, Some(&other));
+        assert_ne!(estimated.estimator, other_key.estimator);
+        // And `new` is exactly `with_estimator(.., None)`.
+        assert_eq!(
+            key,
+            PlanKey::with_estimator(ctx.signature(), "NVIDIA TITAN Xp", &cfg, None)
+        );
     }
 
     #[test]

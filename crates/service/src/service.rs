@@ -18,6 +18,7 @@ use br_gpu_sim::sim::GpuSimulator;
 use br_obs::{Counter, Gauge, Histogram, Registry};
 use br_spgemm::accum::ScratchPool;
 use br_spgemm::context::ProblemContext;
+use br_spgemm::estimate::EstimatorConfig;
 
 use crate::cache::{PlanCache, PlanKey};
 use crate::job::{JobError, JobOutcome, JobRequest};
@@ -44,6 +45,14 @@ pub struct ServiceConfig {
     /// [`br_obs::global`] here to fold service metrics into the process
     /// exposition.
     pub registry: Option<Arc<Registry>>,
+    /// Estimation-based planning. `None` (the default) builds every plan
+    /// with the exact symbolic precalculation; `Some(cfg)` builds plans via
+    /// [`ReorgPlan::build_estimated`] — sampled workload estimation with
+    /// per-problem method selection, falling back to exact precalc when the
+    /// confidence band exceeds `cfg.tolerance`. The estimator fingerprint
+    /// is part of the [`PlanKey`], so flipping this setting never aliases
+    /// cached plans built the other way.
+    pub estimator: Option<EstimatorConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -55,6 +64,7 @@ impl Default for ServiceConfig {
             cache_capacity: 32,
             queue_capacity: None,
             registry: None,
+            estimator: None,
         }
     }
 }
@@ -67,12 +77,20 @@ impl ServiceConfig {
             cache_capacity,
             queue_capacity: None,
             registry: None,
+            estimator: None,
         }
     }
 
     /// Use `registry` for all service instruments (builder-style).
     pub fn with_registry(mut self, registry: Arc<Registry>) -> Self {
         self.registry = Some(registry);
+        self
+    }
+
+    /// Build plans with the sampling estimator instead of exact
+    /// precalculation (builder-style).
+    pub fn with_estimator(mut self, estimator: EstimatorConfig) -> Self {
+        self.estimator = Some(estimator);
         self
     }
 
@@ -231,9 +249,12 @@ impl SpgemmService {
                 let cache = cache.clone();
                 let instruments = instruments.clone();
                 let tx = tx.clone();
+                let estimator = config.estimator;
                 thread::Builder::new()
                     .name(format!("br-service-worker-{index}"))
-                    .spawn(move || worker_loop(index, device, queue, cache, instruments, tx))
+                    .spawn(move || {
+                        worker_loop(index, device, queue, cache, instruments, estimator, tx)
+                    })
                     .expect("failed to spawn service worker")
             })
             .collect();
@@ -388,6 +409,7 @@ fn worker_loop(
     queue: Arc<JobQueue<QueuedJob>>,
     cache: Arc<PlanCache>,
     instruments: Arc<ServiceInstruments>,
+    estimator: Option<EstimatorConfig>,
     tx: mpsc::Sender<Completion>,
 ) -> WorkerReport {
     let sim = GpuSimulator::new(device.clone());
@@ -410,6 +432,7 @@ fn worker_loop(
             &cache,
             &instruments,
             &pool,
+            estimator,
             queued.request,
             queue_ms,
             t0,
@@ -440,6 +463,7 @@ fn execute_job(
     cache: &PlanCache,
     instruments: &ServiceInstruments,
     pool: &ScratchPool<f64>,
+    estimator: Option<EstimatorConfig>,
     job: JobRequest,
     queue_ms: f64,
     t0: Instant,
@@ -459,7 +483,12 @@ fn execute_job(
         Ok(ctx) => ctx,
         Err(e) => return fail(format!("invalid operands: {e}")),
     };
-    let key = PlanKey::new(ctx.signature(), &device.name, &job.config);
+    let key = PlanKey::with_estimator(
+        ctx.signature(),
+        &device.name,
+        &job.config,
+        estimator.as_ref(),
+    );
     // Single-flight: concurrent workers racing on the same absent key
     // produce exactly one build (one miss) and one hit per other job, so
     // the cache counters in the batch report don't depend on worker count
@@ -467,7 +496,10 @@ fn execute_job(
     let (plan, cache_hit) = {
         let _plan_span = registry.span("plan");
         cache.get_or_build(&key, || {
-            Arc::new(ReorgPlan::build(&ctx, &job.config, device))
+            Arc::new(match estimator {
+                Some(est) => ReorgPlan::build_estimated(&ctx, &job.config, device, &est),
+                None => ReorgPlan::build(&ctx, &job.config, device),
+            })
         })
     };
     let mode = if cache_hit {

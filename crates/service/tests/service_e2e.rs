@@ -322,3 +322,35 @@ fn bad_jobs_fail_gracefully_without_poisoning_the_batch() {
         "surviving jobs",
     );
 }
+
+/// Estimation-based planning, end to end: an estimator-enabled service
+/// returns results bit-identical to the exact service (the estimate may
+/// change the method and the bin thresholds, never the numbers), caches
+/// its estimated plans like the exact path does, and the estimator
+/// fingerprint in the plan key keeps the two flavors from aliasing.
+#[test]
+fn estimator_enabled_service_matches_exact_results() {
+    use br_spgemm::estimate::EstimatorConfig;
+    let a = Arc::new(rmat(RmatConfig::graph500(9, 8, 77)).to_csr());
+    let jobs = |n: u64| -> Vec<JobRequest> {
+        (0..n).map(|id| JobRequest::square(id, a.clone())).collect()
+    };
+
+    let exact = SpgemmService::run_batch(ServiceConfig::default(), jobs(3));
+    let estimated = SpgemmService::run_batch(
+        ServiceConfig::default().with_estimator(EstimatorConfig::default()),
+        jobs(3),
+    );
+    assert!(exact.failures.is_empty(), "{:?}", exact.failures);
+    assert!(estimated.failures.is_empty(), "{:?}", estimated.failures);
+    for (e, s) in exact.outcomes.iter().zip(&estimated.outcomes) {
+        assert_bit_identical(&e.result, &s.result, "estimated vs exact service");
+    }
+    // Estimated plans amortize exactly like exact ones: one miss, then hits.
+    assert_eq!(
+        estimated.stats.cache.misses, 1,
+        "{:?}",
+        estimated.stats.cache
+    );
+    assert_eq!(estimated.stats.cache.hits, 2, "{:?}", estimated.stats.cache);
+}

@@ -152,6 +152,13 @@ pub fn set_global_thresholds(thresholds: Option<BinThresholds>) {
     *GLOBAL_THRESHOLDS.lock().unwrap_or_else(|p| p.into_inner()) = thresholds;
 }
 
+/// The raw [`set_global_thresholds`] override, if any — for callers (like
+/// the estimation-based planner) that pick their own thresholds when the
+/// user has not forced a setting.
+pub fn global_thresholds() -> Option<BinThresholds> {
+    *GLOBAL_THRESHOLDS.lock().unwrap_or_else(|p| p.into_inner())
+}
+
 /// The thresholds in effect: the [`set_global_thresholds`] override when
 /// present, else [`BinThresholds::default`].
 pub fn effective_thresholds() -> BinThresholds {
@@ -334,6 +341,38 @@ impl<T: Scalar> MergeScratch<T> {
         }
     }
 
+    /// Doubles the hash table mid-row and reinserts the live entries.
+    ///
+    /// Bit-identity safe: each key moves with its *accumulated* value, so
+    /// the per-column addition order is untouched, and the gather at the
+    /// end of [`Self::merge_row_hash`] sorts by column anyway — capacity
+    /// only ever changes probe paths. `row_buf` doubles as staging; it is
+    /// idle during accumulation and cleared before the gather.
+    fn grow_rehash(&mut self) {
+        self.row_buf.clear();
+        for &slot in &self.hash_used {
+            self.row_buf
+                .push((self.hash_keys[slot], self.hash_vals[slot]));
+            self.hash_keys[slot] = u32::MAX;
+        }
+        let new_cap = (self.hash_keys.len() * 2).max(4);
+        self.hash_keys.resize(new_cap, u32::MAX);
+        self.hash_vals.resize(new_cap, T::ZERO);
+        self.hash_used.clear();
+        let mask = new_cap - 1;
+        for i in 0..self.row_buf.len() {
+            let (j, v) = self.row_buf[i];
+            let mut slot = (j as usize).wrapping_mul(0x9E37_79B1) & mask;
+            while self.hash_keys[slot] != u32::MAX {
+                slot = (slot + 1) & mask;
+            }
+            self.hash_keys[slot] = j;
+            self.hash_vals[slot] = v;
+            self.hash_used.push(slot);
+        }
+        self.row_buf.clear();
+    }
+
     /// Advances the dense generation, recycling the stamp space on wrap.
     fn next_generation(&mut self) -> u8 {
         if self.generation == u8::MAX {
@@ -381,6 +420,13 @@ impl<T: Scalar> MergeScratch<T> {
     /// `cap` is the power-of-two slot count for this row; the table may be
     /// larger from an earlier row, which only changes probe paths, never
     /// the per-column accumulation order.
+    ///
+    /// `cap` is only a *hint*: when the planner bins rows from **estimated**
+    /// upper bounds, a row can hold more distinct columns than the table was
+    /// sized for. Inserting a new key while the table is at least half full
+    /// doubles it first ([`Self::grow_rehash`]), so the probe loop always
+    /// terminates. With exact bounds `cap = 2·products ≥ 2·distinct`, so the
+    /// growth path never triggers and behavior is unchanged.
     fn merge_row_hash(
         &mut self,
         a_cols: &[u32],
@@ -391,7 +437,7 @@ impl<T: Scalar> MergeScratch<T> {
         val: &mut Vec<T>,
     ) {
         self.ensure_hash(cap);
-        let mask = self.hash_keys.len() - 1;
+        let mut mask = self.hash_keys.len() - 1;
         self.hash_used.clear();
         for (&k, &a_rk) in a_cols.iter().zip(a_vals) {
             let (b_cols, b_vals) = b.row(k as usize);
@@ -403,6 +449,12 @@ impl<T: Scalar> MergeScratch<T> {
                         break;
                     }
                     if self.hash_keys[slot] == u32::MAX {
+                        if (self.hash_used.len() + 1) * 2 > self.hash_keys.len() {
+                            self.grow_rehash();
+                            mask = self.hash_keys.len() - 1;
+                            slot = (j as usize).wrapping_mul(0x9E37_79B1) & mask;
+                            continue;
+                        }
                         self.hash_keys[slot] = j;
                         self.hash_vals[slot] = a_rk * b_kj;
                         self.hash_used.push(slot);
@@ -757,6 +809,26 @@ mod tests {
         }
         let footprint = scratch_footprint_gauge().get();
         assert!(footprint > 0.0, "scratch high-water must be recorded");
+    }
+
+    #[test]
+    fn undersized_estimated_bins_still_merge_bit_identically() {
+        // Simulate a badly underestimating planner: every row claims one
+        // intermediate product, and the thresholds route everything through
+        // the medium-bin hash. The initial 4-slot tables must grow mid-row
+        // (instead of looping forever) and the output must stay bit-exact.
+        let a = rmat(RmatConfig::graph500(8, 8, 41)).to_csr();
+        let oracle = spgemm_dense_spa(&a, &a).unwrap();
+        let all_medium = BinThresholds {
+            tiny_max: 0,
+            heavy_min: u64::MAX,
+        };
+        let fake_products = vec![1u64; a.nrows()];
+        let bins = RowBins::classify(&fake_products, all_medium);
+        for threads in [1usize, 4] {
+            let c = spgemm_adaptive_planned(&a, &a, threads, &bins, None).unwrap();
+            assert_eq!(c, oracle, "threads={threads}");
+        }
     }
 
     #[test]

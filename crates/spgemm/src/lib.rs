@@ -30,13 +30,15 @@
 //! [`expansion`] / [`merge`] (trace generators), [`numeric`] (three
 //! independent numeric mergers used to verify each method's arithmetic),
 //! [`accum`] (the adaptive row-binned host merge engine with reusable
-//! scratch), and [`pipeline`] (the run orchestrator producing
-//! [`pipeline::SpgemmRun`]).
+//! scratch), [`estimate`] (the seeded sampling estimator the planner uses
+//! for per-problem method selection and bin thresholds), and [`pipeline`]
+//! (the run orchestrator producing [`pipeline::SpgemmRun`]).
 
 #![warn(missing_docs)]
 
 pub mod accum;
 pub mod context;
+pub mod estimate;
 pub mod expansion;
 pub mod merge;
 pub mod methods;
@@ -46,5 +48,6 @@ pub mod workspace;
 
 pub use accum::{BinThresholds, MergeScratch, RowBins, ScratchPool};
 pub use context::ProblemContext;
+pub use estimate::{EstimatorConfig, MethodChoice, WorkloadEstimate};
 pub use pipeline::{run_method, SpgemmMethod, SpgemmRun};
 pub use workspace::Workspace;

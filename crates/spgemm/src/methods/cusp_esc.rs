@@ -19,14 +19,30 @@ use br_sparse::{Result, Scalar};
 /// ESC block size.
 const BLOCK_SIZE: u32 = 256;
 
+/// The method's kernel launches (expansion, sort passes, compress) against
+/// a prepared workspace — shared by [`run`] and the planner's method
+/// dispatch.
+pub fn launches<T: Scalar>(
+    ctx: &ProblemContext<T>,
+    ws: &Workspace,
+) -> Vec<br_gpu_sim::trace::KernelLaunch> {
+    let mut launches = vec![row_expansion_launch(ctx, ws, BLOCK_SIZE)];
+    launches.extend(esc_merge_launches(ctx, ws, BLOCK_SIZE));
+    launches
+}
+
 /// Runs the CUSP-like ESC method.
 pub fn run<T: Scalar>(ctx: &ProblemContext<T>, device: &DeviceConfig) -> Result<SpgemmRun<T>> {
     let ws = Workspace::for_context(ctx);
-    let mut launches = vec![row_expansion_launch(ctx, &ws, BLOCK_SIZE)];
-    launches.extend(esc_merge_launches(ctx, &ws, BLOCK_SIZE));
     let result = spgemm_sort_reduce_parallel(&ctx.a, &ctx.b, default_threads())?;
     Ok(assemble_run(
-        "CUSP", result, &launches, &ws.layout, device, 0.0, ctx.flops,
+        "CUSP",
+        result,
+        &launches(ctx, &ws),
+        &ws.layout,
+        device,
+        0.0,
+        ctx.flops,
     ))
 }
 

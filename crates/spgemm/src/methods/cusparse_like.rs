@@ -18,10 +18,10 @@ use br_sparse::{Result, Scalar};
 /// Warp-per-row block size.
 const WARP: u32 = 32;
 
-/// Runs the cuSPARSE-like method.
-pub fn run<T: Scalar>(ctx: &ProblemContext<T>, device: &DeviceConfig) -> Result<SpgemmRun<T>> {
-    let ws = Workspace::for_context(ctx);
-
+/// The method's two kernel launches (symbolic sizing, then warp-per-row
+/// hash numeric) against a prepared workspace — shared by [`run`] and the
+/// planner's method dispatch.
+pub fn launches<T: Scalar>(ctx: &ProblemContext<T>, ws: &Workspace) -> Vec<KernelLaunch> {
     // ---- phase 1: symbolic ----
     // cuSPARSE's generalised csrgemm runs the *full* expansion twice: the
     // symbolic pass inserts every product's column into the hash structure
@@ -118,12 +118,17 @@ pub fn run<T: Scalar>(ctx: &ProblemContext<T>, device: &DeviceConfig) -> Result<
         num_blocks.push(tb.build());
     }
     let numeric = KernelLaunch::new("cusparse-numeric-merge", num_blocks);
+    vec![symbolic, numeric]
+}
 
+/// Runs the cuSPARSE-like method.
+pub fn run<T: Scalar>(ctx: &ProblemContext<T>, device: &DeviceConfig) -> Result<SpgemmRun<T>> {
+    let ws = Workspace::for_context(ctx);
     let result = spgemm_hash_parallel(&ctx.a, &ctx.b, default_threads())?;
     Ok(assemble_run(
         "cuSPARSE",
         result,
-        &[symbolic, numeric],
+        &launches(ctx, &ws),
         &ws.layout,
         device,
         0.0,

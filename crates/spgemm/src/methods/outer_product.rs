@@ -17,16 +17,26 @@ use crate::workspace::Workspace;
 use br_gpu_sim::device::DeviceConfig;
 use br_sparse::{Result, Scalar};
 
+/// The method's kernel launches (expansion then merge) against a prepared
+/// workspace — shared by [`run`] and the planner's method dispatch.
+pub fn launches<T: Scalar>(
+    ctx: &ProblemContext<T>,
+    ws: &Workspace,
+) -> Vec<br_gpu_sim::trace::KernelLaunch> {
+    vec![
+        outer_expansion_launch(ctx, ws, DEFAULT_BLOCK_SIZE, false),
+        gustavson_merge_launch(ctx, ws, DEFAULT_BLOCK_SIZE, false, |_| 0),
+    ]
+}
+
 /// Runs the outer-product baseline.
 pub fn run<T: Scalar>(ctx: &ProblemContext<T>, device: &DeviceConfig) -> Result<SpgemmRun<T>> {
     let ws = Workspace::for_context(ctx);
-    let expansion = outer_expansion_launch(ctx, &ws, DEFAULT_BLOCK_SIZE, false);
-    let merge = gustavson_merge_launch(ctx, &ws, DEFAULT_BLOCK_SIZE, false, |_| 0);
     let result = spgemm_parallel(&ctx.a, &ctx.b, default_threads())?;
     Ok(assemble_run(
         "outer-product",
         result,
-        &[expansion, merge],
+        &launches(ctx, &ws),
         &ws.layout,
         device,
         0.0,

@@ -17,16 +17,28 @@ use br_sparse::{Result, Scalar};
 /// Expansion/merge block size.
 pub const BLOCK_SIZE: u32 = 256;
 
+/// The method's kernel launches (expansion then merge) against a prepared
+/// workspace — shared by [`run`] and the planner's per-problem method
+/// dispatch (`ReorgPlan` executes the chosen method's launches while the
+/// host numeric path stays the adaptive engine).
+pub fn launches<T: Scalar>(
+    ctx: &ProblemContext<T>,
+    ws: &Workspace,
+) -> Vec<br_gpu_sim::trace::KernelLaunch> {
+    vec![
+        row_expansion_launch(ctx, ws, BLOCK_SIZE),
+        gustavson_merge_launch(ctx, ws, BLOCK_SIZE, true, |_| 0),
+    ]
+}
+
 /// Runs the row-product baseline.
 pub fn run<T: Scalar>(ctx: &ProblemContext<T>, device: &DeviceConfig) -> Result<SpgemmRun<T>> {
     let ws = Workspace::for_context(ctx);
-    let expansion = row_expansion_launch(ctx, &ws, BLOCK_SIZE);
-    let merge = gustavson_merge_launch(ctx, &ws, BLOCK_SIZE, true, |_| 0);
     let result = spgemm_parallel(&ctx.a, &ctx.b, default_threads())?;
     Ok(assemble_run(
         "row-product",
         result,
-        &[expansion, merge],
+        &launches(ctx, &ws),
         &ws.layout,
         device,
         0.0,

@@ -78,10 +78,10 @@ echo "== baseline byte-identity: instrumentation must not move a single byte =="
 # Everything the report tracks is a pure function of simulated execution,
 # so a fresh --no-host run must reproduce the checked-in baseline exactly.
 # Legitimate differences only: the git_sha provenance line, and the
-# explicit '"host": null' a --no-host run writes where pre-host-section
-# baselines omitted the key entirely.
+# explicit '"plan": null' / '"host": null' a current run writes where
+# pre-section baselines omitted those keys entirely.
 normalize() {
-    grep -v '"git_sha"' "$1" | sed -z 's/,\n  "host": null//'
+    grep -v '"git_sha"' "$1" | sed -z 's/,\n  "host": null//; s/,\n  "plan": null//'
 }
 if ! cmp -s <(normalize BENCH_quick.t1.json) <(normalize "$baseline"); then
     echo "error: BENCH_quick.json deviates byte-for-byte from $baseline" >&2
@@ -169,6 +169,44 @@ rm -f net.t1.prom net.t8.prom net.rerun.prom \
       net.t1.prom.jsonl net.t8.prom.jsonl net.rerun.prom.jsonl \
       net.t1.port net.t8.port net.rerun.port
 echo "ok: shed/quota accounting is byte-identical across thread counts and reruns"
+
+echo "== estimator determinism: estplan must be byte-identical across threads and reruns =="
+# The sampling estimator is seeded from the operands' structure hashes and
+# the sample count only, so the estplan report (plan section included) and
+# the metrics exposition must byte-compare across BR_THREADS=1/8 and
+# across reruns — estimation never reads wall clock, thread order, or
+# matrix values.
+BR_THREADS=1 $cli bench run --suite estplan --no-host --out BENCH_estplan.t1.json \
+    --metrics estplan.t1.prom >/dev/null
+BR_THREADS=8 $cli bench run --suite estplan --no-host --out BENCH_estplan.t8.json \
+    --metrics estplan.t8.prom >/dev/null
+BR_THREADS=8 $cli bench run --suite estplan --no-host --out BENCH_estplan.rerun.json \
+    --metrics estplan.rerun.prom >/dev/null
+for pair in "BENCH_estplan.t1.json BENCH_estplan.t8.json" \
+            "BENCH_estplan.t8.json BENCH_estplan.rerun.json" \
+            "estplan.t1.prom estplan.t8.prom" \
+            "estplan.t8.prom estplan.rerun.prom" \
+            "estplan.t1.prom.jsonl estplan.t8.prom.jsonl" \
+            "estplan.t8.prom.jsonl estplan.rerun.prom.jsonl"; do
+    # shellcheck disable=SC2086  # intentional word split into the two paths
+    set -- $pair
+    if ! cmp -s "$1" "$2"; then
+        echo "error: estplan output differs ($1 vs $2)" >&2
+        diff "$1" "$2" | head -40 >&2 || true
+        exit 1
+    fi
+done
+for family in br_plan_estimates_total br_plan_exact_total \
+              br_plan_sampled_cols_total br_plan_ops_total; do
+    if ! grep -q "^$family" estplan.t8.prom; then
+        echo "error: expected metric family $family missing from estplan.t8.prom" >&2
+        exit 1
+    fi
+done
+rm -f BENCH_estplan.t1.json BENCH_estplan.t8.json BENCH_estplan.rerun.json \
+      estplan.t1.prom estplan.t8.prom estplan.rerun.prom \
+      estplan.t1.prom.jsonl estplan.t8.prom.jsonl estplan.rerun.prom.jsonl
+echo "ok: estimator planning is byte-identical across thread counts and reruns"
 
 echo "== bench gate: quick suite, cycle threshold ${threshold}% =="
 $cli bench run --suite quick --out BENCH_quick.json

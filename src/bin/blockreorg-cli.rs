@@ -9,19 +9,22 @@
 //!                  [--square | --pair-with <file.mtx>] [--verify] [--list]
 //!   blockreorg-cli batch --jobs <file> [--device <d1,d2,..>] [--workers <n>]
 //!                  [--cache <entries>] [--queue-cap <n>] [--threads <n>]
+//!                  [--est-samples <n>] [--est-tolerance <f>] [--no-estimate]
 //!                  [--metrics <path>] [--metrics-timing]
 //!   blockreorg-cli serve --listen <addr> [--workers <n>] [--device <name>]
 //!                  [--cache <entries>] [--shed-threshold <n>] [--quota <n>]
 //!                  [--hold] [--port-file <path>] [--threads <n>]
+//!                  [--est-samples <n>] [--est-tolerance <f>] [--no-estimate]
 //!                  [--metrics <path>] [--metrics-timing]
 //!   blockreorg-cli client --connect <addr> [--client-id <id>] --spec '<jobline>'
 //!                  [--count <n>] [--lane interactive|batch|alternate]
 //!                  [--deadline-ms <n>] [--release] [--shutdown] [--quiet]
-//!   blockreorg-cli bench run [--suite quick|full|scaling] [--out <path>]
+//!   blockreorg-cli bench run [--suite quick|full|scaling|estplan] [--out <path>]
 //!                  [--threads <n>] [--no-host] [--bins <tiny>,<heavy>]
+//!                  [--est-samples <n>] [--est-tolerance <f>] [--no-estimate]
 //!                  [--metrics <path>] [--metrics-timing]
 //!   blockreorg-cli bench compare <baseline.json> <current.json>
-//!                  [--cycles-pct <pct>]
+//!                  [--cycles-pct <pct>] [--plan-pct <pct>]
 //!
 //! EXAMPLES:
 //!   blockreorg-cli --dataset youtube --method reorganizer --verify --report
@@ -39,6 +42,7 @@ use blockreorg::datasets::registry::ScaleFactor;
 use blockreorg::prelude::*;
 use blockreorg::service::job::{expand_jobs, parse_job_file};
 use blockreorg::sparse::io::read_matrix_market_file;
+use blockreorg::spgemm::estimate::{set_global_estimator, EstimatorConfig, EstimatorOverride};
 use blockreorg::spgemm::pipeline::run_method;
 use blockreorg::spgemm::ProblemContext;
 use std::process::exit;
@@ -67,6 +71,7 @@ struct BatchOptions {
     queue_cap: Option<usize>,
     metrics: Option<String>,
     metrics_timing: bool,
+    estimator: Option<EstimatorConfig>,
 }
 
 struct ServeOptions {
@@ -80,6 +85,7 @@ struct ServeOptions {
     port_file: Option<String>,
     metrics: Option<String>,
     metrics_timing: bool,
+    estimator: Option<EstimatorConfig>,
 }
 
 struct ClientOptions {
@@ -101,19 +107,22 @@ fn print_usage() {
     println!("                      [--pair-with <mtx>] [--verify] [--report] [--tune] [--list]");
     println!("       blockreorg-cli batch --jobs <file> [--device <d1,d2,..>] [--workers <n>]");
     println!("                      [--cache <entries>] [--queue-cap <n>] [--threads <n>]");
+    println!("                      [--est-samples <n>] [--est-tolerance <f>] [--no-estimate]");
     println!("                      [--metrics <path>] [--metrics-timing]");
     println!("       blockreorg-cli serve --listen <addr> [--workers <n>] [--device <name>]");
     println!("                      [--cache <entries>] [--shed-threshold <n>] [--quota <n>]");
     println!("                      [--hold] [--port-file <path>] [--threads <n>]");
+    println!("                      [--est-samples <n>] [--est-tolerance <f>] [--no-estimate]");
     println!("                      [--metrics <path>] [--metrics-timing]");
     println!("       blockreorg-cli client --connect <addr> [--client-id <id>] --spec '<jobline>'");
     println!("                      [--count <n>] [--lane interactive|batch|alternate]");
     println!("                      [--deadline-ms <n>] [--release] [--shutdown] [--quiet]");
-    println!("       blockreorg-cli bench run [--suite quick|full|scaling] [--out <path>]");
+    println!("       blockreorg-cli bench run [--suite quick|full|scaling|estplan] [--out <path>]");
     println!("                      [--threads <n>] [--no-host] [--bins <tiny>,<heavy>]");
+    println!("                      [--est-samples <n>] [--est-tolerance <f>] [--no-estimate]");
     println!("                      [--metrics <path>] [--metrics-timing]");
     println!("       blockreorg-cli bench compare <baseline.json> <current.json>");
-    println!("                      [--cycles-pct <pct>]");
+    println!("                      [--cycles-pct <pct>] [--plan-pct <pct>]");
     println!();
     println!("--metrics <path> dumps the process-wide observability registry on exit:");
     println!("Prometheus text to <path>, JSONL to <path>.jsonl. The default dump contains");
@@ -134,6 +143,14 @@ fn print_usage() {
     println!("--bins <tiny_max>,<heavy_min> overrides the adaptive numeric engine's");
     println!("row-bin thresholds (default 16,2048); results are bit-identical at any");
     println!("setting — bins change only which merge kernel runs, never the numbers.");
+    println!();
+    println!("--est-samples <n> / --est-tolerance <f> configure the sampling estimator");
+    println!("that replaces exact cold-plan precalculation (defaults 64 / 1.0); in batch");
+    println!("and serve mode any --est-* flag opts the worker pool into estimation,");
+    println!("while bench run's estplan suite estimates by default. --no-estimate forces");
+    println!("exact precalculation everywhere. Results are bit-identical either way —");
+    println!("estimation changes only plan-time cost and performance-knob choices.");
+    println!("bench compare gates per-case plan ops with --plan-pct (default 10%).");
     println!();
     println!("batch mode runs every job in <file> through the br-service worker pool");
     println!("(one simulated device per worker) with an LRU reorganization-plan cache,");
@@ -238,7 +255,9 @@ fn parse_batch_options(args: &mut dyn Iterator<Item = String>) -> BatchOptions {
         queue_cap: None,
         metrics: None,
         metrics_timing: false,
+        estimator: None,
     };
+    let mut est = EstimatorFlags::default();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "-h" | "--help" => {
@@ -272,9 +291,14 @@ fn parse_batch_options(args: &mut dyn Iterator<Item = String>) -> BatchOptions {
                 o.queue_cap = Some(cap);
             }
             "--threads" => apply_threads_flag(&next_value(args, "--threads")),
-            other => usage_and_exit(&format!("unknown flag {other:?} in batch mode")),
+            other => {
+                if !est.try_parse(other, args) {
+                    usage_and_exit(&format!("unknown flag {other:?} in batch mode"))
+                }
+            }
         }
     }
+    o.estimator = est.service_estimator();
     o
 }
 
@@ -290,7 +314,9 @@ fn parse_serve_options(args: &mut dyn Iterator<Item = String>) -> ServeOptions {
         port_file: None,
         metrics: None,
         metrics_timing: false,
+        estimator: None,
     };
+    let mut est = EstimatorFlags::default();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "-h" | "--help" => {
@@ -336,9 +362,14 @@ fn parse_serve_options(args: &mut dyn Iterator<Item = String>) -> ServeOptions {
                 }
             }
             "--threads" => apply_threads_flag(&next_value(args, "--threads")),
-            other => usage_and_exit(&format!("unknown flag {other:?} in serve mode")),
+            other => {
+                if !est.try_parse(other, args) {
+                    usage_and_exit(&format!("unknown flag {other:?} in serve mode"))
+                }
+            }
         }
     }
+    o.estimator = est.service_estimator();
     o
 }
 
@@ -384,6 +415,76 @@ fn parse_client_options(args: &mut dyn Iterator<Item = String>) -> ClientOptions
         }
     }
     o
+}
+
+/// Accumulates the estimator flag group shared by batch / serve / bench
+/// run: `--est-samples <n>`, `--est-tolerance <f>`, `--no-estimate`.
+#[derive(Default)]
+struct EstimatorFlags {
+    samples: Option<usize>,
+    tolerance: Option<f64>,
+    disabled: bool,
+}
+
+impl EstimatorFlags {
+    /// Consumes `arg` (and its value) when it belongs to the estimator
+    /// group; returns false so the caller can try its own flags.
+    fn try_parse(&mut self, arg: &str, args: &mut dyn Iterator<Item = String>) -> bool {
+        match arg {
+            "--no-estimate" => self.disabled = true,
+            "--est-samples" => {
+                let v = next_value(args, "--est-samples");
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => self.samples = Some(n),
+                    _ => usage_and_exit("--est-samples must be a positive integer"),
+                }
+            }
+            "--est-tolerance" => {
+                let v = next_value(args, "--est-tolerance");
+                match v.parse::<f64>() {
+                    Ok(t) if t >= 0.0 && t.is_finite() => self.tolerance = Some(t),
+                    _ => usage_and_exit("--est-tolerance must be a finite number >= 0"),
+                }
+            }
+            _ => return false,
+        }
+        true
+    }
+
+    /// The configured values over the defaults.
+    fn config(&self) -> EstimatorConfig {
+        let mut config = EstimatorConfig::default();
+        if let Some(samples) = self.samples {
+            config.samples = samples;
+        }
+        if let Some(tolerance) = self.tolerance {
+            config.tolerance = tolerance;
+        }
+        config
+    }
+
+    /// batch / serve semantics: estimation is opt-in (`None` = exact
+    /// precalculation, the historical default); any `--est-*` flag turns
+    /// it on, `--no-estimate` wins over both.
+    fn service_estimator(&self) -> Option<EstimatorConfig> {
+        if self.disabled || (self.samples.is_none() && self.tolerance.is_none()) {
+            None
+        } else {
+            Some(self.config())
+        }
+    }
+
+    /// bench-run semantics: the estplan suite estimates by default, so the
+    /// flags install a process-wide override only when one was given
+    /// (`--no-estimate` forces every plan back to exact precalculation).
+    fn install_global(&self) {
+        if self.disabled || self.samples.is_some() || self.tolerance.is_some() {
+            set_global_estimator(Some(EstimatorOverride {
+                config: self.config(),
+                enabled: !self.disabled,
+            }));
+        }
+    }
 }
 
 fn next_value(args: &mut dyn Iterator<Item = String>, flag: &str) -> String {
@@ -514,6 +615,7 @@ fn run_batch_mode(o: BatchOptions) -> ! {
             // process-wide registry as the spgemm / gpu-sim instruments,
             // so one --metrics dump covers the whole pipeline.
             registry: Some(blockreorg::obs::global_arc()),
+            estimator: o.estimator,
         },
         jobs,
     );
@@ -571,6 +673,7 @@ fn run_serve_mode(o: ServeOptions) -> ! {
         // spgemm / gpu-sim instruments, so one --metrics dump covers the
         // whole serving path.
         registry: Some(blockreorg::obs::global_arc()),
+        estimator: o.estimator,
     };
     let server = match NetServer::bind(&listen, config) {
         Ok(server) => server,
@@ -710,6 +813,7 @@ fn run_bench_mode(args: &mut dyn Iterator<Item = String>) -> ! {
             let mut no_host = false;
             let mut metrics: Option<String> = None;
             let mut metrics_timing = false;
+            let mut est = EstimatorFlags::default();
             while let Some(arg) = args.next() {
                 match arg.as_str() {
                     "--suite" => {
@@ -718,7 +822,7 @@ fn run_bench_mode(args: &mut dyn Iterator<Item = String>) -> ! {
                             .unwrap_or_else(|| usage_and_exit("missing --suite value"));
                         suite = Suite::parse(&v).unwrap_or_else(|| {
                             usage_and_exit(&format!(
-                                "unknown suite {v:?}; valid suites: quick, full, scaling"
+                                "unknown suite {v:?}; valid suites: quick, full, scaling, estplan"
                             ))
                         });
                     }
@@ -754,9 +858,14 @@ fn run_bench_mode(args: &mut dyn Iterator<Item = String>) -> ! {
                         });
                         set_global_thresholds(Some(thresholds));
                     }
-                    other => usage_and_exit(&format!("unknown bench run flag {other:?}")),
+                    other => {
+                        if !est.try_parse(other, args) {
+                            usage_and_exit(&format!("unknown bench run flag {other:?}"))
+                        }
+                    }
                 }
             }
+            est.install_global();
             if metrics_timing {
                 blockreorg::obs::install_wall_clock(blockreorg::obs::global());
             }
@@ -800,6 +909,14 @@ fn run_bench_mode(args: &mut dyn Iterator<Item = String>) -> ! {
                             usage_and_exit(&format!("bad --cycles-pct value {v:?}"))
                         });
                     }
+                    "--plan-pct" => {
+                        let v = args
+                            .next()
+                            .unwrap_or_else(|| usage_and_exit("missing --plan-pct value"));
+                        thresholds.plan_ops_pct = v.parse().unwrap_or_else(|_| {
+                            usage_and_exit(&format!("bad --plan-pct value {v:?}"))
+                        });
+                    }
                     other if other.starts_with("--") => {
                         usage_and_exit(&format!("unknown bench compare flag {other:?}"))
                     }
@@ -821,8 +938,9 @@ fn run_bench_mode(args: &mut dyn Iterator<Item = String>) -> ! {
             print!("{}", cmp.render());
             if cmp.has_regressions() {
                 eprintln!(
-                    "regression gate FAILED (cycle threshold {:.1}%)",
-                    thresholds.cycles_pct
+                    "regression gate FAILED: suite {:?}, baseline {baseline_path} \
+                     (cycle threshold {:.1}%, plan threshold {:.1}%)",
+                    baseline.suite, thresholds.cycles_pct, thresholds.plan_ops_pct
                 );
                 exit(1)
             }
