@@ -511,6 +511,10 @@ mod tests {
                 tiny_products: 4,
                 medium_products: 5,
                 heavy_products: 6,
+                kway_min: Some(512),
+                kway_rows: Some(7),
+                kway_products: Some(8),
+                runs_per_row: Some(vec![0, 1, 6]),
             }),
             obs: Some(crate::schema::ObsHostStats {
                 families: 9,

@@ -213,9 +213,13 @@ pub struct ObsHostStats {
 
 /// Per-bin census of the adaptive host merge engine: how the suite's
 /// distinct (dataset, scale) problems' rows and intermediate products
-/// split across the tiny/medium/heavy bins under the thresholds in effect.
-/// Structure-derived and deterministic, but stored under `host` because it
-/// describes the host numeric path, not the simulated device.
+/// split across the tiny/medium/heavy/kway bins under the thresholds in
+/// effect. Structure-derived and deterministic, but stored under `host`
+/// because it describes the host numeric path, not the simulated device.
+///
+/// The kway fields and the runs-per-row histogram are `None` in reports
+/// written before the k-way tournament bin existed; legacy reports parse
+/// with them absent, and `compare` never reads this section either way.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BinHostStats {
     /// `tiny_max` threshold the census used.
@@ -234,6 +238,16 @@ pub struct BinHostStats {
     pub medium_products: u64,
     /// Intermediate products expanded by heavy rows.
     pub heavy_products: u64,
+    /// `kway_min` threshold the census used (`u64::MAX` = bin disabled).
+    pub kway_min: Option<u64>,
+    /// Rows handled by the k-way tournament merge.
+    pub kway_rows: Option<u64>,
+    /// Intermediate products expanded by kway rows.
+    pub kway_products: Option<u64>,
+    /// Histogram of runs (A-row nonzeros) per *kway* row in log2 buckets:
+    /// `runs_per_row[i]` counts kway rows with `runs in [2^i, 2^(i+1))`.
+    /// Sizes the tournament trees the kway bin actually builds.
+    pub runs_per_row: Option<Vec<u64>>,
 }
 
 impl BenchReport {
@@ -341,6 +355,10 @@ mod tests {
                     tiny_products: 800,
                     medium_products: 9000,
                     heavy_products: 70000,
+                    kway_min: Some(u64::MAX),
+                    kway_rows: Some(0),
+                    kway_products: Some(0),
+                    runs_per_row: Some(vec![]),
                 }),
                 obs: Some(ObsHostStats {
                     families: 12,
@@ -402,6 +420,34 @@ mod tests {
         let back = BenchReport::from_json(&legacy).expect("pre-bins host section parses");
         assert_eq!(back.host.as_ref().unwrap().bins, None);
         assert_eq!(back.host.as_ref().unwrap().wall_ms, 1234.5);
+    }
+
+    #[test]
+    fn bin_stats_without_kway_fields_parse_as_none() {
+        // Reports written before the k-way tournament bin existed carry a
+        // three-bin census with no kway keys: they must read back as
+        // `None`, not error, and the legacy fields must survive.
+        let mut report = sample();
+        if let Some(bins) = report.host.as_mut().and_then(|h| h.bins.as_mut()) {
+            bins.kway_min = None;
+            bins.kway_rows = None;
+            bins.kway_products = None;
+            bins.runs_per_row = None;
+        }
+        let with_nulls = report.to_json();
+        let legacy = with_nulls
+            .replace(",\n      \"kway_min\": null", "")
+            .replace(",\n      \"kway_rows\": null", "")
+            .replace(",\n      \"kway_products\": null", "")
+            .replace(",\n      \"runs_per_row\": null", "");
+        assert_ne!(legacy, with_nulls, "the kway keys were present to remove");
+        let back = BenchReport::from_json(&legacy).expect("pre-kway census parses");
+        let bins = back.host.as_ref().unwrap().bins.as_ref().unwrap();
+        assert_eq!(bins.kway_min, None);
+        assert_eq!(bins.kway_rows, None);
+        assert_eq!(bins.kway_products, None);
+        assert_eq!(bins.runs_per_row, None);
+        assert_eq!(bins.heavy_products, 70000, "legacy fields survive");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! a plan-cache service batch, executed on the simulator and folded into a
 //! [`BenchReport`].
 //!
-//! Three suites trade coverage against runtime:
+//! The suites trade coverage against runtime:
 //!
 //! * `quick` — three datasets at `tiny` scale, three methods, one device;
 //!   seconds. This is the per-PR CI regression gate.
@@ -12,6 +12,11 @@
 //! * `scaling` — one regular and one power-law dataset swept across the
 //!   three devices and three scales for the outer-product baseline and the
 //!   reorganizer; minutes.
+//! * `estplan` — the quick grid's datasets planned exactly vs via the
+//!   sampling estimator, executed cold; the cold-plan CI gate.
+//! * `kway` — the quick grid's datasets run through the reorganizer with
+//!   the default merge bins and again with the k-way tournament bin forced
+//!   open, so the heavy-row merge crossover shows up in the report.
 
 use crate::schema::{
     git_sha, BenchReport, BinHostStats, CaseMetrics, CaseReport, HostSection, ObsHostStats,
@@ -44,6 +49,10 @@ pub enum Suite {
     /// planned twice — exact precalculation vs the sampling estimator —
     /// and executed cold. Records a [`crate::schema::PlanSection`].
     Estplan,
+    /// K-way merge crossover sweep: the quick grid's datasets through the
+    /// reorganizer with default bins and with the k-way tournament bin
+    /// forced open ([`KWAY_SUITE_MIN`]), on the Titan Xp.
+    Kway,
 }
 
 impl Suite {
@@ -54,6 +63,7 @@ impl Suite {
             "full" => Some(Suite::Full),
             "scaling" => Some(Suite::Scaling),
             "estplan" => Some(Suite::Estplan),
+            "kway" => Some(Suite::Kway),
             _ => None,
         }
     }
@@ -65,6 +75,7 @@ impl Suite {
             Suite::Full => "full",
             Suite::Scaling => "scaling",
             Suite::Estplan => "estplan",
+            Suite::Kway => "kway",
         }
     }
 
@@ -139,6 +150,20 @@ impl Suite {
                 }
                 out
             }
+            Suite::Kway => {
+                let mut out = Vec::new();
+                for dataset in ["harbor", "emailEnron", "patents_main"] {
+                    for method in [MethodSel::Reorganizer, MethodSel::KwayMerge] {
+                        out.push(BenchCase {
+                            dataset,
+                            scale: ScaleFactor::Tiny,
+                            method,
+                            device: DeviceSel::TitanXp,
+                        });
+                    }
+                }
+                out
+            }
             Suite::Scaling => {
                 let mut out = Vec::new();
                 for dataset in ["harbor", "emailEnron"] {
@@ -187,6 +212,11 @@ pub enum MethodSel {
     /// (`estplan` suite). Honors the process-wide estimator override:
     /// `--no-estimate` makes this flavor plan exactly too.
     PlanEstimate,
+    /// The reorganizer plan with the k-way tournament bin forced open at
+    /// [`KWAY_SUITE_MIN`] products (`kway` suite): the plan is built
+    /// exactly, then its bins are re-classified per case — no process-wide
+    /// threshold override, so parallel grid cells cannot race.
+    KwayMerge,
 }
 
 impl MethodSel {
@@ -197,7 +227,23 @@ impl MethodSel {
             MethodSel::Reorganizer => "Block-Reorganizer",
             MethodSel::PlanExact => "plan-exact",
             MethodSel::PlanEstimate => "plan-estimate",
+            MethodSel::KwayMerge => "kway-merge",
         }
+    }
+}
+
+/// `kway_min` the `kway` suite forces: low enough that every suite dataset
+/// routes its heaviest rows through the tournament merge at tiny scale
+/// (patents_main's tiny-scale rows top out at ~250 intermediate products).
+pub const KWAY_SUITE_MIN: u64 = 128;
+
+/// The thresholds a [`MethodSel::KwayMerge`] case (and the `kway` suite's
+/// census) applies: what the engine would use for the width, with the
+/// k-way bin opened at [`KWAY_SUITE_MIN`] intermediate products.
+fn kway_suite_thresholds(ncols: usize) -> br_spgemm::accum::BinThresholds {
+    br_spgemm::accum::BinThresholds {
+        kway_min: KWAY_SUITE_MIN,
+        ..effective_thresholds_for(ncols)
     }
 }
 
@@ -366,6 +412,19 @@ fn run_case(case: &BenchCase, config: &ReorganizerConfig) -> (CaseReport, Option
             .multiply_ctx(&ctx, &device)
             .expect("square shapes always agree")
             .to_spgemm_run(),
+        MethodSel::KwayMerge => {
+            // Exact plan, then the bins re-classified with the k-way bin
+            // forced open. Bin membership only redirects rows between
+            // merge kernels — the numeric result stays bit-identical.
+            let mut plan = ReorgPlan::build(&ctx, config, &device);
+            plan.bins = RowBins::classify(
+                &plan.bins.row_products.clone(),
+                kway_suite_thresholds(a.ncols()),
+            );
+            plan.execute(&ctx, &device, PlanMode::Cached)
+                .expect("square shapes always agree")
+                .to_spgemm_run()
+        }
         MethodSel::PlanExact | MethodSel::PlanEstimate => {
             let setting = effective_estimator();
             let plan = if case.method == MethodSel::PlanEstimate && setting.enabled {
@@ -447,17 +506,30 @@ fn worst_lbi(profiles: &[KernelProfile]) -> f64 {
     profiles.iter().map(|p| p.lbi()).fold(0.0, f64::max)
 }
 
+/// The thresholds [`bin_census`] applies to a problem of width `ncols` in
+/// `suite`: the `kway` suite censuses under its forced k-way thresholds —
+/// the same ones its merge cases execute with — every other suite under
+/// what the engine would actually apply (the `--bins` override when set,
+/// else the width-aware recommendation).
+fn suite_thresholds(suite: Suite, ncols: usize) -> br_spgemm::accum::BinThresholds {
+    match suite {
+        Suite::Kway => kway_suite_thresholds(ncols),
+        _ => effective_thresholds_for(ncols),
+    }
+}
+
 /// Censuses the adaptive engine's row bins over the suite's distinct
 /// (dataset, scale) problems (each squared, as the grid runs them), under
-/// the thresholds the engine would actually apply to each problem (the
-/// `--bins` override when set, else the width-aware recommendation). The
-/// recorded threshold pair is the first problem's, in deterministic suite
-/// order — at one suite scale the recommendation is uniform in practice.
-/// Structure-only and deterministic; recorded in the report's
-/// informational `host` section, never compared.
+/// [`suite_thresholds`]. The recorded thresholds are the first problem's,
+/// in deterministic suite order — at one suite scale the recommendation is
+/// uniform in practice. Kway rows additionally record a log2 histogram of
+/// their run counts (A-row nonzeros): the tournament-tree widths the k-way
+/// bin actually builds. Structure-only and deterministic; recorded in the
+/// report's informational `host` section, never compared.
 fn bin_census(suite: Suite) -> BinHostStats {
     let mut seen: Vec<(&'static str, String)> = Vec::new();
     let mut recorded: Option<br_spgemm::accum::BinThresholds> = None;
+    let mut runs_hist: Vec<u64> = Vec::new();
     let mut stats = BinHostStats {
         tiny_max: 0,
         heavy_min: 0,
@@ -467,6 +539,10 @@ fn bin_census(suite: Suite) -> BinHostStats {
         tiny_products: 0,
         medium_products: 0,
         heavy_products: 0,
+        kway_min: None,
+        kway_rows: Some(0),
+        kway_products: Some(0),
+        runs_per_row: None,
     };
     for case in suite.cases() {
         let key = (case.dataset, case.scale.label());
@@ -477,20 +553,34 @@ fn bin_census(suite: Suite) -> BinHostStats {
         let a = RealWorldRegistry::get(case.dataset)
             .expect("suite datasets are registered")
             .generate(case.scale);
-        let thresholds = effective_thresholds_for(a.ncols());
+        let thresholds = suite_thresholds(suite, a.ncols());
         if recorded.is_none() {
             recorded = Some(thresholds);
             stats.tiny_max = thresholds.tiny_max;
             stats.heavy_min = thresholds.heavy_min;
+            stats.kway_min = Some(thresholds.kway_min);
         }
         let bins = RowBins::of(&a, &a, thresholds).expect("square shapes always agree");
+        for (r, &p) in bins.row_products.iter().enumerate() {
+            if thresholds.bin_of(p) == br_spgemm::accum::RowBin::Kway {
+                let runs = a.row_nnz(r).max(1) as u64;
+                let bucket = (63 - runs.leading_zeros()) as usize;
+                if runs_hist.len() <= bucket {
+                    runs_hist.resize(bucket + 1, 0);
+                }
+                runs_hist[bucket] += 1;
+            }
+        }
         stats.tiny_rows += bins.rows[0];
         stats.medium_rows += bins.rows[1];
         stats.heavy_rows += bins.rows[2];
+        stats.kway_rows = Some(stats.kway_rows.unwrap_or(0) + bins.rows[3]);
         stats.tiny_products += bins.products[0];
         stats.medium_products += bins.products[1];
         stats.heavy_products += bins.products[2];
+        stats.kway_products = Some(stats.kway_products.unwrap_or(0) + bins.products[3]);
     }
+    stats.runs_per_row = Some(runs_hist);
     stats
 }
 
@@ -501,7 +591,7 @@ fn run_service_batch(suite: Suite, threads: usize) -> ServiceSection {
     let (repeats, scale) = match suite {
         Suite::Quick => (3usize, ScaleFactor::Tiny),
         Suite::Full => (4, ScaleFactor::Default),
-        Suite::Scaling | Suite::Estplan => (3, ScaleFactor::Tiny),
+        Suite::Scaling | Suite::Estplan | Suite::Kway => (3, ScaleFactor::Tiny),
     };
     let mut jobs = Vec::new();
     let mut id = 0u64;
@@ -540,9 +630,17 @@ fn run_service_batch(suite: Suite, threads: usize) -> ServiceSection {
 mod tests {
     use super::*;
 
+    const ALL_SUITES: [Suite; 5] = [
+        Suite::Quick,
+        Suite::Full,
+        Suite::Scaling,
+        Suite::Estplan,
+        Suite::Kway,
+    ];
+
     #[test]
     fn suite_parsing_and_names_roundtrip() {
-        for s in [Suite::Quick, Suite::Full, Suite::Scaling, Suite::Estplan] {
+        for s in ALL_SUITES {
             assert_eq!(Suite::parse(s.name()), Some(s));
         }
         assert_eq!(Suite::parse("nope"), None);
@@ -550,7 +648,7 @@ mod tests {
 
     #[test]
     fn case_ids_are_unique_within_each_suite() {
-        for suite in [Suite::Quick, Suite::Full, Suite::Scaling, Suite::Estplan] {
+        for suite in ALL_SUITES {
             let ids: Vec<String> = suite.cases().iter().map(BenchCase::id).collect();
             let mut dedup = ids.clone();
             dedup.sort();
@@ -561,7 +659,7 @@ mod tests {
 
     #[test]
     fn quick_suite_references_known_datasets_only() {
-        for suite in [Suite::Quick, Suite::Full, Suite::Scaling, Suite::Estplan] {
+        for suite in ALL_SUITES {
             for case in suite.cases() {
                 assert!(
                     RealWorldRegistry::get(case.dataset).is_some(),
@@ -613,6 +711,12 @@ mod tests {
         let thresholds = effective_thresholds_for(harbor.ncols());
         assert_eq!(census.tiny_max, thresholds.tiny_max);
         assert_eq!(census.heavy_min, thresholds.heavy_min);
+        // The quick suite censuses under the engine's own thresholds,
+        // where the k-way bin is off.
+        assert_eq!(census.kway_min, Some(thresholds.kway_min));
+        assert_eq!(census.kway_rows, Some(0));
+        assert_eq!(census.kway_products, Some(0));
+        assert_eq!(census.runs_per_row, Some(vec![]));
         // Every distinct (dataset, scale) problem's rows are counted once.
         let expected_rows: u64 = ["harbor", "emailEnron", "patents_main"]
             .iter()
@@ -624,10 +728,25 @@ mod tests {
             })
             .sum();
         assert_eq!(
-            census.tiny_rows + census.medium_rows + census.heavy_rows,
+            census.tiny_rows + census.medium_rows + census.heavy_rows + census.kway_rows.unwrap(),
             expected_rows
         );
         assert!(census.tiny_rows > 0, "{census:?}");
+    }
+
+    #[test]
+    fn kway_census_routes_rows_and_sizes_their_trees() {
+        // Under the kway suite's forced thresholds the census must move
+        // rows into the k-way bin and the runs histogram must cover
+        // exactly those rows.
+        let census = bin_census(Suite::Kway);
+        assert_eq!(census, bin_census(Suite::Kway));
+        assert_eq!(census.kway_min, Some(KWAY_SUITE_MIN));
+        let kway_rows = census.kway_rows.expect("kway census records the bin");
+        assert!(kway_rows > 0, "{census:?}");
+        assert!(census.kway_products.unwrap() >= kway_rows * KWAY_SUITE_MIN);
+        let hist = census.runs_per_row.as_ref().unwrap();
+        assert_eq!(hist.iter().sum::<u64>(), kway_rows, "{census:?}");
     }
 
     #[test]
@@ -709,6 +828,61 @@ mod tests {
                 est_plan.method
             );
         }
+    }
+
+    /// ISSUE acceptance criterion: forcing the k-way bin open must keep
+    /// the numeric work bit-identical on every dataset and show a modeled
+    /// merge-phase improvement on at least one heavy-row dataset.
+    #[test]
+    fn kway_suite_improves_the_merge_phase_on_a_heavy_dataset() {
+        let report = run_suite(Suite::Kway, |_| {});
+        assert_eq!(report.cases.len(), 6);
+        let merge_cycles = |case: &CaseReport| -> f64 {
+            case.metrics
+                .phases
+                .iter()
+                .filter(|p| p.name.ends_with("-merge"))
+                .map(|p| p.makespan_cycles)
+                .sum()
+        };
+        let mut improved = Vec::new();
+        for dataset in ["harbor", "emailEnron", "patents_main"] {
+            let base = report
+                .case(&format!("{dataset}@tiny/Block-Reorganizer/titan-xp"))
+                .unwrap_or_else(|| panic!("missing baseline case for {dataset}"));
+            let kway = report
+                .case(&format!("{dataset}@tiny/kway-merge/titan-xp"))
+                .unwrap_or_else(|| panic!("missing kway case for {dataset}"));
+            // Bin membership redirects rows between merge kernels; the
+            // numeric work and result must not change.
+            assert_eq!(base.metrics.flops, kway.metrics.flops, "{dataset}");
+            assert_eq!(
+                base.metrics.result_nnz, kway.metrics.result_nnz,
+                "{dataset}"
+            );
+            assert!(
+                kway.metrics.phases.iter().any(|p| p.name == "kway-merge"),
+                "{dataset}: forced thresholds must route rows to the kway kernel"
+            );
+            if merge_cycles(kway) < merge_cycles(base) {
+                improved.push(dataset);
+            }
+        }
+        assert!(
+            !improved.is_empty(),
+            "no dataset improved its merge phase under the kway bin"
+        );
+    }
+
+    /// The kway report is byte-identical across thread counts, like the
+    /// quick suite — the contract the bench_gate kway step byte-compares.
+    #[test]
+    fn kway_suite_is_byte_identical_at_any_thread_count() {
+        let mut seq = run_suite_threaded(Suite::Kway, 1, |_| {});
+        let mut par4 = run_suite_threaded(Suite::Kway, 4, |_| {});
+        seq.host = None;
+        par4.host = None;
+        assert_eq!(seq.to_json(), par4.to_json());
     }
 
     /// The estplan report is byte-identical across thread counts and

@@ -38,7 +38,7 @@ use br_spgemm::estimate::{
     MethodChoice,
 };
 use br_spgemm::expansion::outer::outer_pair_block;
-use br_spgemm::merge::gustavson::gustavson_merge_launch;
+use br_spgemm::merge::kway::binned_merge_launches;
 use br_spgemm::numeric::default_threads;
 use br_spgemm::pipeline::assemble_run_on;
 use br_spgemm::workspace::Workspace;
@@ -323,15 +323,29 @@ impl ReorgPlan {
             MethodChoice::Reorganized => {
                 let (expansion, mut stats) = self.expansion_launch(ctx, &ws);
                 stats.limited_rows = self.limit_plan.limited_count();
-                let merge = gustavson_merge_launch(ctx, &ws, self.config.block_size, true, |r| {
-                    self.limit_plan.extra_smem(r)
-                });
+                // Bin-dispatched merge: one Gustavson launch, plus a k-way
+                // tournament launch when the plan's bins route rows there.
+                // With an empty kway bin this is exactly the old single
+                // launch, so kway-off plans simulate identically.
+                let merge = binned_merge_launches(
+                    ctx,
+                    &ws,
+                    self.config.block_size,
+                    true,
+                    &self.bins,
+                    |r| self.limit_plan.extra_smem(r),
+                );
                 let (launches, host_ms) = match mode {
-                    PlanMode::Cold => (
-                        vec![precalc_launch(ctx, &ws), expansion, merge],
-                        self.preprocess_ms,
-                    ),
-                    PlanMode::Cached => (vec![expansion, merge], 0.0),
+                    PlanMode::Cold => {
+                        let mut v = vec![precalc_launch(ctx, &ws), expansion];
+                        v.extend(merge);
+                        (v, self.preprocess_ms)
+                    }
+                    PlanMode::Cached => {
+                        let mut v = vec![expansion];
+                        v.extend(merge);
+                        (v, 0.0)
+                    }
                 };
                 ("Block-Reorganizer", launches, host_ms, stats)
             }

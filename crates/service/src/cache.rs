@@ -20,6 +20,7 @@ use block_reorganizer::config::SplitPolicy;
 use block_reorganizer::plan::ReorgPlan;
 use block_reorganizer::ReorganizerConfig;
 use br_obs::{lock_recover, Counter, Registry};
+use br_spgemm::accum::{global_thresholds, BinThresholds};
 use br_spgemm::context::ProblemSignature;
 use br_spgemm::estimate::EstimatorConfig;
 
@@ -53,6 +54,20 @@ pub fn config_fingerprint(c: &ReorganizerConfig) -> u64 {
     .fold(FNV_OFFSET, |h, &v| fnv_mix(h, v))
 }
 
+/// Fingerprint of the process-wide `--bins` threshold override, 0 when no
+/// override is installed. Part of the cache key: a forced threshold set
+/// changes the plan's bin membership (most visibly whether rows route
+/// through the k-way tournament merge), so plans built under different
+/// overrides must not alias.
+pub fn thresholds_fingerprint(thresholds: Option<BinThresholds>) -> u64 {
+    match thresholds {
+        None => 0,
+        Some(t) => [t.tiny_max, t.heavy_min, t.kway_min]
+            .iter()
+            .fold(FNV_OFFSET, |h, &v| fnv_mix(h, v)),
+    }
+}
+
 /// The full cache key: what a plan is a function of.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PlanKey {
@@ -68,6 +83,11 @@ pub struct PlanKey {
     /// method choice and bin thresholds can differ — so they must not
     /// alias in the cache.
     pub estimator: u64,
+    /// [`thresholds_fingerprint`] of the process-wide `--bins` override in
+    /// effect when the key was built, 0 without one. Forced thresholds
+    /// change bin membership (e.g. enabling the k-way merge bin), so plans
+    /// built under different overrides are different artifacts.
+    pub thresholds: u64,
 }
 
 impl PlanKey {
@@ -89,6 +109,7 @@ impl PlanKey {
             device: device.to_string(),
             config: config_fingerprint(config),
             estimator: estimator.map_or(0, EstimatorConfig::fingerprint),
+            thresholds: thresholds_fingerprint(global_thresholds()),
         }
     }
 }
@@ -505,6 +526,34 @@ mod tests {
             key,
             PlanKey::with_estimator(ctx.signature(), "NVIDIA TITAN Xp", &cfg, None)
         );
+    }
+
+    #[test]
+    fn threshold_overrides_separate_keys() {
+        // No override → fingerprint 0 (legacy keys unchanged).
+        assert_eq!(thresholds_fingerprint(None), 0);
+        let base = thresholds_fingerprint(Some(BinThresholds::default()));
+        assert_ne!(base, 0);
+        // Enabling the kway bin changes the fingerprint.
+        let kway = thresholds_fingerprint(Some(BinThresholds {
+            kway_min: 4096,
+            ..Default::default()
+        }));
+        assert_ne!(base, kway);
+
+        // A key built under a kway-enabling override must not alias the
+        // same problem's override-free key.
+        let (key, _, ctx) = plan_for(6);
+        let cfg = ReorganizerConfig::default();
+        br_spgemm::accum::set_global_thresholds(Some(BinThresholds {
+            kway_min: 4096,
+            ..Default::default()
+        }));
+        let forced = PlanKey::new(ctx.signature(), "NVIDIA TITAN Xp", &cfg);
+        br_spgemm::accum::set_global_thresholds(None);
+        assert_ne!(key, forced);
+        assert_eq!(key.thresholds, 0);
+        assert_eq!(forced.thresholds, kway);
     }
 
     #[test]

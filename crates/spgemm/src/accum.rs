@@ -15,12 +15,19 @@
 //! * **heavy** rows → a generation-stamped dense accumulator (SPA): clears
 //!   cost O(row nnz), not O(ncols), because a stamp comparison replaces
 //!   zeroing the whole array.
+//! * **kway** rows (the heaviest, past `kway_min`) → a SpArch-style k-way
+//!   run merge: one sorted run per A-row nonzero (the scaled B-row),
+//!   Huffman-ordered by run length and merged through a tournament (loser)
+//!   tree — no dense sweep, no final sort, output streams out in column
+//!   order.
 //!
-//! **Bin choice cannot change the numeric result.** All three mergers
+//! **Bin choice cannot change the numeric result.** All four mergers
 //! accumulate the products of one output column in *generation order* —
 //! `k` ascending within the A-row, `j` ascending within each B-row — which
 //! is exactly the order [`spgemm_gustavson`](br_sparse::ops::spgemm_gustavson)
-//! adds them in, and all three emit the row sorted by column. Floating-point
+//! adds them in, and all four emit the row sorted by column (the k-way
+//! tree breaks equal-column ties by run index, so same-column products
+//! still pop in `k` order). Floating-point
 //! addition is deterministic for a fixed order, so the output is bit-for-bit
 //! the dense-SPA reference at every thread count and threshold setting; the
 //! thresholds are purely a performance knob.
@@ -32,6 +39,7 @@
 //! operands' structure — is cached alongside the `ReorgPlan` under the same
 //! `ProblemSignature` key.
 
+use std::fmt;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -41,21 +49,39 @@ use br_sparse::ops::row_intermediate_nnz_threaded;
 use br_sparse::{par, CsrMatrix, Result, Scalar, SparseError};
 use serde::{Deserialize, Serialize};
 
-/// Per-bin row counters in the process-wide registry, one per [`RowBin`].
+/// Merge-phase instrument handles, registered as one unit so every cell
+/// (including the kway ones) exists as soon as any of them is touched —
+/// exports stay byte-deterministic even when a bin merged nothing.
+struct MergeInstruments {
+    /// Per-bin row counters, one per [`RowBin`] (indexed by `bin as usize`).
+    rows: [Counter; 4],
+    /// Total sorted runs fed through the k-way tournament tree — a pure
+    /// function of the merged work (bins + operand structure).
+    kway_runs: Counter,
+}
+
 /// Handles are cached so the merge hot path never touches the registry
 /// lock; counts are batched per [`merge_rows_into`] call, and additions
 /// commute, so the totals are a pure function of the merged work at any
 /// thread count.
-fn merged_row_counters() -> &'static [Counter; 3] {
-    static COUNTERS: OnceLock<[Counter; 3]> = OnceLock::new();
-    COUNTERS.get_or_init(|| {
+fn merge_instruments() -> &'static MergeInstruments {
+    static INSTRUMENTS: OnceLock<MergeInstruments> = OnceLock::new();
+    INSTRUMENTS.get_or_init(|| {
         let reg = br_obs::global();
         let help = "Output rows merged, by bin kernel.";
-        [
-            reg.counter("br_spgemm_rows_merged_total", help, &[("bin", "tiny")]),
-            reg.counter("br_spgemm_rows_merged_total", help, &[("bin", "medium")]),
-            reg.counter("br_spgemm_rows_merged_total", help, &[("bin", "heavy")]),
-        ]
+        MergeInstruments {
+            rows: [
+                reg.counter("br_spgemm_rows_merged_total", help, &[("bin", "tiny")]),
+                reg.counter("br_spgemm_rows_merged_total", help, &[("bin", "medium")]),
+                reg.counter("br_spgemm_rows_merged_total", help, &[("bin", "heavy")]),
+                reg.counter("br_spgemm_rows_merged_total", help, &[("bin", "kway")]),
+            ],
+            kway_runs: reg.counter(
+                "br_spgemm_kway_runs_total",
+                "Sorted partial-row runs merged through the k-way tournament tree.",
+                &[],
+            ),
+        }
     })
 }
 
@@ -73,40 +99,161 @@ fn scratch_footprint_gauge() -> &'static br_obs::Gauge {
     })
 }
 
+/// High-water footprint of the k-way tournament buffers alone. Like the
+/// total-footprint gauge, growth depends on the thread partition and pool
+/// assignment, so it is timing-flagged.
+fn kway_scratch_gauge() -> &'static br_obs::Gauge {
+    static GAUGE: OnceLock<br_obs::Gauge> = OnceLock::new();
+    GAUGE.get_or_init(|| {
+        br_obs::global().timing_gauge(
+            "br_spgemm_kway_scratch_bytes",
+            "High-water k-way tournament-tree scratch footprint (scheduling/pool-dependent).",
+            &[],
+        )
+    })
+}
+
+/// Pre-registers every merge-phase instrument cell (per-bin row counters,
+/// the kway run counter, and both scratch high-water gauges) without
+/// recording anything. Metric exports taken before any merge — or from a
+/// run whose kway bin stayed empty — then carry the same cell set as a
+/// busy run, keeping the rendered output byte-deterministic.
+pub fn register_merge_instruments() {
+    let _ = merge_instruments();
+    let _ = scratch_footprint_gauge();
+    let _ = kway_scratch_gauge();
+}
+
 /// Row-bin boundaries on the intermediate-product upper bound.
 ///
 /// A row with `products <= tiny_max` is **tiny**; otherwise, a row with
+/// `products >= kway_min` is **kway**; otherwise, a row with
 /// `products >= heavy_min` is **heavy**; everything in between is
-/// **medium**. Degenerate settings are legal and simply collapse bins
+/// **medium**. `kway_min = u64::MAX` (the default) disables the kway bin
+/// entirely. Degenerate settings are legal and simply collapse bins
 /// (e.g. `tiny_max = u64::MAX` sends every row through the small buffer) —
-/// the numeric result is identical either way.
+/// the numeric result is identical either way. [`BinThresholds::parse`]
+/// is stricter: the CLI rejects inverted or overlapping spellings with a
+/// typed error instead of silently collapsing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BinThresholds {
     /// Largest upper bound still handled by the tiny-bin small buffer.
     pub tiny_max: u64,
     /// Smallest upper bound handled by the heavy-bin dense accumulator.
     pub heavy_min: u64,
+    /// Smallest upper bound handled by the k-way tournament merge —
+    /// the kway/dense-SPA crossover. `u64::MAX` disables the bin.
+    pub kway_min: u64,
 }
 
 impl Default for BinThresholds {
     /// Tiny rows fit a cache line of products; heavy rows are those whose
-    /// hash table would rival the dense accumulator anyway.
+    /// hash table would rival the dense accumulator anyway. The k-way
+    /// tournament is off by default — the estimator (or a `--bins`
+    /// override) opts in per problem.
     fn default() -> Self {
         BinThresholds {
             tiny_max: 16,
             heavy_min: 2048,
+            kway_min: u64::MAX,
         }
     }
 }
 
+/// Typed rejection from [`BinThresholds::parse`]: the CLI spelling was
+/// malformed, or the thresholds it named were inverted/overlapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThresholdParseError {
+    /// Not `<tiny>,<heavy>` or `<tiny>,<heavy>,<kway>` with unsigned
+    /// integer fields.
+    Malformed(String),
+    /// `heavy_min <= tiny_max`: the tiny band would swallow the low end
+    /// of the dense band, which almost certainly is not what was meant.
+    Inverted {
+        /// The tiny-band upper bound as spelled.
+        tiny_max: u64,
+        /// The dense-band lower bound as spelled.
+        heavy_min: u64,
+    },
+    /// `kway_min < heavy_min`: the k-way band must sit at or above the
+    /// dense-SPA band it splits off from.
+    KwayBelowHeavy {
+        /// The dense-band lower bound as spelled.
+        heavy_min: u64,
+        /// The k-way-band lower bound as spelled.
+        kway_min: u64,
+    },
+}
+
+impl fmt::Display for ThresholdParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThresholdParseError::Malformed(text) => write!(
+                f,
+                "malformed bin thresholds {text:?}; expected <tiny_max>,<heavy_min>[,<kway_min>] \
+                 (unsigned integers)"
+            ),
+            ThresholdParseError::Inverted {
+                tiny_max,
+                heavy_min,
+            } => write!(
+                f,
+                "inverted bin thresholds: heavy_min ({heavy_min}) must exceed tiny_max ({tiny_max})"
+            ),
+            ThresholdParseError::KwayBelowHeavy {
+                heavy_min,
+                kway_min,
+            } => write!(
+                f,
+                "overlapping bin thresholds: kway_min ({kway_min}) must be at least heavy_min \
+                 ({heavy_min})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ThresholdParseError {}
+
 impl BinThresholds {
-    /// Parses the CLI spelling `<tiny_max>,<heavy_min>` (two unsigned
-    /// integers). Returns `None` for anything else.
-    pub fn parse(text: &str) -> Option<BinThresholds> {
-        let (tiny, heavy) = text.split_once(',')?;
-        Some(BinThresholds {
-            tiny_max: tiny.trim().parse().ok()?,
-            heavy_min: heavy.trim().parse().ok()?,
+    /// Parses the CLI spelling `<tiny_max>,<heavy_min>` or
+    /// `<tiny_max>,<heavy_min>,<kway_min>` (unsigned integers). The
+    /// two-field form leaves the k-way bin disabled. Inverted or
+    /// overlapping thresholds are rejected with a typed error rather
+    /// than silently collapsing bins.
+    pub fn parse(text: &str) -> std::result::Result<BinThresholds, ThresholdParseError> {
+        let malformed = || ThresholdParseError::Malformed(text.to_string());
+        let mut fields = text.split(',');
+        let next = |fields: &mut std::str::Split<'_, char>| {
+            fields
+                .next()
+                .and_then(|f| f.trim().parse::<u64>().ok())
+                .ok_or_else(&malformed)
+        };
+        let tiny_max = next(&mut fields)?;
+        let heavy_min = next(&mut fields)?;
+        let kway_min = match fields.next() {
+            Some(field) => field.trim().parse::<u64>().map_err(|_| malformed())?,
+            None => u64::MAX,
+        };
+        if fields.next().is_some() {
+            return Err(malformed());
+        }
+        if heavy_min <= tiny_max {
+            return Err(ThresholdParseError::Inverted {
+                tiny_max,
+                heavy_min,
+            });
+        }
+        if kway_min < heavy_min {
+            return Err(ThresholdParseError::KwayBelowHeavy {
+                heavy_min,
+                kway_min,
+            });
+        }
+        Ok(BinThresholds {
+            tiny_max,
+            heavy_min,
+            kway_min,
         })
     }
 
@@ -117,12 +264,15 @@ impl BinThresholds {
     /// write, and routing medium rows through the hash table is a strict
     /// loss (measured ~20-40% on RMAT squarings up to 2^17 columns, ~6%
     /// win at 2^20). Small problems therefore get an empty medium band.
+    /// The k-way bin stays off here; `select_thresholds` places the
+    /// kway/dense-SPA crossover per problem from the workload estimate.
     pub fn recommended(ncols: usize) -> BinThresholds {
         const HASH_PAYS_OFF_COLS: usize = 1 << 19;
         if ncols < HASH_PAYS_OFF_COLS {
             BinThresholds {
                 tiny_max: 16,
                 heavy_min: 17,
+                kway_min: u64::MAX,
             }
         } else {
             BinThresholds::default()
@@ -130,15 +280,23 @@ impl BinThresholds {
     }
 
     /// The bin a row with the given intermediate-product upper bound
-    /// lands in. Tiny wins over heavy when the thresholds overlap.
+    /// lands in. Tiny wins over every other bin, and kway wins over
+    /// heavy, when the thresholds overlap.
     pub fn bin_of(&self, products: u64) -> RowBin {
         if products <= self.tiny_max {
             RowBin::Tiny
+        } else if products >= self.kway_min {
+            RowBin::Kway
         } else if products >= self.heavy_min {
             RowBin::Heavy
         } else {
             RowBin::Medium
         }
+    }
+
+    /// Whether any row can land in the k-way bin under these thresholds.
+    pub fn kway_enabled(&self) -> bool {
+        self.kway_min < u64::MAX
     }
 }
 
@@ -188,7 +346,12 @@ pub enum RowBin {
     Medium,
     /// Generation-stamped dense accumulator.
     Heavy,
+    /// K-way tournament merge over sorted partial-row runs.
+    Kway,
 }
+
+/// Number of row bins ([`RowBin`] variants).
+pub const NUM_BINS: usize = 4;
 
 /// Counts every [`RowBins::classify`] run in this process — the
 /// re-binning tripwire: a plan-cache hit must serve the stored bins
@@ -214,18 +377,18 @@ pub struct RowBins {
     pub thresholds: BinThresholds,
     /// Per-row intermediate-product upper bounds (duplicates included).
     pub row_products: Vec<u64>,
-    /// Rows per bin: `[tiny, medium, heavy]`.
-    pub rows: [u64; 3],
-    /// Intermediate products per bin: `[tiny, medium, heavy]`.
-    pub products: [u64; 3],
+    /// Rows per bin: `[tiny, medium, heavy, kway]`.
+    pub rows: [u64; NUM_BINS],
+    /// Intermediate products per bin: `[tiny, medium, heavy, kway]`.
+    pub products: [u64; NUM_BINS],
 }
 
 impl RowBins {
     /// Bins each row by its intermediate-product upper bound.
     pub fn classify(row_products: &[u64], thresholds: BinThresholds) -> RowBins {
         CLASSIFY_RUNS.fetch_add(1, Ordering::SeqCst);
-        let mut rows = [0u64; 3];
-        let mut products = [0u64; 3];
+        let mut rows = [0u64; NUM_BINS];
+        let mut products = [0u64; NUM_BINS];
         for &p in row_products {
             let bin = thresholds.bin_of(p) as usize;
             rows[bin] += 1;
@@ -259,6 +422,11 @@ impl RowBins {
     pub fn bin(&self, r: usize) -> RowBin {
         self.thresholds.bin_of(self.row_products[r])
     }
+
+    /// Rows that landed in the k-way bin.
+    pub fn kway_rows(&self) -> u64 {
+        self.rows[RowBin::Kway as usize]
+    }
 }
 
 /// Reusable per-thread merge state for all three bin kernels.
@@ -286,6 +454,18 @@ pub struct MergeScratch<T> {
     // Gather buffer shared by the hash path, and the tiny-bin
     // insertion-sorted buffer.
     row_buf: Vec<(u32, T)>,
+    // K-way tournament (kway rows): one leaf per non-empty run. `key`
+    // packs (column << 32 | run sequence) so the tree pops strictly in
+    // (column, generation-order) order; u64::MAX marks an exhausted
+    // leaf. `tree[1..m]` hold the losers of the implicit internal
+    // nodes, `tree[0]` the current winner.
+    kway_key: Vec<u64>,
+    kway_tree: Vec<u32>,
+    kway_row: Vec<u32>,
+    kway_pos: Vec<u32>,
+    kway_len: Vec<u32>,
+    kway_aval: Vec<T>,
+    kway_order: Vec<u32>,
 }
 
 impl<T: Scalar> Default for MergeScratch<T> {
@@ -306,6 +486,13 @@ impl<T: Scalar> MergeScratch<T> {
             hash_vals: Vec::new(),
             hash_used: Vec::new(),
             row_buf: Vec::new(),
+            kway_key: Vec::new(),
+            kway_tree: Vec::new(),
+            kway_row: Vec::new(),
+            kway_pos: Vec::new(),
+            kway_len: Vec::new(),
+            kway_aval: Vec::new(),
+            kway_order: Vec::new(),
         }
     }
 
@@ -320,6 +507,19 @@ impl<T: Scalar> MergeScratch<T> {
             + self.hash_vals.capacity() * size_of::<T>()
             + self.hash_used.capacity() * size_of::<usize>()
             + self.row_buf.capacity() * size_of::<(u32, T)>()
+            + self.kway_footprint_bytes()
+    }
+
+    /// Heap footprint of the k-way tournament buffers alone.
+    pub fn kway_footprint_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.kway_key.capacity() * size_of::<u64>()
+            + self.kway_tree.capacity() * size_of::<u32>()
+            + self.kway_row.capacity() * size_of::<u32>()
+            + self.kway_pos.capacity() * size_of::<u32>()
+            + self.kway_len.capacity() * size_of::<u32>()
+            + self.kway_aval.capacity() * size_of::<T>()
+            + self.kway_order.capacity() * size_of::<u32>()
     }
 
     /// Grows the dense accumulator to cover `ncols` columns (stamp 0 =
@@ -503,6 +703,167 @@ impl<T: Scalar> MergeScratch<T> {
             val.push(v);
         }
     }
+
+    /// Grows the k-way tournament buffers to at least `slots` leaves.
+    /// Grow-only, like every other scratch buffer: a warm scratch merges
+    /// rows with up to `slots` runs without touching the heap.
+    fn ensure_kway(&mut self, slots: usize) {
+        if self.kway_key.len() < slots {
+            self.kway_key.resize(slots, u64::MAX);
+            self.kway_tree.resize(slots, 0);
+            self.kway_row.resize(slots, 0);
+            self.kway_pos.resize(slots, 0);
+            self.kway_len.resize(slots, 0);
+            self.kway_aval.resize(slots, T::ZERO);
+            self.kway_order.resize(slots, 0);
+        }
+    }
+
+    /// Builds the loser tree over the `m` leaves (a power of two):
+    /// returns the winner of the subtree rooted at `node`, storing each
+    /// internal node's loser in `kway_tree[node]`. Recursion depth is
+    /// `log2 m`.
+    fn build_kway_tree(&mut self, node: usize, m: usize) -> u32 {
+        if node >= m {
+            return (node - m) as u32;
+        }
+        let left = self.build_kway_tree(2 * node, m);
+        let right = self.build_kway_tree(2 * node + 1, m);
+        let (winner, loser) = if self.kway_key[left as usize] <= self.kway_key[right as usize] {
+            (left, right)
+        } else {
+            (right, left)
+        };
+        self.kway_tree[node] = loser;
+        winner
+    }
+
+    /// Kway bin: SpArch-style k-way merge of the row's partial-product
+    /// runs. Each nonzero `a[r,k]` contributes one run — the k-th B-row
+    /// scaled by `a_rk`, already sorted by column — and a tournament
+    /// (loser) tree streams the runs out in `(column, run)` order, so the
+    /// output needs no dense sweep and no final sort.
+    ///
+    /// Bit-identity invariants:
+    /// * the tree key packs the run's *generation-order* index `k` below
+    ///   the column, so equal-column entries pop in `k`-ascending order
+    ///   and per-column accumulation matches the dense SPA exactly;
+    /// * runs are laid out on the leaves Huffman-style — longest first —
+    ///   which clusters the hottest replay paths but never reorders the
+    ///   pops (the key carries the original index, not the leaf slot).
+    ///
+    /// Returns the number of runs merged (the kway-run counter's unit).
+    fn merge_row_kway(
+        &mut self,
+        a_cols: &[u32],
+        a_vals: &[T],
+        b: &CsrMatrix<T>,
+        idx: &mut Vec<u32>,
+        val: &mut Vec<T>,
+    ) -> u64 {
+        // Gather the non-empty runs, remembering each one's position in
+        // the A-row (its generation order).
+        self.ensure_kway(a_cols.len());
+        let mut runs = 0usize;
+        for (i, &k) in a_cols.iter().enumerate() {
+            if b.row_nnz(k as usize) > 0 {
+                self.kway_order[runs] = i as u32;
+                runs += 1;
+            }
+        }
+        if runs == 0 {
+            return 0;
+        }
+        if runs == 1 {
+            // Single run: the output is the scaled run itself.
+            let i = self.kway_order[0] as usize;
+            let a_rk = a_vals[i];
+            let (b_cols, b_vals) = b.row(a_cols[i] as usize);
+            for (&j, &b_kj) in b_cols.iter().zip(b_vals) {
+                idx.push(j);
+                val.push(a_rk * b_kj);
+            }
+            return 1;
+        }
+
+        // Huffman-style leaf layout: longest runs first (ties in
+        // generation order). Pure layout — the merge order is fixed by
+        // the keys, not the slots.
+        self.kway_order[..runs].sort_unstable_by(|&x, &y| {
+            let lx = b.row_nnz(a_cols[x as usize] as usize);
+            let ly = b.row_nnz(a_cols[y as usize] as usize);
+            ly.cmp(&lx).then(x.cmp(&y))
+        });
+
+        let m = runs.next_power_of_two();
+        self.ensure_kway(m);
+        for slot in 0..runs {
+            let i = self.kway_order[slot] as usize;
+            let k = a_cols[i] as usize;
+            let (b_cols, _) = b.row(k);
+            self.kway_row[slot] = k as u32;
+            self.kway_pos[slot] = 0;
+            self.kway_len[slot] = b_cols.len() as u32;
+            self.kway_aval[slot] = a_vals[i];
+            self.kway_key[slot] = ((b_cols[0] as u64) << 32) | i as u64;
+        }
+        for slot in runs..m {
+            self.kway_key[slot] = u64::MAX;
+        }
+        // runs >= 2 here, so m >= 2 and node 1 is a real internal node.
+        let winner = self.build_kway_tree(1, m);
+        self.kway_tree[0] = winner;
+
+        let mut have_col = false;
+        let mut cur_col = 0u32;
+        let mut cur_sum = T::ZERO;
+        loop {
+            let w = self.kway_tree[0] as usize;
+            let key = self.kway_key[w];
+            if key == u64::MAX {
+                break;
+            }
+            let col = (key >> 32) as u32;
+            let pos = self.kway_pos[w] as usize;
+            let (b_cols, b_vals) = b.row(self.kway_row[w] as usize);
+            let prod = self.kway_aval[w] * b_vals[pos];
+            if have_col && col == cur_col {
+                cur_sum += prod;
+            } else {
+                if have_col {
+                    idx.push(cur_col);
+                    val.push(cur_sum);
+                }
+                have_col = true;
+                cur_col = col;
+                cur_sum = prod;
+            }
+            // Advance the winning run and replay its path to the root.
+            let next_pos = pos + 1;
+            self.kway_pos[w] = next_pos as u32;
+            self.kway_key[w] = if next_pos == self.kway_len[w] as usize {
+                u64::MAX
+            } else {
+                ((b_cols[next_pos] as u64) << 32) | (key & 0xFFFF_FFFF)
+            };
+            let mut winner = w as u32;
+            let mut node = (w + m) / 2;
+            while node >= 1 {
+                let contender = self.kway_tree[node];
+                if self.kway_key[contender as usize] < self.kway_key[winner as usize] {
+                    self.kway_tree[node] = winner;
+                    winner = contender;
+                }
+                node /= 2;
+            }
+            self.kway_tree[0] = winner;
+        }
+        if have_col {
+            idx.push(cur_col);
+            val.push(cur_sum);
+        }
+        runs as u64
+    }
 }
 
 /// A shared pool of [`MergeScratch`]es — `br-service` workers draw from it
@@ -575,7 +936,8 @@ pub fn merge_rows_into<T: Scalar>(
     ptr.push(0);
     scratch.ensure_dense(b.ncols());
     // Batched per-bin tallies: one atomic add per bin per call, not per row.
-    let mut merged = [0u64; 3];
+    let mut merged = [0u64; NUM_BINS];
+    let mut kway_runs = 0u64;
     for r in rows {
         let (a_cols, a_vals) = a.row(r);
         let products = bins.row_products[r];
@@ -587,17 +949,24 @@ pub fn merge_rows_into<T: Scalar>(
                 scratch.merge_row_hash(a_cols, a_vals, b, cap, idx, val);
             }
             RowBin::Heavy => scratch.merge_row_dense(a_cols, a_vals, b, idx, val),
+            RowBin::Kway => kway_runs += scratch.merge_row_kway(a_cols, a_vals, b, idx, val),
         }
         merged[bin as usize] += 1;
         ptr.push(idx.len());
     }
-    let counters = merged_row_counters();
-    for (counter, &n) in counters.iter().zip(merged.iter()) {
+    let instruments = merge_instruments();
+    for (counter, &n) in instruments.rows.iter().zip(merged.iter()) {
         if n > 0 {
             counter.add(n);
         }
     }
+    if kway_runs > 0 {
+        instruments.kway_runs.add(kway_runs);
+    }
     scratch_footprint_gauge().set_max(scratch.footprint_bytes() as f64);
+    if merged[RowBin::Kway as usize] > 0 {
+        kway_scratch_gauge().set_max(scratch.kway_footprint_bytes() as f64);
+    }
 }
 
 /// Adaptive row-binned spGEMM: classifies rows, then merges each through
@@ -713,31 +1082,51 @@ mod tests {
     use crate::numeric::spgemm_dense_spa;
     use br_datasets::rmat::{rmat, RmatConfig};
 
-    /// The three acceptance-criterion threshold settings plus the three
-    /// degenerate single-bin collapses.
+    /// The acceptance-criterion threshold settings plus the degenerate
+    /// single-bin collapses — with and without the k-way bin.
     fn threshold_grid() -> Vec<BinThresholds> {
         vec![
             BinThresholds::default(),
             BinThresholds {
                 tiny_max: 4,
                 heavy_min: 64,
+                kway_min: u64::MAX,
             },
             BinThresholds {
                 tiny_max: 0,
                 heavy_min: u64::MAX,
+                kway_min: u64::MAX,
             }, // all medium (and empty rows tiny)
             BinThresholds {
                 tiny_max: u64::MAX,
                 heavy_min: u64::MAX,
+                kway_min: u64::MAX,
             }, // all tiny
             BinThresholds {
                 tiny_max: 0,
                 heavy_min: 0,
+                kway_min: u64::MAX,
             }, // all heavy (empty rows tiny)
             BinThresholds {
                 tiny_max: 1,
                 heavy_min: 2,
+                kway_min: u64::MAX,
             }, // no medium bin
+            BinThresholds {
+                tiny_max: 4,
+                heavy_min: 64,
+                kway_min: 256,
+            }, // all four bins live
+            BinThresholds {
+                tiny_max: 0,
+                heavy_min: 0,
+                kway_min: 0,
+            }, // all kway (empty rows tiny)
+            BinThresholds {
+                tiny_max: 4,
+                heavy_min: 64,
+                kway_min: 64,
+            }, // kway swallows the whole dense band
         ]
     }
 
@@ -785,7 +1174,8 @@ mod tests {
         let a = rmat(RmatConfig::graph500(8, 8, 13)).to_csr();
         let thresholds = BinThresholds {
             tiny_max: 8,
-            heavy_min: 256,
+            heavy_min: 128,
+            kway_min: 512,
         };
         let bins = RowBins::of(&a, &a, thresholds).unwrap();
         assert!(
@@ -793,12 +1183,13 @@ mod tests {
             "want all bins populated: {:?}",
             bins.rows
         );
-        let counters = merged_row_counters();
-        let before: Vec<u64> = counters.iter().map(|c| c.get()).collect();
+        let instruments = merge_instruments();
+        let before: Vec<u64> = instruments.rows.iter().map(|c| c.get()).collect();
+        let runs_before = instruments.kway_runs.get();
         let _ = spgemm_adaptive_planned(&a, &a, 2, &bins, None).unwrap();
         // The global registry is shared with concurrently running tests, so
         // assert monotone deltas of at least this merge's contribution.
-        for (i, counter) in counters.iter().enumerate() {
+        for (i, counter) in instruments.rows.iter().enumerate() {
             assert!(
                 counter.get() >= before[i] + bins.rows[i],
                 "bin {i}: {} < {} + {}",
@@ -807,8 +1198,29 @@ mod tests {
                 bins.rows[i]
             );
         }
+        // Every kway row merges at least one run.
+        assert!(
+            instruments.kway_runs.get() >= runs_before + bins.kway_rows(),
+            "kway runs: {} < {} + {}",
+            instruments.kway_runs.get(),
+            runs_before,
+            bins.kway_rows()
+        );
         let footprint = scratch_footprint_gauge().get();
         assert!(footprint > 0.0, "scratch high-water must be recorded");
+        let kway_footprint = kway_scratch_gauge().get();
+        assert!(kway_footprint > 0.0, "kway high-water must be recorded");
+    }
+
+    #[test]
+    fn instrument_registration_is_idempotent_and_covers_kway_cells() {
+        register_merge_instruments();
+        register_merge_instruments();
+        let text = br_obs::global().render_prometheus(false);
+        assert!(text.contains("br_spgemm_rows_merged_total{bin=\"kway\"}"));
+        assert!(text.contains("br_spgemm_kway_runs_total"));
+        let timing = br_obs::global().render_prometheus(true);
+        assert!(timing.contains("br_spgemm_kway_scratch_bytes"));
     }
 
     #[test]
@@ -822,6 +1234,7 @@ mod tests {
         let all_medium = BinThresholds {
             tiny_max: 0,
             heavy_min: u64::MAX,
+            kway_min: u64::MAX,
         };
         let fake_products = vec![1u64; a.nrows()];
         let bins = RowBins::classify(&fake_products, all_medium);
@@ -877,6 +1290,7 @@ mod tests {
             BinThresholds {
                 tiny_max: 3,
                 heavy_min: 99,
+                kway_min: 400,
             },
         )
         .unwrap();
@@ -889,22 +1303,82 @@ mod tests {
     fn thresholds_parse_cli_spelling() {
         assert_eq!(
             BinThresholds::parse("4,512"),
-            Some(BinThresholds {
+            Ok(BinThresholds {
                 tiny_max: 4,
-                heavy_min: 512
+                heavy_min: 512,
+                kway_min: u64::MAX,
             })
         );
         assert_eq!(
             BinThresholds::parse(" 16 , 2048 "),
-            Some(BinThresholds {
+            Ok(BinThresholds {
                 tiny_max: 16,
-                heavy_min: 2048
+                heavy_min: 2048,
+                kway_min: u64::MAX,
             })
         );
-        assert_eq!(BinThresholds::parse("16"), None);
-        assert_eq!(BinThresholds::parse("a,b"), None);
-        assert_eq!(BinThresholds::parse("1,2,3"), None);
-        assert_eq!(BinThresholds::parse("-1,2"), None);
+        assert_eq!(
+            BinThresholds::parse("4,512,4096"),
+            Ok(BinThresholds {
+                tiny_max: 4,
+                heavy_min: 512,
+                kway_min: 4096,
+            })
+        );
+        // kway_min == heavy_min is legal: kway swallows the dense band.
+        assert_eq!(
+            BinThresholds::parse("4,512,512"),
+            Ok(BinThresholds {
+                tiny_max: 4,
+                heavy_min: 512,
+                kway_min: 512,
+            })
+        );
+        assert!(matches!(
+            BinThresholds::parse("16"),
+            Err(ThresholdParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            BinThresholds::parse("a,b"),
+            Err(ThresholdParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            BinThresholds::parse("-1,2"),
+            Err(ThresholdParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            BinThresholds::parse("1,2,3,4"),
+            Err(ThresholdParseError::Malformed(_))
+        ));
+        // Reversed spelling: the dense band would sit below the tiny band.
+        assert_eq!(
+            BinThresholds::parse("512,4"),
+            Err(ThresholdParseError::Inverted {
+                tiny_max: 512,
+                heavy_min: 4,
+            })
+        );
+        assert_eq!(
+            BinThresholds::parse("16,16"),
+            Err(ThresholdParseError::Inverted {
+                tiny_max: 16,
+                heavy_min: 16,
+            })
+        );
+        // Kway below the dense band it splits off from.
+        assert_eq!(
+            BinThresholds::parse("4,512,256"),
+            Err(ThresholdParseError::KwayBelowHeavy {
+                heavy_min: 512,
+                kway_min: 256,
+            })
+        );
+        // The typed errors render an actionable message.
+        let message = BinThresholds::parse("512,4").unwrap_err().to_string();
+        assert!(
+            message.contains("512") && message.contains("4"),
+            "{message}"
+        );
     }
 
     #[test]
@@ -912,11 +1386,53 @@ mod tests {
         let custom = BinThresholds {
             tiny_max: 7,
             heavy_min: 700,
+            kway_min: 7000,
         };
         set_global_thresholds(Some(custom));
         assert_eq!(effective_thresholds(), custom);
         set_global_thresholds(None);
         assert_eq!(effective_thresholds(), BinThresholds::default());
+    }
+
+    #[test]
+    fn kway_handles_single_run_rows() {
+        // Diagonal A: every row contributes exactly one run, exercising
+        // the single-run fast path for every nonzero output row.
+        let b = rmat(RmatConfig::graph500(8, 8, 19)).to_csr();
+        let a = CsrMatrix::<f64>::identity(b.nrows()).map_values(|v| v * 2.5);
+        let oracle = spgemm_dense_spa(&a, &b).unwrap();
+        let all_kway = BinThresholds {
+            tiny_max: 0,
+            heavy_min: 0,
+            kway_min: 0,
+        };
+        for threads in [1usize, 4, 8] {
+            let c = spgemm_adaptive(&a, &b, threads, all_kway).unwrap();
+            assert_eq!(c, oracle, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn kway_handles_all_duplicate_columns() {
+        // Every B-row is the single column 0, so every product of a kway
+        // row collides on one output column — the per-column accumulation
+        // order (run index ascending) is all that keeps this bit-exact.
+        let n = 64;
+        let ptr: Vec<usize> = (0..=n).collect();
+        let idx = vec![0u32; n];
+        let val: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64) * 0.125).collect();
+        let b = CsrMatrix::from_parts_unchecked(n, n, ptr, idx, val);
+        let a = rmat(RmatConfig::uniform(6, 4, 9).with_dim(n).with_edges(400)).to_csr();
+        let oracle = spgemm_dense_spa(&a, &b).unwrap();
+        let all_kway = BinThresholds {
+            tiny_max: 0,
+            heavy_min: 0,
+            kway_min: 0,
+        };
+        for threads in [1usize, 4, 8] {
+            let c = spgemm_adaptive(&a, &b, threads, all_kway).unwrap();
+            assert_eq!(c, oracle, "threads={threads}");
+        }
     }
 
     proptest::proptest! {
@@ -934,7 +1450,27 @@ mod tests {
         ) {
             let a = rmat(RmatConfig::snap_like(8, 6, seed)).to_csr();
             let oracle = spgemm_dense_spa(&a, &a).unwrap();
-            let thresholds = BinThresholds { tiny_max, heavy_min };
+            let thresholds = BinThresholds { tiny_max, heavy_min, kway_min: u64::MAX };
+            let c = spgemm_adaptive(&a, &a, threads, thresholds).unwrap();
+            proptest::prop_assert_eq!(c, oracle);
+        }
+
+        /// Property: the k-way tournament merge is bit-for-bit the dense
+        /// SPA across RMAT seeds, thread counts, and threshold mixes —
+        /// `kway_sel` sweeps the kway band from swallowing everything
+        /// past tiny (0) through disabled (>= 4096 maps to `u64::MAX`).
+        #[test]
+        fn prop_kway_bit_identical(
+            seed in 0u64..500,
+            threads in 1usize..10,
+            tiny_max in 0u64..64,
+            heavy_min in 0u64..4096,
+            kway_sel in 0u64..4608,
+        ) {
+            let a = rmat(RmatConfig::snap_like(8, 6, seed)).to_csr();
+            let oracle = spgemm_dense_spa(&a, &a).unwrap();
+            let kway_min = if kway_sel >= 4096 { u64::MAX } else { kway_sel };
+            let thresholds = BinThresholds { tiny_max, heavy_min, kway_min };
             let c = spgemm_adaptive(&a, &a, threads, thresholds).unwrap();
             proptest::prop_assert_eq!(c, oracle);
         }

@@ -442,20 +442,40 @@ pub fn select_method<T: Scalar>(ctx: &ProblemContext<T>, est: &WorkloadEstimate)
 /// four times the estimated mean row products so typical rows stay in the
 /// hash table and only true outliers pay the dense sweep. Thresholds are
 /// a pure performance knob — any setting yields bit-identical output.
+///
+/// The kway/dense-SPA crossover (`kway_min`) is placed from the estimated
+/// *compression* (intermediate products per output nonzero). The k-way
+/// tournament spends ~`log2(runs)` comparisons per product but never
+/// sweeps the accumulator or sorts the output, while the dense SPA pays
+/// its `unique·log2(unique)` sort once per row — a cost that duplication
+/// amortizes. Low compression (≲2×: nearly every product is a distinct
+/// column) puts the crossover right above the dense cutoff; moderate
+/// compression pushes it out so only extreme rows switch; past ~8× the
+/// sort is cheap per product and the bin stays off for the problem.
 pub fn select_thresholds(est: &WorkloadEstimate, ncols: usize) -> BinThresholds {
     let base = BinThresholds::recommended(ncols);
     if base.heavy_min <= base.tiny_max + 1 {
         return base; // no medium band at this width
     }
     let nrows = est.row_products.len().max(1) as u64;
-    let mean = est.row_products.iter().sum::<u64>() / nrows;
+    let total: u64 = est.row_products.iter().sum();
+    let mean = total / nrows;
     let heavy = mean
         .saturating_mul(4)
         .next_power_of_two()
         .clamp(base.tiny_max + 2, 1 << 20);
+    let compression = total as f64 / est.output_total.max(1) as f64;
+    let kway_min = if compression <= 2.0 {
+        heavy.saturating_mul(4)
+    } else if compression <= 8.0 {
+        heavy.saturating_mul(16)
+    } else {
+        u64::MAX
+    };
     BinThresholds {
         tiny_max: base.tiny_max,
         heavy_min: heavy,
+        kway_min,
     }
 }
 
@@ -595,6 +615,25 @@ mod tests {
         let tw = select_thresholds(&wide, 1 << 20);
         assert_eq!(tw.tiny_max, BinThresholds::default().tiny_max);
         assert_eq!(tw.heavy_min, 512); // next_power_of_two(400)
+
+        // Compression 1000/500 = 2x: barely any duplication, so the
+        // kway crossover sits right above the dense cutoff.
+        assert_eq!(tw.kway_min, 512 * 4);
+
+        // Moderate duplication pushes the crossover out 16x...
+        let mid = WorkloadEstimate {
+            output_total: 250,
+            ..wide.clone()
+        };
+        assert_eq!(select_thresholds(&mid, 1 << 20).kway_min, 512 * 16);
+
+        // ...and heavy duplication (>8x) keeps the kway bin off.
+        let dup = WorkloadEstimate {
+            output_total: 100,
+            ..wide.clone()
+        };
+        assert_eq!(select_thresholds(&dup, 1 << 20).kway_min, u64::MAX);
+        assert!(!select_thresholds(&dup, 1 << 20).kway_enabled());
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 pub mod esc;
 pub mod gustavson;
+pub mod kway;
 
 pub use esc::esc_merge_launches;
-pub use gustavson::gustavson_merge_launch;
+pub use gustavson::{gustavson_merge_launch, gustavson_merge_launch_filtered};
+pub use kway::{binned_merge_launches, kway_merge_launch};

@@ -25,7 +25,6 @@ use br_sparse::Scalar;
 ///
 /// `extra_smem_for_row(r)` returns the *additional* shared-memory bytes for
 /// the block merging row `r` (0 disables limiting for that row).
-#[allow(clippy::needless_range_loop)] // r is the row id, used across several per-row arrays
 pub fn gustavson_merge_launch<T: Scalar>(
     ctx: &ProblemContext<T>,
     ws: &Workspace,
@@ -33,12 +32,41 @@ pub fn gustavson_merge_launch<T: Scalar>(
     chat_row_major: bool,
     extra_smem_for_row: impl Fn(usize) -> u32,
 ) -> KernelLaunch {
+    gustavson_merge_launch_filtered(
+        ctx,
+        ws,
+        block_size,
+        chat_row_major,
+        extra_smem_for_row,
+        |_| false,
+    )
+}
+
+/// [`gustavson_merge_launch`] minus the rows `skip` claims — the
+/// bin-dispatched merge routes those through the k-way tournament kernel
+/// instead. Output offsets still advance over *every* productive row, so
+/// each block writes to the same `C` slice it would in the unfiltered
+/// launch; with a never-skip predicate the launch is identical to
+/// [`gustavson_merge_launch`].
+#[allow(clippy::needless_range_loop)] // r is the row id, used across several per-row arrays
+pub fn gustavson_merge_launch_filtered<T: Scalar>(
+    ctx: &ProblemContext<T>,
+    ws: &Workspace,
+    block_size: u32,
+    chat_row_major: bool,
+    extra_smem_for_row: impl Fn(usize) -> u32,
+    skip: impl Fn(usize) -> bool,
+) -> KernelLaunch {
     let chat_rows = ctx.chat_row_offsets();
     let mut c_written = 0u64;
     let mut blocks = Vec::new();
     for r in 0..ctx.nrows() {
         let products = ctx.row_products[r];
         if products == 0 {
+            continue;
+        }
+        if skip(r) {
+            c_written += ctx.row_unique[r] as u64;
             continue;
         }
         let unique = ctx.row_unique[r] as u64;

@@ -38,10 +38,15 @@ static COUNTER: CountingAlloc = CountingAlloc;
 
 #[test]
 fn steady_state_merge_allocates_nothing() {
-    // A power-law input large enough to populate all three bins under the
-    // default thresholds.
+    // A power-law input large enough to populate all four bins: the
+    // default tiny/heavy split with the k-way tournament bin opened just
+    // above the heavy threshold, so the grow-only tree scratch is
+    // exercised alongside the small buffer, hash table, and dense SPA.
     let a = rmat(RmatConfig::graph500(10, 8, 7)).to_csr();
-    let thresholds = BinThresholds::default();
+    let thresholds = BinThresholds {
+        kway_min: 4096,
+        ..BinThresholds::default()
+    };
     let bins = RowBins::of(&a, &a, thresholds).unwrap();
     assert!(
         bins.rows.iter().all(|&r| r > 0),

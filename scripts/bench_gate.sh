@@ -208,6 +208,51 @@ rm -f BENCH_estplan.t1.json BENCH_estplan.t8.json BENCH_estplan.rerun.json \
       estplan.t1.prom.jsonl estplan.t8.prom.jsonl estplan.rerun.prom.jsonl
 echo "ok: estimator planning is byte-identical across thread counts and reruns"
 
+echo "== kway determinism: forced k-way merge must be byte-identical across threads and reruns =="
+# The kway suite forces the k-way tournament bin open per case, so heavy
+# rows run through the loser-tree merge on the host numeric path and the
+# kway-merge kernel in the simulated stream. Pop order is fixed by
+# (column, run-generation) keys, so the report and the metrics exposition
+# (kway instrument cells included) must byte-compare across BR_THREADS=1/8
+# and across reruns.
+BR_THREADS=1 $cli bench run --suite kway --no-host --out BENCH_kway.t1.json \
+    --metrics kway.t1.prom >/dev/null
+BR_THREADS=8 $cli bench run --suite kway --no-host --out BENCH_kway.t8.json \
+    --metrics kway.t8.prom >/dev/null
+BR_THREADS=8 $cli bench run --suite kway --no-host --out BENCH_kway.rerun.json \
+    --metrics kway.rerun.prom >/dev/null
+for pair in "BENCH_kway.t1.json BENCH_kway.t8.json" \
+            "BENCH_kway.t8.json BENCH_kway.rerun.json" \
+            "kway.t1.prom kway.t8.prom" \
+            "kway.t8.prom kway.rerun.prom" \
+            "kway.t1.prom.jsonl kway.t8.prom.jsonl" \
+            "kway.t8.prom.jsonl kway.rerun.prom.jsonl"; do
+    # shellcheck disable=SC2086  # intentional word split into the two paths
+    set -- $pair
+    if ! cmp -s "$1" "$2"; then
+        echo "error: kway output differs ($1 vs $2)" >&2
+        diff "$1" "$2" | head -40 >&2 || true
+        exit 1
+    fi
+done
+# The kway instrument cells must be present — and the bin actually used.
+for line in 'br_spgemm_rows_merged_total{bin="kway"}' \
+            'br_spgemm_kway_runs_total'; do
+    if ! grep -qF "$line" kway.t8.prom; then
+        echo "error: expected '$line' in kway.t8.prom" >&2
+        grep '^br_spgemm' kway.t8.prom >&2 || true
+        exit 1
+    fi
+done
+if grep -qF 'br_spgemm_rows_merged_total{bin="kway"} 0' kway.t8.prom; then
+    echo "error: kway suite merged no rows through the kway bin" >&2
+    exit 1
+fi
+rm -f BENCH_kway.t1.json BENCH_kway.t8.json BENCH_kway.rerun.json \
+      kway.t1.prom kway.t8.prom kway.rerun.prom \
+      kway.t1.prom.jsonl kway.t8.prom.jsonl kway.rerun.prom.jsonl
+echo "ok: forced k-way merge is byte-identical across thread counts and reruns"
+
 echo "== bench gate: quick suite, cycle threshold ${threshold}% =="
 $cli bench run --suite quick --out BENCH_quick.json
 

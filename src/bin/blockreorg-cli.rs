@@ -19,8 +19,8 @@
 //!   blockreorg-cli client --connect <addr> [--client-id <id>] --spec '<jobline>'
 //!                  [--count <n>] [--lane interactive|batch|alternate]
 //!                  [--deadline-ms <n>] [--release] [--shutdown] [--quiet]
-//!   blockreorg-cli bench run [--suite quick|full|scaling|estplan] [--out <path>]
-//!                  [--threads <n>] [--no-host] [--bins <tiny>,<heavy>]
+//!   blockreorg-cli bench run [--suite quick|full|scaling|estplan|kway] [--out <path>]
+//!                  [--threads <n>] [--no-host] [--bins <tiny>,<heavy>[,<kway>]]
 //!                  [--est-samples <n>] [--est-tolerance <f>] [--no-estimate]
 //!                  [--metrics <path>] [--metrics-timing]
 //!   blockreorg-cli bench compare <baseline.json> <current.json>
@@ -117,8 +117,9 @@ fn print_usage() {
     println!("       blockreorg-cli client --connect <addr> [--client-id <id>] --spec '<jobline>'");
     println!("                      [--count <n>] [--lane interactive|batch|alternate]");
     println!("                      [--deadline-ms <n>] [--release] [--shutdown] [--quiet]");
-    println!("       blockreorg-cli bench run [--suite quick|full|scaling|estplan] [--out <path>]");
-    println!("                      [--threads <n>] [--no-host] [--bins <tiny>,<heavy>]");
+    println!("       blockreorg-cli bench run [--suite quick|full|scaling|estplan|kway]");
+    println!("                      [--out <path>]");
+    println!("                      [--threads <n>] [--no-host] [--bins <tiny>,<heavy>[,<kway>]]");
     println!("                      [--est-samples <n>] [--est-tolerance <f>] [--no-estimate]");
     println!("                      [--metrics <path>] [--metrics-timing]");
     println!("       blockreorg-cli bench compare <baseline.json> <current.json>");
@@ -140,9 +141,12 @@ fn print_usage() {
     println!("1 = exact sequential path. Every simulated metric is bit-identical at any");
     println!("thread count; only wall clock changes. --no-host omits the wall-clock");
     println!("'host' section from the report so files byte-compare across runs.");
-    println!("--bins <tiny_max>,<heavy_min> overrides the adaptive numeric engine's");
-    println!("row-bin thresholds (default 16,2048); results are bit-identical at any");
-    println!("setting — bins change only which merge kernel runs, never the numbers.");
+    println!("--bins <tiny_max>,<heavy_min>[,<kway_min>] overrides the adaptive numeric");
+    println!("engine's row-bin thresholds (default 16,2048, kway off); the optional third");
+    println!("field routes rows with at least that many intermediate products through the");
+    println!("k-way tournament merge. Inverted/overlapping spellings are rejected (exit 2).");
+    println!("Results are bit-identical at any setting — bins change only which merge");
+    println!("kernel runs, never the numbers.");
     println!();
     println!("--est-samples <n> / --est-tolerance <f> configure the sampling estimator");
     println!("that replaces exact cold-plan precalculation (defaults 64 / 1.0); in batch");
@@ -563,6 +567,10 @@ fn report(name: &str, total_ms: f64, gflops: f64, nnz_c: usize) {
 /// `--metrics-timing` adds the timing families (queue depths, wall-clock
 /// histograms, span durations) for human inspection.
 fn write_metrics(path: &str, timing: bool) {
+    // Pre-register every merge instrument cell (including the kway ones)
+    // so the exported cell set is byte-identical whether or not the run
+    // exercised each bin.
+    blockreorg::spgemm::accum::register_merge_instruments();
     let reg = blockreorg::obs::global();
     if let Err(e) = std::fs::write(path, reg.render_prometheus(timing)) {
         runtime_error(&format!("cannot write {path}: {e}"));
@@ -822,7 +830,7 @@ fn run_bench_mode(args: &mut dyn Iterator<Item = String>) -> ! {
                             .unwrap_or_else(|| usage_and_exit("missing --suite value"));
                         suite = Suite::parse(&v).unwrap_or_else(|| {
                             usage_and_exit(&format!(
-                                "unknown suite {v:?}; valid suites: quick, full, scaling, estplan"
+                                "unknown suite {v:?}; valid suites: quick, full, scaling, estplan, kway"
                             ))
                         });
                     }
@@ -851,11 +859,8 @@ fn run_bench_mode(args: &mut dyn Iterator<Item = String>) -> ! {
                         let v = args
                             .next()
                             .unwrap_or_else(|| usage_and_exit("missing --bins value"));
-                        let thresholds = BinThresholds::parse(&v).unwrap_or_else(|| {
-                            usage_and_exit(&format!(
-                                "bad --bins value {v:?}; expected <tiny_max>,<heavy_min>"
-                            ))
-                        });
+                        let thresholds = BinThresholds::parse(&v)
+                            .unwrap_or_else(|e| usage_and_exit(&format!("bad --bins value: {e}")));
                         set_global_thresholds(Some(thresholds));
                     }
                     other => {

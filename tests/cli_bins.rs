@@ -1,0 +1,45 @@
+//! CLI contract for the `--bins` threshold override: malformed, inverted,
+//! or overlapping spellings must be rejected with exit code 2 and a
+//! message naming the offending values, before any suite work starts.
+
+use std::process::Command;
+
+fn run_bins(value: &str) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_blockreorg-cli"))
+        .args(["bench", "run", "--suite", "quick", "--bins", value])
+        .output()
+        .expect("CLI binary runs")
+}
+
+#[test]
+fn reversed_bins_are_rejected_with_exit_2_and_both_values() {
+    let out = run_bins("512,4");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad --bins value"), "{stderr}");
+    assert!(
+        stderr.contains("512") && stderr.contains("4"),
+        "message must name both thresholds: {stderr}"
+    );
+}
+
+#[test]
+fn kway_threshold_below_heavy_is_rejected() {
+    let out = run_bins("4,512,256");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("512") && stderr.contains("256"),
+        "message must name the overlapping pair: {stderr}"
+    );
+}
+
+#[test]
+fn malformed_bins_are_rejected() {
+    for bad in ["abc", "16", "1,2,3,4"] {
+        let out = run_bins(bad);
+        assert_eq!(out.status.code(), Some(2), "--bins {bad} must exit 2");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("bad --bins value"), "{bad}: {stderr}");
+    }
+}
