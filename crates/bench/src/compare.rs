@@ -325,7 +325,10 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, t: &Thresholds) ->
             }
         }
         (Some(_), None) => {
-            errors.push("plan section missing from current report".to_string());
+            errors.push(format!(
+                "plan section missing from current {:?} report (baseline {:?} has one)",
+                current.suite, baseline.suite
+            ));
         }
         // A new plan section against a pre-estimator baseline is
         // informational, like a new case: nothing to compare against yet.
@@ -663,15 +666,39 @@ mod tests {
         let mut cur = plan_report(1000);
         cur.plan = None;
         let cmp = compare(&base, &cur, &Thresholds::default());
+        // The message must name the suite so a multi-suite gate log says
+        // which report dropped its plan section.
         assert!(cmp
             .errors
             .iter()
-            .any(|e| e.contains("plan section missing")));
+            .any(|e| e.contains("plan section missing") && e.contains("estplan")));
         // New plan section against a pre-estimator baseline: informational.
         let mut base = plan_report(1000);
         base.plan = None;
         let cmp = compare(&base, &plan_report(1000), &Thresholds::default());
         assert!(!cmp.has_regressions(), "{}", cmp.render());
+    }
+
+    #[test]
+    fn null_plan_section_parsed_from_json_is_named_by_suite() {
+        // A current report whose JSON carries an explicit `"plan": null`
+        // (the layout every non-estplan suite writes) must compare like a
+        // missing section, with the error naming the suite.
+        let base = plan_report(1000);
+        let mut cur = plan_report(1000);
+        cur.plan = None;
+        let text = cur.to_json();
+        assert!(text.contains("\"plan\": null"), "fixture writes the key");
+        let parsed = BenchReport::from_json(&text).expect("null plan parses");
+        assert_eq!(parsed.plan, None);
+        let cmp = compare(&base, &parsed, &Thresholds::default());
+        assert!(
+            cmp.errors
+                .iter()
+                .any(|e| e.contains("plan section missing") && e.contains("estplan")),
+            "{:?}",
+            cmp.errors
+        );
     }
 
     #[test]

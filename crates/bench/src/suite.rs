@@ -17,12 +17,16 @@
 //! * `kway` — the quick grid's datasets run through the reorganizer with
 //!   the default merge bins and again with the k-way tournament bin forced
 //!   open, so the heavy-row merge crossover shows up in the report.
+//! * `reorder` — the quick grid's datasets planned under each row-reorder
+//!   strategy (`none`/`degree`/`rcm`/`cluster`), so the per-strategy LBI
+//!   and L2-hit-rate deltas show up in the report.
 
 use crate::schema::{
     git_sha, BenchReport, BinHostStats, CaseMetrics, CaseReport, HostSection, ObsHostStats,
     PhaseMetrics, PlanCaseReport, PlanSection, ServiceSection, SCHEMA_VERSION,
 };
 use block_reorganizer::plan::{PlanMode, ReorgPlan};
+use block_reorganizer::reorder::ReorderStrategy;
 use block_reorganizer::{BlockReorganizer, ReorganizerConfig};
 use br_datasets::registry::{RealWorldRegistry, ScaleFactor};
 use br_gpu_sim::device::DeviceConfig;
@@ -53,6 +57,11 @@ pub enum Suite {
     /// reorganizer with default bins and with the k-way tournament bin
     /// forced open ([`KWAY_SUITE_MIN`]), on the Titan Xp.
     Kway,
+    /// Row-reordering sweep: the quick grid's datasets planned under each
+    /// strategy (`none`/`degree`/`rcm`/`cluster`) and executed from the
+    /// cached plan, on the Titan Xp. Results are bit-identical across
+    /// strategies; the report captures the LBI / L2-hit-rate deltas.
+    Reorder,
 }
 
 impl Suite {
@@ -64,6 +73,7 @@ impl Suite {
             "scaling" => Some(Suite::Scaling),
             "estplan" => Some(Suite::Estplan),
             "kway" => Some(Suite::Kway),
+            "reorder" => Some(Suite::Reorder),
             _ => None,
         }
     }
@@ -76,6 +86,7 @@ impl Suite {
             Suite::Scaling => "scaling",
             Suite::Estplan => "estplan",
             Suite::Kway => "kway",
+            Suite::Reorder => "reorder",
         }
     }
 
@@ -164,6 +175,25 @@ impl Suite {
                 }
                 out
             }
+            Suite::Reorder => {
+                let mut out = Vec::new();
+                for dataset in ["harbor", "emailEnron", "patents_main"] {
+                    for strategy in [
+                        ReorderStrategy::None,
+                        ReorderStrategy::Degree,
+                        ReorderStrategy::Rcm,
+                        ReorderStrategy::Cluster,
+                    ] {
+                        out.push(BenchCase {
+                            dataset,
+                            scale: ScaleFactor::Tiny,
+                            method: MethodSel::Reordered(strategy),
+                            device: DeviceSel::TitanXp,
+                        });
+                    }
+                }
+                out
+            }
             Suite::Scaling => {
                 let mut out = Vec::new();
                 for dataset in ["harbor", "emailEnron"] {
@@ -217,6 +247,12 @@ pub enum MethodSel {
     /// exactly, then its bins are re-classified per case — no process-wide
     /// threshold override, so parallel grid cells cannot race.
     KwayMerge,
+    /// The reorganizer plan built under a forced row-reorder strategy and
+    /// executed from the cached plan (`reorder` suite). The strategy is
+    /// carried per case — no process-wide override, so parallel grid cells
+    /// cannot race — and the numeric result stays bit-identical because
+    /// the plan un-permutes its output.
+    Reordered(ReorderStrategy),
 }
 
 impl MethodSel {
@@ -228,6 +264,11 @@ impl MethodSel {
             MethodSel::PlanExact => "plan-exact",
             MethodSel::PlanEstimate => "plan-estimate",
             MethodSel::KwayMerge => "kway-merge",
+            MethodSel::Reordered(ReorderStrategy::None) => "reorder-none",
+            MethodSel::Reordered(ReorderStrategy::Degree) => "reorder-degree",
+            MethodSel::Reordered(ReorderStrategy::Rcm) => "reorder-rcm",
+            MethodSel::Reordered(ReorderStrategy::Cluster) => "reorder-cluster",
+            MethodSel::Reordered(ReorderStrategy::Auto) => "reorder-auto",
         }
     }
 }
@@ -425,6 +466,15 @@ fn run_case(case: &BenchCase, config: &ReorganizerConfig) -> (CaseReport, Option
                 .expect("square shapes always agree")
                 .to_spgemm_run()
         }
+        MethodSel::Reordered(strategy) => {
+            // The permutation is planned once and stored in the plan, so
+            // the cached execution replays it exactly like a cache hit in
+            // the service would.
+            let plan = ReorgPlan::build_with_reorder(&ctx, config, &device, strategy);
+            plan.execute(&ctx, &device, PlanMode::Cached)
+                .expect("square shapes always agree")
+                .to_spgemm_run()
+        }
         MethodSel::PlanExact | MethodSel::PlanEstimate => {
             let setting = effective_estimator();
             let plan = if case.method == MethodSel::PlanEstimate && setting.enabled {
@@ -591,7 +641,7 @@ fn run_service_batch(suite: Suite, threads: usize) -> ServiceSection {
     let (repeats, scale) = match suite {
         Suite::Quick => (3usize, ScaleFactor::Tiny),
         Suite::Full => (4, ScaleFactor::Default),
-        Suite::Scaling | Suite::Estplan | Suite::Kway => (3, ScaleFactor::Tiny),
+        Suite::Scaling | Suite::Estplan | Suite::Kway | Suite::Reorder => (3, ScaleFactor::Tiny),
     };
     let mut jobs = Vec::new();
     let mut id = 0u64;
@@ -630,12 +680,13 @@ fn run_service_batch(suite: Suite, threads: usize) -> ServiceSection {
 mod tests {
     use super::*;
 
-    const ALL_SUITES: [Suite; 5] = [
+    const ALL_SUITES: [Suite; 6] = [
         Suite::Quick,
         Suite::Full,
         Suite::Scaling,
         Suite::Estplan,
         Suite::Kway,
+        Suite::Reorder,
     ];
 
     #[test]
@@ -892,6 +943,57 @@ mod tests {
     fn estplan_suite_is_byte_identical_at_any_thread_count() {
         let mut seq = run_suite_threaded(Suite::Estplan, 1, |_| {});
         let mut par4 = run_suite_threaded(Suite::Estplan, 4, |_| {});
+        seq.host = None;
+        par4.host = None;
+        assert_eq!(seq.to_json(), par4.to_json());
+    }
+
+    /// ISSUE acceptance criterion: every reorder strategy keeps the
+    /// numeric work bit-identical on every dataset, and at least one
+    /// strategy improves LBI or L2 hit rate over `reorder-none` on at
+    /// least one dataset.
+    #[test]
+    fn reorder_suite_improves_lbi_or_l2_somewhere_without_changing_results() {
+        let report = run_suite(Suite::Reorder, |_| {});
+        assert_eq!(report.cases.len(), 12);
+        let mut improved = Vec::new();
+        for dataset in ["harbor", "emailEnron", "patents_main"] {
+            let base = report
+                .case(&format!("{dataset}@tiny/reorder-none/titan-xp"))
+                .unwrap_or_else(|| panic!("missing baseline case for {dataset}"));
+            for flavor in ["reorder-degree", "reorder-rcm", "reorder-cluster"] {
+                let reordered = report
+                    .case(&format!("{dataset}@tiny/{flavor}/titan-xp"))
+                    .unwrap_or_else(|| panic!("missing {flavor} case for {dataset}"));
+                // Reordering only permutes the launch schedule; the
+                // numeric work and the un-permuted result must not change.
+                assert_eq!(
+                    base.metrics.flops, reordered.metrics.flops,
+                    "{dataset}/{flavor}"
+                );
+                assert_eq!(
+                    base.metrics.result_nnz, reordered.metrics.result_nnz,
+                    "{dataset}/{flavor}"
+                );
+                if reordered.metrics.lbi < base.metrics.lbi
+                    || reordered.metrics.l2_hit_rate > base.metrics.l2_hit_rate
+                {
+                    improved.push(format!("{dataset}/{flavor}"));
+                }
+            }
+        }
+        assert!(
+            !improved.is_empty(),
+            "no strategy improved LBI or L2 hit rate over reorder-none"
+        );
+    }
+
+    /// The reorder report is byte-identical across thread counts, like the
+    /// quick suite — the contract the bench_gate reorder step byte-compares.
+    #[test]
+    fn reorder_suite_is_byte_identical_at_any_thread_count() {
+        let mut seq = run_suite_threaded(Suite::Reorder, 1, |_| {});
+        let mut par4 = run_suite_threaded(Suite::Reorder, 4, |_| {});
         seq.host = None;
         par4.host = None;
         assert_eq!(seq.to_json(), par4.to_json());

@@ -28,8 +28,11 @@
 //! Extensions beyond the paper: [`report::WorkloadReport`] (the Figure 4
 //! bins, inspectable before running anything), [`classify::auto_alpha`]
 //! (data-driven dominator threshold), [`config::SplitPolicy::Greedy`]
-//! (the per-vector factor selection the paper sketches), and [`mod@tune`]
-//! (per-matrix configuration search over the simulator).
+//! (the per-vector factor selection the paper sketches), [`mod@tune`]
+//! (per-matrix configuration search over the simulator), and
+//! [`mod@reorder`] (deterministic row-reordering strategies — degree,
+//! RCM-style, structure-hash clustering — planned once and replayed from
+//! the cached plan, with the output un-permuted bit-identically).
 
 #![warn(missing_docs)]
 
@@ -40,6 +43,7 @@ pub mod gather;
 pub mod limit;
 pub mod pass;
 pub mod plan;
+pub mod reorder;
 pub mod report;
 pub mod split;
 pub mod tune;
@@ -49,5 +53,6 @@ pub use classify::{Classification, WorkloadClass};
 pub use config::ReorganizerConfig;
 pub use pass::{BlockReorganizer, ReorganizerRun};
 pub use plan::{PlanMode, ReorgPlan};
+pub use reorder::{Permutation, ReorderParseError, ReorderStrategy};
 pub use report::WorkloadReport;
 pub use tune::{tune, TuneResult};

@@ -49,6 +49,7 @@ use crate::config::ReorganizerConfig;
 use crate::gather::{combined_block_trace, compacted_block_trace, plan_gathers, GatherPlan};
 use crate::limit::LimitPlan;
 use crate::pass::{ReorgStats, ReorganizerRun};
+use crate::reorder::{self, Permutation, ReorderStrategy};
 use crate::split::{plan_splits, preprocess_ms, split_blocks, SplitPlan};
 
 /// How a plan execution charges preprocessing overhead.
@@ -101,6 +102,17 @@ pub struct ReorgPlan {
     /// launch stream only — the host numeric multiply always runs the
     /// adaptive engine, so output is bit-identical either way.
     pub method: MethodChoice,
+    /// The *resolved* row-reordering strategy this plan was analyzed
+    /// under ([`ReorderStrategy::Auto`] never appears here — it resolves
+    /// to a concrete strategy at build time). [`ReorderStrategy::None`]
+    /// is the default and keeps the plan byte-identical to the
+    /// pre-reordering pipeline.
+    pub reorder: ReorderStrategy,
+    /// Row permutation of `A` the plan's analysis ran over, replayed on
+    /// every execution (permute `A`, run the planned pipeline, un-permute
+    /// the rows of `C`). `None` means identity — every default-strategy
+    /// plan, and any strategy whose order degenerates to the input order.
+    pub permutation: Option<Permutation>,
     /// How this plan's workloads were obtained (exact vs estimated).
     pub build: PlanBuild,
 }
@@ -152,6 +164,47 @@ impl ReorgPlan {
         config: &ReorganizerConfig,
         device: &DeviceConfig,
     ) -> Self {
+        Self::build_with_reorder(ctx, config, device, ReorderStrategy::None)
+    }
+
+    /// [`ReorgPlan::build`] with a row-reordering stage in front: the
+    /// strategy's [`Permutation`] over `A`'s row structure is computed
+    /// once, the whole analysis (classification, splitting, gathering,
+    /// limiting, row binning) runs over the *permuted* problem, and both
+    /// the resolved strategy and the permutation are stored in the plan
+    /// so cached executions replay them. The plan's signature stays that
+    /// of the **original** operands — callers never permute anything
+    /// themselves, and the executed result is un-permuted on output, so
+    /// it is bit-identical to the unreordered multiply.
+    pub fn build_with_reorder<T: Scalar>(
+        ctx: &ProblemContext<T>,
+        config: &ReorganizerConfig,
+        device: &DeviceConfig,
+        strategy: ReorderStrategy,
+    ) -> Self {
+        let (resolved, permutation) = reorder::plan_permutation(&ctx.a, strategy);
+        match permutation {
+            Some(p) => {
+                let mut plan = Self::build_exact_at(&ctx.permute_rows(p.forward()), config, device);
+                plan.signature = ctx.signature();
+                plan.reorder = resolved;
+                plan.permutation = Some(p);
+                plan
+            }
+            None => {
+                let mut plan = Self::build_exact_at(ctx, config, device);
+                plan.reorder = resolved;
+                plan
+            }
+        }
+    }
+
+    /// The exact analysis pipeline over `ctx` as given (no reordering).
+    fn build_exact_at<T: Scalar>(
+        ctx: &ProblemContext<T>,
+        config: &ReorganizerConfig,
+        device: &DeviceConfig,
+    ) -> Self {
         let classification = Classification::of(ctx, config);
         let split_plans = if config.enable_split && !classification.dominators.is_empty() {
             plan_splits(
@@ -183,6 +236,8 @@ impl ReorgPlan {
             bins,
             preprocess_ms: host_ms,
             method: MethodChoice::Reorganized,
+            reorder: ReorderStrategy::None,
+            permutation: None,
             build: PlanBuild::exact(exact_plan_ops(ctx)),
         }
     }
@@ -204,11 +259,56 @@ impl ReorgPlan {
         device: &DeviceConfig,
         estimator: &EstimatorConfig,
     ) -> Self {
+        Self::build_estimated_with_reorder(ctx, config, device, estimator, ReorderStrategy::None)
+    }
+
+    /// [`ReorgPlan::build_estimated`] with the reordering stage of
+    /// [`ReorgPlan::build_with_reorder`] in front: the estimator's
+    /// sampling, threshold selection, and method choice all observe the
+    /// *permuted* structure, and the stored plan carries the permutation
+    /// alongside the estimated workloads.
+    pub fn build_estimated_with_reorder<T: Scalar>(
+        ctx: &ProblemContext<T>,
+        config: &ReorganizerConfig,
+        device: &DeviceConfig,
+        estimator: &EstimatorConfig,
+        strategy: ReorderStrategy,
+    ) -> Self {
+        let (resolved, permutation) = reorder::plan_permutation(&ctx.a, strategy);
+        match permutation {
+            Some(p) => {
+                let mut plan = Self::build_estimated_at(
+                    &ctx.permute_rows(p.forward()),
+                    config,
+                    device,
+                    estimator,
+                );
+                plan.signature = ctx.signature();
+                plan.reorder = resolved;
+                plan.permutation = Some(p);
+                plan
+            }
+            None => {
+                let mut plan = Self::build_estimated_at(ctx, config, device, estimator);
+                plan.reorder = resolved;
+                plan
+            }
+        }
+    }
+
+    /// The estimated analysis pipeline over `ctx` as given (no
+    /// reordering).
+    fn build_estimated_at<T: Scalar>(
+        ctx: &ProblemContext<T>,
+        config: &ReorganizerConfig,
+        device: &DeviceConfig,
+        estimator: &EstimatorConfig,
+    ) -> Self {
         let est = estimate_workload(ctx, estimator);
         let rel_band_ppm = (est.rel_band * 1e6) as u64;
         if !est.within(estimator) {
             // Band too wide: pay for exact precalc on top of the sample.
-            let mut plan = Self::build(ctx, config, device);
+            let mut plan = Self::build_exact_at(ctx, config, device);
             plan.build = PlanBuild {
                 estimated: true,
                 fallback: true,
@@ -259,6 +359,8 @@ impl ReorgPlan {
             bins,
             preprocess_ms: host_ms,
             method,
+            reorder: ReorderStrategy::None,
+            permutation: None,
             build: PlanBuild {
                 estimated: true,
                 fallback: false,
@@ -314,6 +416,19 @@ impl ReorgPlan {
                 ctx.signature()
             )));
         }
+        // Replay the plan's row reordering: every launch (and the host
+        // numeric multiply) runs over the permuted problem the analysis
+        // saw; the output rows are scattered back below, so callers get
+        // the bit-identical unreordered result. Workspace totals are
+        // permutation-invariant, so the layout is unchanged either way.
+        let permuted;
+        let ctx = match &self.permutation {
+            Some(p) => {
+                permuted = ctx.permute_rows(p.forward());
+                &permuted
+            }
+            None => ctx,
+        };
         let ws = Workspace::for_context(ctx);
         // The chosen method swaps the simulated launch stream; the host
         // numeric multiply below always runs the adaptive engine with the
@@ -379,15 +494,14 @@ impl ReorgPlan {
                 ReorgStats::default(),
             ),
         };
-        let run = assemble_run_on(
-            sim,
-            name,
-            spgemm_adaptive_planned(&ctx.a, &ctx.b, default_threads(), &self.bins, pool)?,
-            &launches,
-            &ws.layout,
-            host_ms,
-            ctx.flops,
-        );
+        let mut numeric = spgemm_adaptive_planned(&ctx.a, &ctx.b, default_threads(), &self.bins, pool)?;
+        if let Some(p) = &self.permutation {
+            // Row i of the permuted product is row forward[i] of the real
+            // one; gathering by the inverse restores the original order
+            // without touching any within-row entry.
+            numeric = numeric.permute_rows(p.inverse());
+        }
+        let run = assemble_run_on(sim, name, numeric, &launches, &ws.layout, host_ms, ctx.flops);
         Ok(ReorganizerRun {
             result: run.result,
             profiles: run.profiles,
@@ -682,6 +796,107 @@ mod tests {
             assert_eq!(warm.result.idx(), oracle.result.idx());
             assert!(warm.result.approx_eq(&oracle.result, 0.0));
         }
+    }
+
+    #[test]
+    fn reordered_plans_are_bit_identical_to_the_baseline() {
+        let a = skewed();
+        let dev = DeviceConfig::titan_xp();
+        let ctx = ProblemContext::new(&a, &a).unwrap();
+        let cfg = ReorganizerConfig::default();
+        let baseline = ReorgPlan::build(&ctx, &cfg, &dev);
+        assert_eq!(baseline.reorder, ReorderStrategy::None);
+        assert!(baseline.permutation.is_none());
+        let oracle = baseline.execute(&ctx, &dev, PlanMode::Cached).unwrap();
+        for strategy in [
+            ReorderStrategy::Degree,
+            ReorderStrategy::Rcm,
+            ReorderStrategy::Cluster,
+            ReorderStrategy::Auto,
+        ] {
+            let plan = ReorgPlan::build_with_reorder(&ctx, &cfg, &dev, strategy);
+            assert_ne!(plan.reorder, ReorderStrategy::Auto, "auto must resolve");
+            // The plan still keys on (and validates against) the
+            // original operands.
+            assert_eq!(plan.signature, ctx.signature());
+            for mode in [PlanMode::Cold, PlanMode::Cached] {
+                let run = plan.execute(&ctx, &dev, mode).unwrap();
+                assert_eq!(run.result.ptr(), oracle.result.ptr(), "{strategy:?}");
+                assert_eq!(run.result.idx(), oracle.result.idx(), "{strategy:?}");
+                assert!(
+                    run.result.approx_eq(&oracle.result, 0.0),
+                    "{strategy:?} values must be bitwise equal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reordered_estimated_plans_are_bit_identical_too() {
+        let a = skewed();
+        let dev = DeviceConfig::titan_xp();
+        let ctx = ProblemContext::new(&a, &a).unwrap();
+        let cfg = ReorganizerConfig::default();
+        let oracle = ReorgPlan::build(&ctx, &cfg, &dev)
+            .execute(&ctx, &dev, PlanMode::Cached)
+            .unwrap();
+        let plan = ReorgPlan::build_estimated_with_reorder(
+            &ctx,
+            &cfg,
+            &dev,
+            &EstimatorConfig::default(),
+            ReorderStrategy::Degree,
+        );
+        assert!(plan.build.estimated);
+        assert_eq!(plan.reorder, ReorderStrategy::Degree);
+        let run = plan.execute(&ctx, &dev, PlanMode::Cached).unwrap();
+        assert_eq!(run.result.ptr(), oracle.result.ptr());
+        assert_eq!(run.result.idx(), oracle.result.idx());
+        assert!(run.result.approx_eq(&oracle.result, 0.0));
+    }
+
+    #[test]
+    fn reordered_plan_survives_serde_and_replays_the_permutation() {
+        let a = skewed();
+        let dev = DeviceConfig::titan_xp();
+        let ctx = ProblemContext::new(&a, &a).unwrap();
+        let cfg = ReorganizerConfig::default();
+        let plan = ReorgPlan::build_with_reorder(&ctx, &cfg, &dev, ReorderStrategy::Degree);
+        assert!(plan.permutation.is_some(), "skewed input must reorder");
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: ReorgPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+        let oracle = ReorgPlan::build(&ctx, &cfg, &dev)
+            .execute(&ctx, &dev, PlanMode::Cached)
+            .unwrap();
+        let run = back.execute(&ctx, &dev, PlanMode::Cached).unwrap();
+        assert_eq!(run.result.ptr(), oracle.result.ptr());
+        assert_eq!(run.result.idx(), oracle.result.idx());
+        assert!(run.result.approx_eq(&oracle.result, 0.0));
+    }
+
+    #[test]
+    fn reordered_plan_changes_the_merge_block_order_but_not_the_totals() {
+        let a = skewed();
+        let dev = DeviceConfig::titan_xp();
+        let ctx = ProblemContext::new(&a, &a).unwrap();
+        let cfg = ReorganizerConfig::default();
+        let baseline = ReorgPlan::build(&ctx, &cfg, &dev);
+        let degree = ReorgPlan::build_with_reorder(&ctx, &cfg, &dev, ReorderStrategy::Degree);
+        let base_run = baseline.execute(&ctx, &dev, PlanMode::Cached).unwrap();
+        let deg_run = degree.execute(&ctx, &dev, PlanMode::Cached).unwrap();
+        // Same simulated work overall...
+        assert_eq!(base_run.flops, deg_run.flops);
+        assert_eq!(base_run.profiles.len(), deg_run.profiles.len());
+        // ...but the merge launch saw a different block order, so the
+        // per-phase schedule is genuinely exercised (cycle totals may
+        // coincide; the permutation existing is the structural witness).
+        assert!(degree.permutation.is_some());
+        assert!(!degree
+            .permutation
+            .as_ref()
+            .unwrap()
+            .is_identity());
     }
 
     #[test]

@@ -157,6 +157,31 @@ mod tests {
     }
 
     #[test]
+    fn launch_order_changes_the_schedule_heavy_first_wins() {
+        // Greedy list scheduling is order-sensitive: the same block
+        // multiset scheduled heavy-first (the LPT heuristic a
+        // degree-descending row reorder approximates) beats the same
+        // blocks arriving heavy-last. This is the lever the plan-cached
+        // reorder stage pulls — it permutes launch order, never work.
+        let mut heavy_last: Vec<f64> = vec![1.0; 8];
+        heavy_last.extend([7.0, 9.0]);
+        let mut heavy_first = heavy_last.clone();
+        heavy_first.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let worst = schedule(&heavy_last, 2);
+        let best = schedule(&heavy_first, 2);
+        let total: f64 = heavy_last.iter().sum();
+        assert!((worst.sm_busy.iter().sum::<f64>() - total).abs() < 1e-12);
+        assert!((best.sm_busy.iter().sum::<f64>() - total).abs() < 1e-12);
+        assert!(
+            best.makespan < worst.makespan,
+            "heavy-first {} must beat heavy-last {}",
+            best.makespan,
+            worst.makespan
+        );
+        assert!(best.lbi() > worst.lbi(), "{} vs {}", best.lbi(), worst.lbi());
+    }
+
+    #[test]
     fn empty_launch_is_trivially_balanced() {
         let r = schedule(&[], 30);
         assert_eq!(r.makespan, 0.0);

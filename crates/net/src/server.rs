@@ -44,6 +44,7 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use block_reorganizer::plan::{PlanMode, ReorgPlan};
+use block_reorganizer::reorder::ReorderStrategy;
 use block_reorganizer::ReorganizerConfig;
 use br_gpu_sim::device::DeviceConfig;
 use br_gpu_sim::sim::GpuSimulator;
@@ -82,6 +83,11 @@ pub struct ServerConfig {
     /// when the confidence band exceeds `cfg.tolerance`). Part of the plan
     /// cache key, so flipping it never aliases cached plans.
     pub estimator: Option<EstimatorConfig>,
+    /// Row-reordering strategy applied to every plan the server builds
+    /// ([`ReorderStrategy::None`], the default, is the historical
+    /// pipeline). Part of the plan cache key; results are bit-identical
+    /// either way because plans un-permute their output.
+    pub reorder: ReorderStrategy,
 }
 
 impl Default for ServerConfig {
@@ -95,6 +101,7 @@ impl Default for ServerConfig {
             config: ReorganizerConfig::default(),
             registry: None,
             estimator: None,
+            reorder: ReorderStrategy::None,
         }
     }
 }
@@ -320,6 +327,7 @@ struct Shared {
     local_addr: SocketAddr,
     reorg_config: ReorganizerConfig,
     estimator: Option<EstimatorConfig>,
+    reorder: ReorderStrategy,
     shed_threshold: usize,
     quota: u64,
 }
@@ -389,6 +397,7 @@ impl NetServer {
             local_addr,
             reorg_config: config.config,
             estimator: config.estimator,
+            reorder: config.reorder,
             shed_threshold: config.shed_threshold.max(1),
             quota: config.quota.max(1),
         });
@@ -722,6 +731,7 @@ fn worker_loop(index: usize, device: DeviceConfig, shared: Arc<Shared>) {
             &shared.cache,
             &pool,
             shared.estimator,
+            shared.reorder,
             &job,
         );
         match &response {
@@ -734,6 +744,7 @@ fn worker_loop(index: usize, device: DeviceConfig, shared: Arc<Shared>) {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn execute_job(
     worker: usize,
     device: &DeviceConfig,
@@ -741,6 +752,7 @@ fn execute_job(
     cache: &PlanCache,
     pool: &ScratchPool<f64>,
     estimator: Option<EstimatorConfig>,
+    reorder: ReorderStrategy,
     job: &NetJob,
 ) -> Frame {
     let fail = |message: String| Frame::Reject {
@@ -752,18 +764,21 @@ fn execute_job(
         Ok(ctx) => ctx,
         Err(e) => return fail(format!("invalid operands: {e}")),
     };
-    let key = PlanKey::with_estimator(
+    let key = PlanKey::with_options(
         ctx.signature(),
         &device.name,
         &job.config,
         estimator.as_ref(),
+        reorder,
     );
     // Single-flight get_or_build keeps hit/miss counters a pure function
     // of the admitted job multiset, independent of worker count.
     let (plan, cache_hit) = cache.get_or_build(&key, || {
         Arc::new(match estimator {
-            Some(est) => ReorgPlan::build_estimated(&ctx, &job.config, device, &est),
-            None => ReorgPlan::build(&ctx, &job.config, device),
+            Some(est) => {
+                ReorgPlan::build_estimated_with_reorder(&ctx, &job.config, device, &est, reorder)
+            }
+            None => ReorgPlan::build_with_reorder(&ctx, &job.config, device, reorder),
         })
     });
     let mode = if cache_hit {

@@ -18,6 +18,7 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use block_reorganizer::config::SplitPolicy;
 use block_reorganizer::plan::ReorgPlan;
+use block_reorganizer::reorder::ReorderStrategy;
 use block_reorganizer::ReorganizerConfig;
 use br_obs::{lock_recover, Counter, Registry};
 use br_spgemm::accum::{global_thresholds, BinThresholds};
@@ -88,6 +89,13 @@ pub struct PlanKey {
     /// change bin membership (e.g. enabling the k-way merge bin), so plans
     /// built under different overrides are different artifacts.
     pub thresholds: u64,
+    /// [`ReorderStrategy::fingerprint`] of the requested row-reordering
+    /// strategy, 0 for the default `none` — legacy keys keep their exact
+    /// historical identity. A reordered plan carries a permutation (and
+    /// analysis taken over the permuted structure), so it must never
+    /// alias the baseline plan for the same problem; `auto` is keyed as
+    /// requested, since its per-problem resolution is deterministic.
+    pub reorder: u64,
 }
 
 impl PlanKey {
@@ -104,12 +112,26 @@ impl PlanKey {
         config: &ReorganizerConfig,
         estimator: Option<&EstimatorConfig>,
     ) -> Self {
+        Self::with_options(problem, device, config, estimator, ReorderStrategy::None)
+    }
+
+    /// Builds the key for one request with every plan-shaping option
+    /// spelled out: the estimator (when the service plans by sampling)
+    /// and the row-reordering strategy the worker pool applies.
+    pub fn with_options(
+        problem: ProblemSignature,
+        device: &str,
+        config: &ReorganizerConfig,
+        estimator: Option<&EstimatorConfig>,
+        reorder: ReorderStrategy,
+    ) -> Self {
         PlanKey {
             problem,
             device: device.to_string(),
             config: config_fingerprint(config),
             estimator: estimator.map_or(0, EstimatorConfig::fingerprint),
             thresholds: thresholds_fingerprint(global_thresholds()),
+            reorder: reorder.fingerprint(),
         }
     }
 }
@@ -526,6 +548,47 @@ mod tests {
             key,
             PlanKey::with_estimator(ctx.signature(), "NVIDIA TITAN Xp", &cfg, None)
         );
+    }
+
+    #[test]
+    fn reorder_strategies_separate_keys() {
+        let (key, _, ctx) = plan_for(6);
+        let cfg = ReorganizerConfig::default();
+        // The default strategy keeps the legacy key identity.
+        assert_eq!(key.reorder, 0);
+        assert_eq!(
+            key,
+            PlanKey::with_options(
+                ctx.signature(),
+                "NVIDIA TITAN Xp",
+                &cfg,
+                None,
+                ReorderStrategy::None
+            )
+        );
+        // Every non-default strategy (auto included — it is keyed as
+        // requested) gets its own key.
+        let mut prints = vec![0u64];
+        for strategy in [
+            ReorderStrategy::Degree,
+            ReorderStrategy::Rcm,
+            ReorderStrategy::Cluster,
+            ReorderStrategy::Auto,
+        ] {
+            let reordered = PlanKey::with_options(
+                ctx.signature(),
+                "NVIDIA TITAN Xp",
+                &cfg,
+                None,
+                strategy,
+            );
+            assert_ne!(reordered, key, "{strategy:?} must not alias the baseline");
+            assert!(
+                !prints.contains(&reordered.reorder),
+                "{strategy:?} fingerprint must be unique"
+            );
+            prints.push(reordered.reorder);
+        }
     }
 
     #[test]

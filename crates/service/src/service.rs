@@ -13,6 +13,7 @@ use std::thread::{self, JoinHandle};
 use std::time::Instant;
 
 use block_reorganizer::plan::{PlanMode, ReorgPlan};
+use block_reorganizer::reorder::ReorderStrategy;
 use br_gpu_sim::device::DeviceConfig;
 use br_gpu_sim::sim::GpuSimulator;
 use br_obs::{Counter, Gauge, Histogram, Registry};
@@ -53,6 +54,12 @@ pub struct ServiceConfig {
     /// is part of the [`PlanKey`], so flipping this setting never aliases
     /// cached plans built the other way.
     pub estimator: Option<EstimatorConfig>,
+    /// Row-reordering strategy applied to every plan the pool builds
+    /// ([`ReorderStrategy::None`], the default, is the historical
+    /// pipeline). The strategy fingerprint is part of the [`PlanKey`], so
+    /// reordered plans never alias baseline plans; results are
+    /// bit-identical either way — the plan un-permutes its output.
+    pub reorder: ReorderStrategy,
 }
 
 impl Default for ServiceConfig {
@@ -65,6 +72,7 @@ impl Default for ServiceConfig {
             queue_capacity: None,
             registry: None,
             estimator: None,
+            reorder: ReorderStrategy::None,
         }
     }
 }
@@ -78,6 +86,7 @@ impl ServiceConfig {
             queue_capacity: None,
             registry: None,
             estimator: None,
+            reorder: ReorderStrategy::None,
         }
     }
 
@@ -97,6 +106,12 @@ impl ServiceConfig {
     /// Bound the job queue at `capacity` entries (builder-style).
     pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
         self.queue_capacity = Some(capacity);
+        self
+    }
+
+    /// Reorder A's rows under `strategy` before planning (builder-style).
+    pub fn with_reorder(mut self, strategy: ReorderStrategy) -> Self {
+        self.reorder = strategy;
         self
     }
 }
@@ -250,10 +265,11 @@ impl SpgemmService {
                 let instruments = instruments.clone();
                 let tx = tx.clone();
                 let estimator = config.estimator;
+                let reorder = config.reorder;
                 thread::Builder::new()
                     .name(format!("br-service-worker-{index}"))
                     .spawn(move || {
-                        worker_loop(index, device, queue, cache, instruments, estimator, tx)
+                        worker_loop(index, device, queue, cache, instruments, estimator, reorder, tx)
                     })
                     .expect("failed to spawn service worker")
             })
@@ -403,6 +419,7 @@ impl SpgemmService {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     index: usize,
     device: DeviceConfig,
@@ -410,6 +427,7 @@ fn worker_loop(
     cache: Arc<PlanCache>,
     instruments: Arc<ServiceInstruments>,
     estimator: Option<EstimatorConfig>,
+    reorder: ReorderStrategy,
     tx: mpsc::Sender<Completion>,
 ) -> WorkerReport {
     let sim = GpuSimulator::new(device.clone());
@@ -433,6 +451,7 @@ fn worker_loop(
             &instruments,
             &pool,
             estimator,
+            reorder,
             queued.request,
             queue_ms,
             t0,
@@ -464,6 +483,7 @@ fn execute_job(
     instruments: &ServiceInstruments,
     pool: &ScratchPool<f64>,
     estimator: Option<EstimatorConfig>,
+    reorder: ReorderStrategy,
     job: JobRequest,
     queue_ms: f64,
     t0: Instant,
@@ -483,11 +503,12 @@ fn execute_job(
         Ok(ctx) => ctx,
         Err(e) => return fail(format!("invalid operands: {e}")),
     };
-    let key = PlanKey::with_estimator(
+    let key = PlanKey::with_options(
         ctx.signature(),
         &device.name,
         &job.config,
         estimator.as_ref(),
+        reorder,
     );
     // Single-flight: concurrent workers racing on the same absent key
     // produce exactly one build (one miss) and one hit per other job, so
@@ -497,8 +518,10 @@ fn execute_job(
         let _plan_span = registry.span("plan");
         cache.get_or_build(&key, || {
             Arc::new(match estimator {
-                Some(est) => ReorgPlan::build_estimated(&ctx, &job.config, device, &est),
-                None => ReorgPlan::build(&ctx, &job.config, device),
+                Some(est) => {
+                    ReorgPlan::build_estimated_with_reorder(&ctx, &job.config, device, &est, reorder)
+                }
+                None => ReorgPlan::build_with_reorder(&ctx, &job.config, device, reorder),
             })
         })
     };

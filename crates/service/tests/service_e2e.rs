@@ -354,3 +354,41 @@ fn estimator_enabled_service_matches_exact_results() {
     );
     assert_eq!(estimated.stats.cache.hits, 2, "{:?}", estimated.stats.cache);
 }
+
+/// Reordering is invisible to callers: a service configured with any
+/// row-reordering strategy returns results bit-identical to the baseline
+/// service (plans un-permute their output), and the strategy fingerprint
+/// in the plan key keeps reordered plans from aliasing baseline plans.
+#[test]
+fn reordered_service_matches_baseline_results() {
+    use block_reorganizer::reorder::ReorderStrategy;
+    let a = Arc::new(rmat(RmatConfig::graph500(9, 8, 41)).to_csr());
+    let jobs = |n: u64| -> Vec<JobRequest> {
+        (0..n).map(|id| JobRequest::square(id, a.clone())).collect()
+    };
+
+    let baseline = SpgemmService::run_batch(ServiceConfig::default(), jobs(3));
+    assert!(baseline.failures.is_empty(), "{:?}", baseline.failures);
+    for strategy in [
+        ReorderStrategy::Degree,
+        ReorderStrategy::Rcm,
+        ReorderStrategy::Cluster,
+        ReorderStrategy::Auto,
+    ] {
+        let reordered = SpgemmService::run_batch(
+            ServiceConfig::default().with_reorder(strategy),
+            jobs(3),
+        );
+        assert!(
+            reordered.failures.is_empty(),
+            "{strategy:?}: {:?}",
+            reordered.failures
+        );
+        for (b, r) in baseline.outcomes.iter().zip(&reordered.outcomes) {
+            assert_bit_identical(&b.result, &r.result, strategy.name());
+        }
+        // Reordered plans amortize like baseline ones: one miss, then hits.
+        assert_eq!(reordered.stats.cache.misses, 1, "{strategy:?}");
+        assert_eq!(reordered.stats.cache.hits, 2, "{strategy:?}");
+    }
+}

@@ -127,6 +127,40 @@ impl<T: Scalar> CscMatrix<T> {
     pub fn check_invariants(&self) -> Result<()> {
         self.clone().to_csr_of_transpose().check_invariants()
     }
+
+    /// Applies the same row gather as [`CsrMatrix::permute_rows`] on the
+    /// column-oriented layout: row `i` of the result is row `order[i]` of
+    /// `self`. The column pointer array is reused as-is (column nnz never
+    /// changes under a row permutation); each stored row index `r` is
+    /// relabelled to its position in `order` and the entries of every
+    /// column are re-sorted to restore the strictly-increasing invariant.
+    /// An identity order returns a plain clone.
+    pub fn permute_rows(&self, order: &[u32]) -> CscMatrix<T> {
+        assert_eq!(order.len(), self.nrows, "order must cover every row");
+        if order.iter().enumerate().all(|(i, &r)| r as usize == i) {
+            return self.clone();
+        }
+        let mut position = vec![u32::MAX; self.nrows];
+        for (i, &r) in order.iter().enumerate() {
+            position[r as usize] = i as u32;
+        }
+        let mut idx = Vec::with_capacity(self.nnz());
+        let mut val = Vec::with_capacity(self.nnz());
+        let mut entries: Vec<(u32, T)> = Vec::new();
+        for c in 0..self.ncols {
+            let (rows, vals) = self.col(c);
+            entries.clear();
+            entries.extend(
+                rows.iter()
+                    .zip(vals)
+                    .map(|(&r, &v)| (position[r as usize], v)),
+            );
+            entries.sort_unstable_by_key(|&(r, _)| r);
+            idx.extend(entries.iter().map(|&(r, _)| r));
+            val.extend(entries.iter().map(|&(_, v)| v));
+        }
+        CscMatrix::from_parts_unchecked(self.nrows, self.ncols, self.ptr.clone(), idx, val)
+    }
 }
 
 #[cfg(test)]
@@ -176,5 +210,20 @@ mod tests {
         // (r, c) of Aᵀ equals (c, r) of A.
         assert_eq!(csr_t.get(0, 2), 3.0);
         assert_eq!(csr_t.get(1, 2), 4.0);
+    }
+
+    #[test]
+    fn permute_rows_agrees_with_the_csr_side() {
+        let m = sample();
+        let order = [2u32, 0, 1];
+        let permuted = m.permute_rows(&order);
+        permuted.check_invariants().unwrap();
+        assert_eq!(permuted, m.to_csr().permute_rows(&order).to_csc());
+        // Column nnz is invariant under row permutation; the pointer
+        // array is reused untouched.
+        assert_eq!(permuted.col_degrees(), m.col_degrees());
+        assert_eq!(permuted.ptr(), m.ptr());
+        // Identity order is a plain clone.
+        assert_eq!(m.permute_rows(&[0, 1, 2]), m);
     }
 }

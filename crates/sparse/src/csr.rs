@@ -399,6 +399,31 @@ impl<T: Scalar> CsrMatrix<T> {
             val,
         }
     }
+
+    /// Gathers rows into a new order: row `i` of the result is row
+    /// `order[i]` of `self`, so `order` must be a permutation of
+    /// `0..nrows`. Within-row entries are copied verbatim — column order
+    /// (and therefore any accumulation order downstream) is untouched,
+    /// which is what keeps a permute → multiply → unpermute round trip
+    /// bit-identical. An identity order returns a plain clone without
+    /// rebuilding the arrays.
+    pub fn permute_rows(&self, order: &[u32]) -> CsrMatrix<T> {
+        assert_eq!(order.len(), self.nrows, "order must cover every row");
+        if order.iter().enumerate().all(|(i, &r)| r as usize == i) {
+            return self.clone();
+        }
+        let mut ptr = Vec::with_capacity(self.nrows + 1);
+        let mut idx = Vec::with_capacity(self.nnz());
+        let mut val = Vec::with_capacity(self.nnz());
+        ptr.push(0);
+        for &r in order {
+            let (cols, vals) = self.row(r as usize);
+            idx.extend_from_slice(cols);
+            val.extend_from_slice(vals);
+            ptr.push(idx.len());
+        }
+        CsrMatrix::from_parts_unchecked(self.nrows, self.ncols, ptr, idx, val)
+    }
 }
 
 #[cfg(test)]
@@ -564,5 +589,28 @@ mod tests {
         assert_eq!(csc.nrows(), 3);
         assert_eq!(csc.ncols(), 3);
         assert_eq!(csc.to_csr(), m);
+    }
+
+    #[test]
+    fn permute_rows_gathers_in_order() {
+        let m = sample();
+        let p = m.permute_rows(&[2, 0, 1]);
+        p.check_invariants().unwrap();
+        // Row 0 of the result is row 2 of the original, entries verbatim.
+        assert_eq!(p.row(0), m.row(2));
+        assert_eq!(p.row(1), m.row(0));
+        assert_eq!(p.row(2), m.row(1));
+        // Inverse of [2,0,1] is [1,2,0]: applying it restores the input.
+        assert_eq!(p.permute_rows(&[1, 2, 0]), m);
+        // Identity order is a plain clone; zero-row matrices work.
+        assert_eq!(m.permute_rows(&[0, 1, 2]), m);
+        let empty = CsrMatrix::<f64>::zeros(0, 4);
+        assert_eq!(empty.permute_rows(&[]), empty);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must cover every row")]
+    fn permute_rows_rejects_wrong_length() {
+        let _ = sample().permute_rows(&[0, 1]);
     }
 }

@@ -207,6 +207,38 @@ impl<T: Scalar> ProblemContext<T> {
         }
         off
     }
+
+    /// The context for the row-permuted problem `P·A × B`, where row `i`
+    /// of the permuted `A` is row `forward[i]` of the original (the
+    /// gather convention of [`CsrMatrix::permute_rows`]), without
+    /// re-running any symbolic analysis:
+    ///
+    /// * `block_products[i] = nnz(a₌ᵢ)·nnz(bᵢ₌)` is indexed by the inner
+    ///   dimension and column nnz never changes under a row permutation,
+    ///   so the per-pair workloads — and every total derived from them —
+    ///   carry over verbatim;
+    /// * `row_products` / `row_unique` are per-output-row and permute
+    ///   elementwise;
+    /// * `B` is shared untouched (an `Arc` bump, zero-copy).
+    pub fn permute_rows(&self, forward: &[u32]) -> ProblemContext<T> {
+        let a = Arc::new(self.a.permute_rows(forward));
+        let a_csc = Arc::new(self.a_csc.permute_rows(forward));
+        let gather = |v: &[u64]| -> Vec<u64> { forward.iter().map(|&r| v[r as usize]).collect() };
+        ProblemContext {
+            a,
+            a_csc,
+            b: Arc::clone(&self.b),
+            block_products: self.block_products.clone(),
+            row_products: gather(&self.row_products),
+            row_unique: forward
+                .iter()
+                .map(|&r| self.row_unique[r as usize])
+                .collect(),
+            intermediate_total: self.intermediate_total,
+            output_total: self.output_total,
+            flops: self.flops,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -256,6 +288,29 @@ mod tests {
         assert!(off.windows(2).all(|w| w[0] <= w[1]));
         let roff = c.chat_row_offsets();
         assert_eq!(*roff.last().unwrap(), c.intermediate_total);
+    }
+
+    #[test]
+    fn permute_rows_matches_a_fresh_context_over_the_permuted_operand() {
+        let c = ctx();
+        let forward = [2u32, 0, 1];
+        let permuted = c.permute_rows(&forward);
+        let fresh = ProblemContext::new(&c.a.permute_rows(&forward), &c.b).unwrap();
+        assert_eq!(*permuted.a, *fresh.a);
+        assert_eq!(*permuted.a_csc, *fresh.a_csc);
+        assert_eq!(permuted.block_products, fresh.block_products);
+        assert_eq!(permuted.row_products, fresh.row_products);
+        assert_eq!(permuted.row_unique, fresh.row_unique);
+        assert_eq!(permuted.intermediate_total, c.intermediate_total);
+        assert_eq!(permuted.output_total, c.output_total);
+        assert_eq!(permuted.flops, c.flops);
+        // B is shared, not copied.
+        assert!(Arc::ptr_eq(&permuted.b, &c.b));
+        // Row quantities moved with their rows.
+        for (i, &r) in forward.iter().enumerate() {
+            assert_eq!(permuted.row_products[i], c.row_products[r as usize]);
+            assert_eq!(permuted.row_unique[i], c.row_unique[r as usize]);
+        }
     }
 
     #[test]

@@ -253,6 +253,50 @@ rm -f BENCH_kway.t1.json BENCH_kway.t8.json BENCH_kway.rerun.json \
       kway.t1.prom.jsonl kway.t8.prom.jsonl kway.rerun.prom.jsonl
 echo "ok: forced k-way merge is byte-identical across thread counts and reruns"
 
+echo "== reorder determinism: forced row reordering must be byte-identical across threads and reruns =="
+# The reorder suite plans every dataset under each strategy; permutations
+# are pure functions of A's structure, and the plan un-permutes its output,
+# so the report and the metrics exposition (reorder instrument cells
+# included) must byte-compare across BR_THREADS=1/8 and across reruns.
+BR_THREADS=1 $cli bench run --suite reorder --no-host --out BENCH_reorder.t1.json \
+    --metrics reorder.t1.prom >/dev/null
+BR_THREADS=8 $cli bench run --suite reorder --no-host --out BENCH_reorder.t8.json \
+    --metrics reorder.t8.prom >/dev/null
+BR_THREADS=8 $cli bench run --suite reorder --no-host --out BENCH_reorder.rerun.json \
+    --metrics reorder.rerun.prom >/dev/null
+for pair in "BENCH_reorder.t1.json BENCH_reorder.t8.json" \
+            "BENCH_reorder.t8.json BENCH_reorder.rerun.json" \
+            "reorder.t1.prom reorder.t8.prom" \
+            "reorder.t8.prom reorder.rerun.prom" \
+            "reorder.t1.prom.jsonl reorder.t8.prom.jsonl" \
+            "reorder.t8.prom.jsonl reorder.rerun.prom.jsonl"; do
+    # shellcheck disable=SC2086  # intentional word split into the two paths
+    set -- $pair
+    if ! cmp -s "$1" "$2"; then
+        echo "error: reorder output differs ($1 vs $2)" >&2
+        diff "$1" "$2" | head -40 >&2 || true
+        exit 1
+    fi
+done
+# Every strategy cell must be pre-registered — and the non-trivial ones used.
+for strategy in none degree rcm cluster; do
+    if ! grep -qF "br_reorder_plans_total{strategy=\"$strategy\"}" reorder.t8.prom; then
+        echo "error: expected br_reorder_plans_total{strategy=\"$strategy\"} in reorder.t8.prom" >&2
+        grep '^br_reorder' reorder.t8.prom >&2 || true
+        exit 1
+    fi
+done
+for strategy in degree rcm cluster; do
+    if grep -qF "br_reorder_plans_total{strategy=\"$strategy\"} 0" reorder.t8.prom; then
+        echo "error: reorder suite built no $strategy plans" >&2
+        exit 1
+    fi
+done
+rm -f BENCH_reorder.t1.json BENCH_reorder.t8.json BENCH_reorder.rerun.json \
+      reorder.t1.prom reorder.t8.prom reorder.rerun.prom \
+      reorder.t1.prom.jsonl reorder.t8.prom.jsonl reorder.rerun.prom.jsonl
+echo "ok: row reordering is byte-identical across thread counts and reruns"
+
 echo "== bench gate: quick suite, cycle threshold ${threshold}% =="
 $cli bench run --suite quick --out BENCH_quick.json
 

@@ -15,11 +15,12 @@
 //!                  [--cache <entries>] [--shed-threshold <n>] [--quota <n>]
 //!                  [--hold] [--port-file <path>] [--threads <n>]
 //!                  [--est-samples <n>] [--est-tolerance <f>] [--no-estimate]
+//!                  [--reorder none|degree|rcm|cluster|auto]
 //!                  [--metrics <path>] [--metrics-timing]
 //!   blockreorg-cli client --connect <addr> [--client-id <id>] --spec '<jobline>'
 //!                  [--count <n>] [--lane interactive|batch|alternate]
 //!                  [--deadline-ms <n>] [--release] [--shutdown] [--quiet]
-//!   blockreorg-cli bench run [--suite quick|full|scaling|estplan|kway] [--out <path>]
+//!   blockreorg-cli bench run [--suite quick|full|scaling|estplan|kway|reorder] [--out <path>]
 //!                  [--threads <n>] [--no-host] [--bins <tiny>,<heavy>[,<kway>]]
 //!                  [--est-samples <n>] [--est-tolerance <f>] [--no-estimate]
 //!                  [--metrics <path>] [--metrics-timing]
@@ -42,6 +43,7 @@ use blockreorg::datasets::registry::ScaleFactor;
 use blockreorg::prelude::*;
 use blockreorg::service::job::{expand_jobs, parse_job_file};
 use blockreorg::sparse::io::read_matrix_market_file;
+use blockreorg::block_reorganizer::reorder::ReorderStrategy;
 use blockreorg::spgemm::estimate::{set_global_estimator, EstimatorConfig, EstimatorOverride};
 use blockreorg::spgemm::pipeline::run_method;
 use blockreorg::spgemm::ProblemContext;
@@ -72,6 +74,7 @@ struct BatchOptions {
     metrics: Option<String>,
     metrics_timing: bool,
     estimator: Option<EstimatorConfig>,
+    reorder: ReorderStrategy,
 }
 
 struct ServeOptions {
@@ -86,6 +89,7 @@ struct ServeOptions {
     metrics: Option<String>,
     metrics_timing: bool,
     estimator: Option<EstimatorConfig>,
+    reorder: ReorderStrategy,
 }
 
 struct ClientOptions {
@@ -108,16 +112,18 @@ fn print_usage() {
     println!("       blockreorg-cli batch --jobs <file> [--device <d1,d2,..>] [--workers <n>]");
     println!("                      [--cache <entries>] [--queue-cap <n>] [--threads <n>]");
     println!("                      [--est-samples <n>] [--est-tolerance <f>] [--no-estimate]");
+    println!("                      [--reorder none|degree|rcm|cluster|auto]");
     println!("                      [--metrics <path>] [--metrics-timing]");
     println!("       blockreorg-cli serve --listen <addr> [--workers <n>] [--device <name>]");
     println!("                      [--cache <entries>] [--shed-threshold <n>] [--quota <n>]");
     println!("                      [--hold] [--port-file <path>] [--threads <n>]");
     println!("                      [--est-samples <n>] [--est-tolerance <f>] [--no-estimate]");
+    println!("                      [--reorder none|degree|rcm|cluster|auto]");
     println!("                      [--metrics <path>] [--metrics-timing]");
     println!("       blockreorg-cli client --connect <addr> [--client-id <id>] --spec '<jobline>'");
     println!("                      [--count <n>] [--lane interactive|batch|alternate]");
     println!("                      [--deadline-ms <n>] [--release] [--shutdown] [--quiet]");
-    println!("       blockreorg-cli bench run [--suite quick|full|scaling|estplan|kway]");
+    println!("       blockreorg-cli bench run [--suite quick|full|scaling|estplan|kway|reorder]");
     println!("                      [--out <path>]");
     println!("                      [--threads <n>] [--no-host] [--bins <tiny>,<heavy>[,<kway>]]");
     println!("                      [--est-samples <n>] [--est-tolerance <f>] [--no-estimate]");
@@ -155,6 +161,14 @@ fn print_usage() {
     println!("exact precalculation everywhere. Results are bit-identical either way —");
     println!("estimation changes only plan-time cost and performance-knob choices.");
     println!("bench compare gates per-case plan ops with --plan-pct (default 10%).");
+    println!();
+    println!("--reorder <strategy> (batch / serve) permutes A's rows before planning:");
+    println!("'degree' sorts by descending row nnz, 'rcm' reduces bandwidth via reverse");
+    println!("Cuthill-McKee, 'cluster' groups rows with similar column structure, 'auto'");
+    println!("picks per problem, 'none' (default) keeps the input order. The permutation");
+    println!("is stored in the cached plan and undone on output, so results are");
+    println!("bit-identical at any setting — only the simulated launch schedule (LBI,");
+    println!("L2 hit rate) changes. bench run's reorder suite sweeps every strategy.");
     println!();
     println!("batch mode runs every job in <file> through the br-service worker pool");
     println!("(one simulated device per worker) with an LRU reorganization-plan cache,");
@@ -260,6 +274,7 @@ fn parse_batch_options(args: &mut dyn Iterator<Item = String>) -> BatchOptions {
         metrics: None,
         metrics_timing: false,
         estimator: None,
+        reorder: ReorderStrategy::None,
     };
     let mut est = EstimatorFlags::default();
     while let Some(arg) = args.next() {
@@ -295,6 +310,7 @@ fn parse_batch_options(args: &mut dyn Iterator<Item = String>) -> BatchOptions {
                 o.queue_cap = Some(cap);
             }
             "--threads" => apply_threads_flag(&next_value(args, "--threads")),
+            "--reorder" => o.reorder = parse_reorder_flag(&next_value(args, "--reorder")),
             other => {
                 if !est.try_parse(other, args) {
                     usage_and_exit(&format!("unknown flag {other:?} in batch mode"))
@@ -319,6 +335,7 @@ fn parse_serve_options(args: &mut dyn Iterator<Item = String>) -> ServeOptions {
         metrics: None,
         metrics_timing: false,
         estimator: None,
+        reorder: ReorderStrategy::None,
     };
     let mut est = EstimatorFlags::default();
     while let Some(arg) = args.next() {
@@ -366,6 +383,7 @@ fn parse_serve_options(args: &mut dyn Iterator<Item = String>) -> ServeOptions {
                 }
             }
             "--threads" => apply_threads_flag(&next_value(args, "--threads")),
+            "--reorder" => o.reorder = parse_reorder_flag(&next_value(args, "--reorder")),
             other => {
                 if !est.try_parse(other, args) {
                     usage_and_exit(&format!("unknown flag {other:?} in serve mode"))
@@ -509,6 +527,14 @@ fn apply_threads_flag(value: &str) {
     }
 }
 
+/// Parses a `--reorder <strategy>` value through the typed
+/// `ReorderParseError` path, so a bad spelling exits 2 with the valid
+/// strategy list in the message.
+fn parse_reorder_flag(value: &str) -> ReorderStrategy {
+    ReorderStrategy::parse(value)
+        .unwrap_or_else(|e| usage_and_exit(&format!("bad --reorder value: {e}")))
+}
+
 fn load_a(o: &Options) -> CsrMatrix<f64> {
     if let Some(path) = &o.input {
         read_matrix_market_file::<f64, _>(path)
@@ -567,10 +593,11 @@ fn report(name: &str, total_ms: f64, gflops: f64, nnz_c: usize) {
 /// `--metrics-timing` adds the timing families (queue depths, wall-clock
 /// histograms, span durations) for human inspection.
 fn write_metrics(path: &str, timing: bool) {
-    // Pre-register every merge instrument cell (including the kway ones)
-    // so the exported cell set is byte-identical whether or not the run
-    // exercised each bin.
+    // Pre-register every merge and reorder instrument cell so the exported
+    // cell set is byte-identical whether or not the run exercised each bin
+    // or reorder strategy.
     blockreorg::spgemm::accum::register_merge_instruments();
+    blockreorg::block_reorganizer::reorder::register_reorder_instruments();
     let reg = blockreorg::obs::global();
     if let Err(e) = std::fs::write(path, reg.render_prometheus(timing)) {
         runtime_error(&format!("cannot write {path}: {e}"));
@@ -624,6 +651,7 @@ fn run_batch_mode(o: BatchOptions) -> ! {
             // so one --metrics dump covers the whole pipeline.
             registry: Some(blockreorg::obs::global_arc()),
             estimator: o.estimator,
+            reorder: o.reorder,
         },
         jobs,
     );
@@ -682,6 +710,7 @@ fn run_serve_mode(o: ServeOptions) -> ! {
         // whole serving path.
         registry: Some(blockreorg::obs::global_arc()),
         estimator: o.estimator,
+        reorder: o.reorder,
     };
     let server = match NetServer::bind(&listen, config) {
         Ok(server) => server,
@@ -830,7 +859,7 @@ fn run_bench_mode(args: &mut dyn Iterator<Item = String>) -> ! {
                             .unwrap_or_else(|| usage_and_exit("missing --suite value"));
                         suite = Suite::parse(&v).unwrap_or_else(|| {
                             usage_and_exit(&format!(
-                                "unknown suite {v:?}; valid suites: quick, full, scaling, estplan, kway"
+                                "unknown suite {v:?}; valid suites: quick, full, scaling, estplan, kway, reorder"
                             ))
                         });
                     }

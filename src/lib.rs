@@ -37,7 +37,8 @@ pub use br_spgemm as spgemm;
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
     pub use block_reorganizer::{
-        AblationReport, BlockReorganizer, PlanMode, ReorgPlan, ReorganizerConfig, WorkloadClass,
+        AblationReport, BlockReorganizer, PlanMode, ReorderStrategy, ReorgPlan, ReorganizerConfig,
+        WorkloadClass,
     };
     pub use br_datasets::registry::{DatasetSpec, RealWorldRegistry};
     pub use br_datasets::rmat::{rmat, RmatConfig};

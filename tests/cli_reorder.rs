@@ -1,0 +1,84 @@
+//! CLI contract for the `--reorder` strategy flag: unknown spellings must
+//! be rejected with exit code 2 and a message naming the bad value and the
+//! valid strategies, before any worker pool spins up; valid spellings must
+//! clear flag parsing (their failures, if any, are later and different).
+
+use std::process::Command;
+
+fn run_batch_with_reorder(value: &str) -> std::process::Output {
+    // `--jobs` is checked after flag parsing, so a bad strategy fails
+    // first and a good one falls through to the missing-file error.
+    Command::new(env!("CARGO_BIN_EXE_blockreorg-cli"))
+        .args(["batch", "--jobs", "/nonexistent/jobs.txt", "--reorder", value])
+        .output()
+        .expect("CLI binary runs")
+}
+
+#[test]
+fn unknown_reorder_strategy_is_rejected_with_exit_2_and_choices() {
+    for bad in ["degre", "DEGREE-SORT", "bfs", "42", ""] {
+        let out = run_batch_with_reorder(bad);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "--reorder {bad:?} must exit 2 (usage error)"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("bad --reorder value"), "{bad:?}: {stderr}");
+        assert!(
+            stderr.contains(&format!("{bad:?}")),
+            "message must name the bad value: {stderr}"
+        );
+        assert!(
+            stderr.contains("none") && stderr.contains("rcm") && stderr.contains("cluster"),
+            "message must list the valid strategies: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn valid_reorder_strategies_clear_flag_parsing() {
+    // Every valid spelling (case-insensitive, whitespace-tolerant) gets
+    // past the parser and dies on the nonexistent job file instead: exit 1
+    // (runtime), not 2 (usage).
+    for good in ["none", "degree", "rcm", "cluster", "auto", " Degree "] {
+        let out = run_batch_with_reorder(good);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "--reorder {good:?} must parse and fail on the job file"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("cannot read job file"),
+            "{good:?}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn serve_mode_rejects_unknown_reorder_too() {
+    let out = Command::new(env!("CARGO_BIN_EXE_blockreorg-cli"))
+        .args(["serve", "--listen", "127.0.0.1:0", "--reorder", "sorted"])
+        .output()
+        .expect("CLI binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad --reorder value"), "{stderr}");
+    assert!(stderr.contains("\"sorted\""), "{stderr}");
+}
+
+#[test]
+fn unknown_bench_suite_message_includes_reorder() {
+    let out = Command::new(env!("CARGO_BIN_EXE_blockreorg-cli"))
+        .args(["bench", "run", "--suite", "nope"])
+        .output()
+        .expect("CLI binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown suite"), "{stderr}");
+    assert!(
+        stderr.contains("reorder"),
+        "suite list must include the reorder suite: {stderr}"
+    );
+}
