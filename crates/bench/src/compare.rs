@@ -81,10 +81,17 @@ pub struct Row {
 /// Full outcome of one comparison.
 #[derive(Debug, Clone)]
 pub struct Comparison {
+    /// Suite name of the compared reports (the current report's).
+    pub suite: String,
     /// Every compared metric, in report order.
     pub rows: Vec<Row>,
     /// Structural/identity errors (missing cases, version skew, …).
     pub errors: Vec<String>,
+    /// Cases (grid, plan, and chain) matched between the reports and
+    /// compared metric by metric.
+    pub cases_compared: usize,
+    /// Compared cases with at least one regressed metric.
+    pub cases_regressed: usize,
     /// Host wall-clock throughput of both reports, when recorded — shown
     /// at the end of [`Comparison::render`] for the human reading the
     /// table. Purely informational: never a row, never gated.
@@ -149,7 +156,10 @@ impl Comparison {
             .filter(|r| r.verdict == Verdict::Improved)
             .count();
         out.push_str(&format!(
-            "{} metrics compared: {} regressed, {} improved, {} errors\n",
+            "{}: {} cases compared ({} regressed); {} metrics compared: {} regressed, {} improved, {} errors\n",
+            self.suite,
+            self.cases_compared,
+            self.cases_regressed,
             self.rows.len(),
             regressed,
             improved,
@@ -171,8 +181,21 @@ impl Comparison {
 /// run to run and from machine to machine, so a host-only difference —
 /// including a baseline with no host section at all — compares clean.
 pub fn compare(baseline: &BenchReport, current: &BenchReport, t: &Thresholds) -> Comparison {
-    let mut rows = Vec::new();
+    let mut rows: Vec<Row> = Vec::new();
     let mut errors = Vec::new();
+    let mut cases_compared = 0usize;
+    let mut cases_regressed = 0usize;
+    // Tallies one compared case: everything pushed since `before` belongs
+    // to it, so a regressed row there marks the case regressed.
+    let close_case = |rows: &[Row], before: usize, compared: &mut usize, regr: &mut usize| {
+        *compared += 1;
+        if rows[before..]
+            .iter()
+            .any(|r| r.verdict == Verdict::Regressed)
+        {
+            *regr += 1;
+        }
+    };
     if baseline.suite != current.suite {
         errors.push(format!(
             "suite mismatch: baseline is {:?}, current is {:?}",
@@ -210,6 +233,7 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, t: &Thresholds) ->
             continue;
         }
         let id = &base_case.id;
+        let before = rows.len();
         rows.push(relative_row(
             format!("{id} makespan_cycles"),
             b.makespan_cycles,
@@ -252,6 +276,7 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, t: &Thresholds) ->
             t.sync_stall_abs,
             BadDirection::Up,
         ));
+        close_case(&rows, before, &mut cases_compared, &mut cases_regressed);
     }
     for cur_case in &current.cases {
         if baseline.case(&cur_case.id).is_none() {
@@ -314,6 +339,7 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, t: &Thresholds) ->
                         ));
                         continue;
                     }
+                    let before = rows.len();
                     rows.push(relative_row(
                         format!("{} plan_ops", base_case.id),
                         base_case.ops as f64,
@@ -321,6 +347,7 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, t: &Thresholds) ->
                         t.plan_ops_pct,
                         BadDirection::Up,
                     ));
+                    close_case(&rows, before, &mut cases_compared, &mut cases_regressed);
                 }
             }
         }
@@ -331,6 +358,91 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, t: &Thresholds) ->
             ));
         }
         // A new plan section against a pre-estimator baseline is
+        // informational, like a new case: nothing to compare against yet.
+        (None, _) => {}
+    }
+    match (&baseline.chain, &current.chain) {
+        (Some(base_chain), Some(cur_chain)) => {
+            for base_case in &base_chain.cases {
+                let Some(cur_case) = cur_chain.cases.iter().find(|c| c.id == base_case.id) else {
+                    errors.push(format!(
+                        "chain case {} missing from current report",
+                        base_case.id
+                    ));
+                    continue;
+                };
+                // The hit/miss/churn pattern, step methods, and output
+                // sizes are identity: a change means the chain planned or
+                // computed different work, so timing deltas are
+                // meaningless — refresh the baseline instead.
+                if base_case.result_nnz != cur_case.result_nnz {
+                    errors.push(format!(
+                        "chain case {}: result changed (nnz {} -> {})",
+                        base_case.id, base_case.result_nnz, cur_case.result_nnz
+                    ));
+                    continue;
+                }
+                let base_shape: Vec<_> = base_case
+                    .steps
+                    .iter()
+                    .map(|s| {
+                        (
+                            &s.label,
+                            s.cache_hit,
+                            s.fresh_structure,
+                            &s.method,
+                            s.output_nnz,
+                        )
+                    })
+                    .collect();
+                let cur_shape: Vec<_> = cur_case
+                    .steps
+                    .iter()
+                    .map(|s| {
+                        (
+                            &s.label,
+                            s.cache_hit,
+                            s.fresh_structure,
+                            &s.method,
+                            s.output_nnz,
+                        )
+                    })
+                    .collect();
+                if base_shape != cur_shape {
+                    errors.push(format!(
+                        "chain case {}: per-step plan behaviour changed \
+                         (labels, cache hits, structure churn, methods, or step outputs differ)",
+                        base_case.id
+                    ));
+                    continue;
+                }
+                let before = rows.len();
+                rows.push(relative_row(
+                    format!("{} chain_total_ms", base_case.id),
+                    base_case.total_ms,
+                    cur_case.total_ms,
+                    t.cycles_pct,
+                    BadDirection::Up,
+                ));
+                for (i, (b, c)) in base_case.steps.iter().zip(&cur_case.steps).enumerate() {
+                    rows.push(relative_row(
+                        format!("{} step{}:{} total_ms", base_case.id, i, b.label),
+                        b.total_ms,
+                        c.total_ms,
+                        t.cycles_pct,
+                        BadDirection::Up,
+                    ));
+                }
+                close_case(&rows, before, &mut cases_compared, &mut cases_regressed);
+            }
+        }
+        (Some(_), None) => {
+            errors.push(format!(
+                "chain section missing from current {:?} report (baseline {:?} has one)",
+                current.suite, baseline.suite
+            ));
+        }
+        // A new chain section against a pre-chain baseline is
         // informational, like a new case: nothing to compare against yet.
         (None, _) => {}
     }
@@ -351,8 +463,11 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, t: &Thresholds) ->
         )),
     };
     Comparison {
+        suite: current.suite.clone(),
         rows,
         errors,
+        cases_compared,
+        cases_regressed,
         host_info,
     }
 }
@@ -465,8 +580,50 @@ mod tests {
                 cache_hit_rate: 2.0 / 3.0,
             },
             plan: None,
+            chain: None,
             host: None,
         }
+    }
+
+    fn chain_report(step_ms: f64) -> BenchReport {
+        let mut r = report(1e6);
+        r.suite = "chain".to_string();
+        r.cases.clear();
+        r.chain = Some(crate::schema::ChainSection {
+            cases: vec![crate::schema::ChainCaseReport {
+                id: "harbor@tiny/galerkin/titan-xp".to_string(),
+                dataset: "harbor".to_string(),
+                workload: "galerkin".to_string(),
+                steps: vec![
+                    crate::schema::ChainStepReport {
+                        label: "restrict".to_string(),
+                        cache_hit: false,
+                        fresh_structure: true,
+                        method: "reorganized".to_string(),
+                        total_ms: step_ms,
+                        product_nnz: 900,
+                        output_nnz: 900,
+                        fill_in_permille: 1500,
+                    },
+                    crate::schema::ChainStepReport {
+                        label: "restrict-refresh".to_string(),
+                        cache_hit: true,
+                        fresh_structure: false,
+                        method: "reorganized".to_string(),
+                        total_ms: step_ms / 2.0,
+                        product_nnz: 900,
+                        output_nnz: 900,
+                        fill_in_permille: 1500,
+                    },
+                ],
+                cache_hits: 1,
+                cache_misses: 1,
+                structure_churn: 1,
+                total_ms: step_ms * 1.5,
+                result_nnz: 900,
+            }],
+        });
+        r
     }
 
     fn plan_report(ops: u64) -> BenchReport {
@@ -698,6 +855,91 @@ mod tests {
                 .any(|e| e.contains("plan section missing") && e.contains("estplan")),
             "{:?}",
             cmp.errors
+        );
+    }
+
+    #[test]
+    fn chain_timings_gate_and_pattern_changes_are_errors() {
+        // Within tolerance passes; the summary reports per-suite case
+        // totals (satellite: cases compared/regressed, not just metrics).
+        let cmp = compare(
+            &chain_report(1.0),
+            &chain_report(1.04),
+            &Thresholds::default(),
+        );
+        assert!(!cmp.has_regressions(), "{}", cmp.render());
+        let rendered = cmp.render();
+        assert!(
+            rendered.contains("chain: 1 cases compared (0 regressed)"),
+            "{rendered}"
+        );
+        // A slow step regresses the case and the per-suite tally says so.
+        let cmp = compare(
+            &chain_report(1.0),
+            &chain_report(1.1),
+            &Thresholds::default(),
+        );
+        assert!(cmp.has_regressions());
+        let rendered = cmp.render();
+        assert!(rendered.contains("chain_total_ms"), "{rendered}");
+        assert!(rendered.contains("step0:restrict"), "{rendered}");
+        assert!(
+            rendered.contains("chain: 1 cases compared (1 regressed)"),
+            "{rendered}"
+        );
+        // A different hit/miss pattern is an identity error, not a delta.
+        let base = chain_report(1.0);
+        let mut cur = chain_report(1.0);
+        cur.chain.as_mut().unwrap().cases[0].steps[1].cache_hit = false;
+        let cmp = compare(&base, &cur, &Thresholds::default());
+        assert!(
+            cmp.errors
+                .iter()
+                .any(|e| e.contains("per-step plan behaviour changed")),
+            "{:?}",
+            cmp.errors
+        );
+        // So is a changed final result.
+        let mut cur = chain_report(1.0);
+        cur.chain.as_mut().unwrap().cases[0].result_nnz = 901;
+        let cmp = compare(&base, &cur, &Thresholds::default());
+        assert!(
+            cmp.errors.iter().any(|e| e.contains("result changed")),
+            "{:?}",
+            cmp.errors
+        );
+    }
+
+    #[test]
+    fn chain_section_presence_mismatches() {
+        // Baseline gated a chain section; current dropped it: error.
+        let base = chain_report(1.0);
+        let mut cur = chain_report(1.0);
+        cur.chain = None;
+        let cmp = compare(&base, &cur, &Thresholds::default());
+        assert!(
+            cmp.errors
+                .iter()
+                .any(|e| e.contains("chain section missing") && e.contains("chain")),
+            "{:?}",
+            cmp.errors
+        );
+        // New chain section against a pre-chain baseline: informational.
+        let mut base = chain_report(1.0);
+        base.chain = None;
+        let cmp = compare(&base, &chain_report(1.0), &Thresholds::default());
+        assert!(!cmp.has_regressions(), "{}", cmp.render());
+    }
+
+    #[test]
+    fn summary_line_reports_per_suite_case_totals() {
+        let cmp = compare(&report(1e6), &report(1.06e6), &Thresholds::default());
+        let rendered = cmp.render();
+        assert_eq!(cmp.cases_compared, 1);
+        assert_eq!(cmp.cases_regressed, 1);
+        assert!(
+            rendered.contains("quick: 1 cases compared (1 regressed)"),
+            "{rendered}"
         );
     }
 

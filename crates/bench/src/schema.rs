@@ -45,6 +45,13 @@ pub struct BenchReport {
     /// directly and in reports written before the section existed — legacy
     /// reports parse with the key absent.
     pub plan: Option<PlanSection>,
+    /// Chained-workload measurements (`chain` suite): one entry per
+    /// (dataset × canonical workload) chain, each executed step by step
+    /// through the plan-cached service path against a fresh per-case
+    /// cache — so every hit/miss is intra-chain and a pure function of
+    /// the program. `None` for every other suite and in reports written
+    /// before chains existed — legacy reports parse with the key absent.
+    pub chain: Option<ChainSection>,
     /// Host-side wall-clock measurements of the run itself (worker count,
     /// elapsed time, throughput). `None` in reports written before the
     /// section existed and in runs invoked with `--no-host` (byte-compare
@@ -169,6 +176,66 @@ pub struct PlanCaseReport {
     pub sampled_cols: u64,
     /// Relative confidence-band half-width, in ppm (0 on the exact path).
     pub rel_band_ppm: u64,
+}
+
+/// Chained-workload measurements: the `chain` suite runs every canonical
+/// [`br_workloads::Workload`] program over each grid dataset and records
+/// the per-step plan-cache behaviour plus the simulated per-step makespan.
+/// Every field is a pure function of the operands and the program, so the
+/// section byte-compares across runs and thread counts; `compare` gates
+/// the per-step timings like case metrics and treats any change in the
+/// hit/miss/structure pattern as an identity error.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChainSection {
+    /// Per-chain records, in suite definition order.
+    pub cases: Vec<ChainCaseReport>,
+}
+
+/// One chain's record in the `chain` suite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChainCaseReport {
+    /// Case identity: `<dataset>@<scale>/<workload-spec>/<device-slug>`.
+    pub id: String,
+    /// Dataset name from the Table II registry.
+    pub dataset: String,
+    /// Workload spec (`square:3`, `triangle`, `markov:3,0.001`,
+    /// `galerkin`).
+    pub workload: String,
+    /// Per-step roll-up, in program order.
+    pub steps: Vec<ChainStepReport>,
+    /// Steps whose plan came from the (per-case) cache.
+    pub cache_hits: u64,
+    /// Steps that built a fresh plan.
+    pub cache_misses: u64,
+    /// Steps whose operand structures were first seen within the chain.
+    pub structure_churn: u64,
+    /// Summed simulated latency across all steps, ms.
+    pub total_ms: f64,
+    /// `nnz` of the chain's final output — a correctness tripwire.
+    pub result_nnz: u64,
+}
+
+/// One chain step's record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChainStepReport {
+    /// Step label from the program (`square`, `restrict`, …).
+    pub label: String,
+    /// Whether this step's plan came from the cache.
+    pub cache_hit: bool,
+    /// Whether the step's operand structures were first seen within the
+    /// chain.
+    pub fresh_structure: bool,
+    /// Execution method the plan selected (`reorganized`, `hash`, …).
+    pub method: String,
+    /// Simulated end-to-end latency of the step, ms — the per-step
+    /// makespan metric `compare` gates.
+    pub total_ms: f64,
+    /// `nnz` of the raw product, before post-ops.
+    pub product_nnz: u64,
+    /// `nnz` of the step output, after post-ops.
+    pub output_nnz: u64,
+    /// Fill-in of the multiply: `product_nnz * 1000 / nnz(A)`.
+    pub fill_in_permille: u64,
 }
 
 /// Wall-clock diagnostics of the benchmark run itself — the only section
@@ -341,6 +408,7 @@ mod tests {
                 cache_hit_rate: 0.75,
             },
             plan: None,
+            chain: None,
             host: Some(HostSection {
                 threads: 4,
                 wall_ms: 1234.5,
@@ -497,6 +565,51 @@ mod tests {
         let text = report.to_json();
         let back = BenchReport::from_json(&text).unwrap();
         assert_eq!(back.plan, report.plan);
+        assert_eq!(back.to_json(), text, "re-serialization is stable");
+    }
+
+    #[test]
+    fn legacy_report_without_chain_section_still_parses() {
+        // Reports written before chained workloads existed (e.g. the
+        // checked-in quick baseline) have no `chain` key: it must read
+        // back as `None` under the same schema version, not error.
+        let report = sample();
+        let text = report.to_json();
+        let legacy = text.replace(",\n  \"chain\": null", "");
+        assert_ne!(legacy, text, "the chain key was present to remove");
+        let back = BenchReport::from_json(&legacy).expect("legacy layout parses");
+        assert_eq!(back.chain, None);
+        assert_eq!(back.cases, report.cases);
+    }
+
+    #[test]
+    fn chain_section_roundtrips_when_present() {
+        let mut report = sample();
+        report.chain = Some(ChainSection {
+            cases: vec![ChainCaseReport {
+                id: "harbor@tiny/galerkin/titan-xp".to_string(),
+                dataset: "harbor".to_string(),
+                workload: "galerkin".to_string(),
+                steps: vec![ChainStepReport {
+                    label: "restrict".to_string(),
+                    cache_hit: false,
+                    fresh_structure: true,
+                    method: "reorganized".to_string(),
+                    total_ms: 0.5,
+                    product_nnz: 900,
+                    output_nnz: 900,
+                    fill_in_permille: 1500,
+                }],
+                cache_hits: 0,
+                cache_misses: 1,
+                structure_churn: 1,
+                total_ms: 0.5,
+                result_nnz: 900,
+            }],
+        });
+        let text = report.to_json();
+        let back = BenchReport::from_json(&text).unwrap();
+        assert_eq!(back.chain, report.chain);
         assert_eq!(back.to_json(), text, "re-serialization is stable");
     }
 

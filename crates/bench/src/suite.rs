@@ -22,8 +22,9 @@
 //!   and L2-hit-rate deltas show up in the report.
 
 use crate::schema::{
-    git_sha, BenchReport, BinHostStats, CaseMetrics, CaseReport, HostSection, ObsHostStats,
-    PhaseMetrics, PlanCaseReport, PlanSection, ServiceSection, SCHEMA_VERSION,
+    git_sha, BenchReport, BinHostStats, CaseMetrics, CaseReport, ChainCaseReport, ChainSection,
+    ChainStepReport, HostSection, ObsHostStats, PhaseMetrics, PlanCaseReport, PlanSection,
+    ServiceSection, SCHEMA_VERSION,
 };
 use block_reorganizer::plan::{PlanMode, ReorgPlan};
 use block_reorganizer::reorder::ReorderStrategy;
@@ -31,12 +32,17 @@ use block_reorganizer::{BlockReorganizer, ReorganizerConfig};
 use br_datasets::registry::{RealWorldRegistry, ScaleFactor};
 use br_gpu_sim::device::DeviceConfig;
 use br_gpu_sim::profiler::KernelProfile;
+use br_gpu_sim::sim::GpuSimulator;
+use br_obs::Registry;
 use br_service::cache::config_fingerprint;
+use br_service::chain as service_chain;
 use br_service::prelude::*;
 use br_sparse::par;
+use br_spgemm::accum::ScratchPool;
 use br_spgemm::accum::{effective_thresholds_for, RowBins};
 use br_spgemm::estimate::effective_estimator;
 use br_spgemm::pipeline::{run_method, SpgemmMethod, SpgemmRun};
+use br_workloads::Workload;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -62,6 +68,13 @@ pub enum Suite {
     /// cached plan, on the Titan Xp. Results are bit-identical across
     /// strategies; the report captures the LBI / L2-hit-rate deltas.
     Reorder,
+    /// Chained-workload suite: every canonical [`Workload`] program
+    /// (iterated squaring, triangle counting, Markov clustering, the
+    /// Galerkin triple product) over the quick grid's datasets, each chain
+    /// executed step by step through the plan-cached service path against
+    /// a fresh per-case cache. Records a [`ChainSection`]; the grid of
+    /// single-multiplication [`BenchCase`]s is empty.
+    Chain,
 }
 
 impl Suite {
@@ -74,6 +87,7 @@ impl Suite {
             "estplan" => Some(Suite::Estplan),
             "kway" => Some(Suite::Kway),
             "reorder" => Some(Suite::Reorder),
+            "chain" => Some(Suite::Chain),
             _ => None,
         }
     }
@@ -87,6 +101,7 @@ impl Suite {
             Suite::Estplan => "estplan",
             Suite::Kway => "kway",
             Suite::Reorder => "reorder",
+            Suite::Chain => "chain",
         }
     }
 
@@ -194,6 +209,9 @@ impl Suite {
                 }
                 out
             }
+            // The chain suite's unit of work is a whole program, not a
+            // single multiplication — its grid lives in `chain_cases`.
+            Suite::Chain => Vec::new(),
             Suite::Scaling => {
                 let mut out = Vec::new();
                 for dataset in ["harbor", "emailEnron"] {
@@ -383,6 +401,24 @@ pub fn run_suite_threaded(
             report.id, report.metrics.makespan_cycles, report.metrics.total_ms
         ));
     }
+    let chain = (suite == Suite::Chain).then(|| {
+        let grid = chain_cases();
+        let cases: Vec<ChainCaseReport> =
+            par::ordered_map(&grid, threads, |_, &(dataset, workload)| {
+                run_chain_case(dataset, workload)
+            });
+        for case in &cases {
+            progress(&format!(
+                "{:<55} {:>2} steps  {} hits / {} misses  {:>9.3} ms",
+                case.id,
+                case.steps.len(),
+                case.cache_hits,
+                case.cache_misses,
+                case.total_ms
+            ));
+        }
+        ChainSection { cases }
+    });
     let service = run_service_batch(suite, threads);
     progress(&format!(
         "service batch: {} jobs, cache hit rate {:.2}",
@@ -434,7 +470,76 @@ pub fn run_suite_threaded(
         cases,
         service,
         plan,
+        chain,
         host,
+    }
+}
+
+/// The chain suite's grid: every canonical workload over the quick grid's
+/// datasets, in a fixed, stable order.
+pub fn chain_cases() -> Vec<(&'static str, Workload)> {
+    let mut out = Vec::new();
+    for dataset in ["harbor", "emailEnron", "patents_main"] {
+        for workload in Workload::canonical() {
+            out.push((dataset, workload));
+        }
+    }
+    out
+}
+
+/// Runs one chain case: the workload's program over the dataset at tiny
+/// scale, step by step through the plan-cached service path against a
+/// fresh cache and a private registry — so the recorded hit/miss pattern
+/// is intra-chain and a pure function of the program, independent of what
+/// other grid cells run concurrently.
+fn run_chain_case(dataset: &'static str, workload: Workload) -> ChainCaseReport {
+    let a = RealWorldRegistry::get(dataset)
+        .unwrap_or_else(|| panic!("chain suite references unknown dataset {dataset:?}"))
+        .generate(ScaleFactor::Tiny);
+    let device = DeviceConfig::titan_xp();
+    let sim = GpuSimulator::new(device.clone());
+    let pool = ScratchPool::new();
+    let registry = Arc::new(Registry::new());
+    let instruments = service_chain::register_chain_instruments(&registry);
+    let cache = PlanCache::with_registry(8, registry.clone());
+    let request = ChainRequest::workload(0, workload, &a);
+    let outcome = service_chain::execute_chain(
+        0,
+        &device,
+        &sim,
+        &cache,
+        &pool,
+        None,
+        ReorderStrategy::None,
+        &instruments,
+        &registry,
+        request,
+        0.0,
+    )
+    .unwrap_or_else(|e| panic!("chain case {dataset}/{} failed: {e:?}", workload.spec()));
+    ChainCaseReport {
+        id: format!("{dataset}@tiny/{}/titan-xp", workload.spec()),
+        dataset: dataset.to_string(),
+        workload: workload.spec(),
+        steps: outcome
+            .steps
+            .iter()
+            .map(|s| ChainStepReport {
+                label: s.label.clone(),
+                cache_hit: s.cache_hit,
+                fresh_structure: s.fresh_structure,
+                method: s.method.to_string(),
+                total_ms: s.total_ms,
+                product_nnz: s.product_nnz as u64,
+                output_nnz: s.output_nnz as u64,
+                fill_in_permille: s.fill_in_permille,
+            })
+            .collect(),
+        cache_hits: outcome.cache_hits() as u64,
+        cache_misses: outcome.cache_misses() as u64,
+        structure_churn: outcome.structure_churn() as u64,
+        total_ms: outcome.total_ms,
+        result_nnz: outcome.result.nnz() as u64,
     }
 }
 
@@ -641,7 +746,9 @@ fn run_service_batch(suite: Suite, threads: usize) -> ServiceSection {
     let (repeats, scale) = match suite {
         Suite::Quick => (3usize, ScaleFactor::Tiny),
         Suite::Full => (4, ScaleFactor::Default),
-        Suite::Scaling | Suite::Estplan | Suite::Kway | Suite::Reorder => (3, ScaleFactor::Tiny),
+        Suite::Scaling | Suite::Estplan | Suite::Kway | Suite::Reorder | Suite::Chain => {
+            (3, ScaleFactor::Tiny)
+        }
     };
     let mut jobs = Vec::new();
     let mut id = 0u64;
@@ -680,13 +787,14 @@ fn run_service_batch(suite: Suite, threads: usize) -> ServiceSection {
 mod tests {
     use super::*;
 
-    const ALL_SUITES: [Suite; 6] = [
+    const ALL_SUITES: [Suite; 7] = [
         Suite::Quick,
         Suite::Full,
         Suite::Scaling,
         Suite::Estplan,
         Suite::Kway,
         Suite::Reorder,
+        Suite::Chain,
     ];
 
     #[test]
@@ -994,6 +1102,67 @@ mod tests {
     fn reorder_suite_is_byte_identical_at_any_thread_count() {
         let mut seq = run_suite_threaded(Suite::Reorder, 1, |_| {});
         let mut par4 = run_suite_threaded(Suite::Reorder, 4, |_| {});
+        seq.host = None;
+        par4.host = None;
+        assert_eq!(seq.to_json(), par4.to_json());
+    }
+
+    /// ISSUE acceptance criterion: the chain suite runs all four canonical
+    /// workloads per dataset; the Galerkin chain shows at least one
+    /// plan-cache hit (the refresh products) while iterated squaring
+    /// misses on every step (structure churn).
+    #[test]
+    fn chain_suite_caches_galerkin_and_churns_squaring() {
+        let report = run_suite(Suite::Chain, |_| {});
+        assert!(report.cases.is_empty(), "the chain suite has no grid cases");
+        let chain = report.chain.as_ref().expect("chain suite records chains");
+        assert_eq!(chain.cases.len(), 12, "3 datasets x 4 canonical workloads");
+        for dataset in ["harbor", "emailEnron", "patents_main"] {
+            let case = |workload: &str| {
+                let id = format!("{dataset}@tiny/{workload}/titan-xp");
+                chain
+                    .cases
+                    .iter()
+                    .find(|c| c.id == id)
+                    .unwrap_or_else(|| panic!("missing chain case {id}"))
+            };
+            let galerkin = case("galerkin");
+            assert_eq!(galerkin.steps.len(), 4);
+            let hits: Vec<bool> = galerkin.steps.iter().map(|s| s.cache_hit).collect();
+            assert_eq!(
+                hits,
+                [false, false, true, true],
+                "{dataset}: the refresh products reuse the restrict/coarsen plans"
+            );
+            assert_eq!(galerkin.cache_hits, 2);
+            assert_eq!(galerkin.structure_churn, 2);
+
+            let square = case("square:3");
+            assert_eq!(square.steps.len(), 3);
+            assert_eq!(square.cache_hits, 0, "{dataset}: squaring churns structure");
+            assert_eq!(square.cache_misses, 3);
+            assert_eq!(square.structure_churn, 3);
+
+            assert_eq!(case("triangle").steps.len(), 1);
+            assert_eq!(case("markov:3,0.001").steps.len(), 3);
+            for c in [galerkin, square] {
+                assert!(c.result_nnz > 0, "{}: empty result", c.id);
+                assert!(c.total_ms > 0.0, "{}: no simulated time", c.id);
+                assert!(
+                    c.steps.iter().all(|s| s.total_ms > 0.0),
+                    "{}: a step reports no makespan",
+                    c.id
+                );
+            }
+        }
+    }
+
+    /// The chain report is byte-identical across thread counts, like the
+    /// quick suite — the contract the bench_gate chain step byte-compares.
+    #[test]
+    fn chain_suite_is_byte_identical_at_any_thread_count() {
+        let mut seq = run_suite_threaded(Suite::Chain, 1, |_| {});
+        let mut par4 = run_suite_threaded(Suite::Chain, 4, |_| {});
         seq.host = None;
         par4.host = None;
         assert_eq!(seq.to_json(), par4.to_json());

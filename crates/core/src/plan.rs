@@ -494,14 +494,17 @@ impl ReorgPlan {
                 ReorgStats::default(),
             ),
         };
-        let mut numeric = spgemm_adaptive_planned(&ctx.a, &ctx.b, default_threads(), &self.bins, pool)?;
+        let mut numeric =
+            spgemm_adaptive_planned(&ctx.a, &ctx.b, default_threads(), &self.bins, pool)?;
         if let Some(p) = &self.permutation {
             // Row i of the permuted product is row forward[i] of the real
             // one; gathering by the inverse restores the original order
             // without touching any within-row entry.
             numeric = numeric.permute_rows(p.inverse());
         }
-        let run = assemble_run_on(sim, name, numeric, &launches, &ws.layout, host_ms, ctx.flops);
+        let run = assemble_run_on(
+            sim, name, numeric, &launches, &ws.layout, host_ms, ctx.flops,
+        );
         Ok(ReorganizerRun {
             result: run.result,
             profiles: run.profiles,
@@ -892,11 +895,7 @@ mod tests {
         // per-phase schedule is genuinely exercised (cycle totals may
         // coincide; the permutation existing is the structural witness).
         assert!(degree.permutation.is_some());
-        assert!(!degree
-            .permutation
-            .as_ref()
-            .unwrap()
-            .is_identity());
+        assert!(!degree.permutation.as_ref().unwrap().is_identity());
     }
 
     #[test]

@@ -180,7 +180,10 @@ impl Permutation {
 
     /// True when applying this permutation is a no-op.
     pub fn is_identity(&self) -> bool {
-        self.forward.iter().enumerate().all(|(i, &r)| r as usize == i)
+        self.forward
+            .iter()
+            .enumerate()
+            .all(|(i, &r)| r as usize == i)
     }
 
     /// Number of rows the permutation covers.
@@ -553,8 +556,10 @@ mod tests {
         coo.push(2, 5, 1.0).unwrap();
         let order = cluster_order(&coo.to_csr());
         let pos = |r: u32| order.iter().position(|&x| x == r).unwrap();
-        let spread =
-            |rows: &[u32]| rows.iter().map(|&r| pos(r)).max().unwrap() - rows.iter().map(|&r| pos(r)).min().unwrap();
+        let spread = |rows: &[u32]| {
+            rows.iter().map(|&r| pos(r)).max().unwrap()
+                - rows.iter().map(|&r| pos(r)).min().unwrap()
+        };
         assert_eq!(spread(&[0, 3, 5]), 2, "identical rows must be adjacent");
         assert_eq!(spread(&[1, 4]), 1, "identical rows must be adjacent");
     }

@@ -61,7 +61,10 @@ fn assert_all_strategies_bit_identical(a: &CsrMatrix<f64>, what: &str) {
         assert_eq!(run.result.idx(), oracle.result.idx(), "{what}/{strategy:?}");
         let obits: Vec<u64> = oracle.result.val().iter().map(|v| v.to_bits()).collect();
         let rbits: Vec<u64> = run.result.val().iter().map(|v| v.to_bits()).collect();
-        assert_eq!(obits, rbits, "{what}/{strategy:?}: values must match bitwise");
+        assert_eq!(
+            obits, rbits,
+            "{what}/{strategy:?}: values must match bitwise"
+        );
     }
 }
 

@@ -178,7 +178,12 @@ mod tests {
             best.makespan,
             worst.makespan
         );
-        assert!(best.lbi() > worst.lbi(), "{} vs {}", best.lbi(), worst.lbi());
+        assert!(
+            best.lbi() > worst.lbi(),
+            "{} vs {}",
+            best.lbi(),
+            worst.lbi()
+        );
     }
 
     #[test]

@@ -75,6 +75,9 @@ pub struct ServerInfo {
 pub struct ResponseSummary {
     /// `Result` responses, in arrival order, as `(request_id, cache_hit)`.
     pub results: Vec<(u64, bool)>,
+    /// `ChainResult` responses, in arrival order, as
+    /// `(request_id, steps executed, steps served from the plan cache)`.
+    pub chain_results: Vec<(u64, usize, usize)>,
     /// `Shed` responses (request ids, arrival order).
     pub shed: Vec<u64>,
     /// `Reject` responses as `(request_id, reason name)`.
@@ -86,13 +89,14 @@ pub struct ResponseSummary {
 impl ResponseSummary {
     /// Total per-request responses collected.
     pub fn total(&self) -> usize {
-        self.results.len() + self.shed.len() + self.rejected.len()
+        self.results.len() + self.chain_results.len() + self.shed.len() + self.rejected.len()
     }
 
     /// Response counts keyed by kind name (deterministic ordering).
     pub fn counts(&self) -> BTreeMap<&'static str, usize> {
         let mut m = BTreeMap::new();
         m.insert("result", self.results.len());
+        m.insert("chain_result", self.chain_results.len());
         m.insert("shed", self.shed.len());
         for (_, reason) in &self.rejected {
             *m.entry(reason).or_insert(0) += 1;
@@ -174,6 +178,27 @@ impl NetClient {
         Ok(())
     }
 
+    /// Fire-and-forget chain submission (the spec needs a `chain=` key);
+    /// the server answers with one `ChainResult`, `Shed`, or `Reject`.
+    pub fn submit_chain(
+        &mut self,
+        request_id: u64,
+        lane: Lane,
+        deadline_ms: u32,
+        spec: &str,
+    ) -> Result<(), ClientError> {
+        write_frame(
+            &mut self.writer,
+            &Frame::SubmitChain {
+                request_id,
+                lane,
+                deadline_ms,
+                spec: spec.to_string(),
+            },
+        )?;
+        Ok(())
+    }
+
     /// Opens a held server's worker gate.
     pub fn release(&mut self) -> Result<(), ClientError> {
         write_frame(&mut self.writer, &Frame::Release)?;
@@ -197,8 +222,9 @@ impl NetClient {
         Ok(read_frame(&mut self.reader)?)
     }
 
-    /// Collects exactly `expected` per-request responses (`Result`, `Shed`,
-    /// or `Reject`). `DrainNotice` is recorded but not counted; any other
+    /// Collects exactly `expected` per-request responses (`Result`,
+    /// `ChainResult`, `Shed`, or `Reject`). `DrainNotice` is recorded but
+    /// not counted; any other
     /// frame or an early close is an error.
     pub fn collect_responses(&mut self, expected: usize) -> Result<ResponseSummary, ClientError> {
         let mut summary = ResponseSummary::default();
@@ -209,6 +235,13 @@ impl NetClient {
                     cache_hit,
                     ..
                 }) => summary.results.push((request_id, cache_hit)),
+                Some(Frame::ChainResult {
+                    request_id, steps, ..
+                }) => summary.chain_results.push((
+                    request_id,
+                    steps.len(),
+                    steps.iter().filter(|s| s.cache_hit).count(),
+                )),
                 Some(Frame::Shed { request_id, .. }) => summary.shed.push(request_id),
                 Some(Frame::Reject {
                     request_id, code, ..

@@ -134,8 +134,27 @@ impl RejectCode {
     }
 }
 
-/// One protocol message. Client→server: `Hello`, `Submit`, `Release`,
-/// `Shutdown`, `Goodbye`. Server→client: everything else.
+/// Per-step summary carried by [`Frame::ChainResult`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainStepSummary {
+    /// Step label from the chain program.
+    pub label: String,
+    /// Whether the step's reorganization plan came from the cache.
+    pub cache_hit: bool,
+    /// Whether the step's operand structures were first seen within the
+    /// chain.
+    pub fresh_structure: bool,
+    /// Simulated end-to-end latency of the step, ms.
+    pub total_ms: f64,
+    /// Fill-in of the multiply: product nnz relative to the left operand,
+    /// in permille.
+    pub fill_in_permille: u64,
+    /// `nnz` of the step output after post-ops.
+    pub output_nnz: u64,
+}
+
+/// One protocol message. Client→server: `Hello`, `Submit`, `SubmitChain`,
+/// `Release`, `Shutdown`, `Goodbye`. Server→client: everything else.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
     /// First frame on every connection: identifies the client for quotas.
@@ -222,6 +241,37 @@ pub enum Frame {
         /// What went wrong.
         message: String,
     },
+    /// One chain request (a whole multi-step workload in one queue slot).
+    /// Exactly one response frame (`ChainResult`, `Shed`, or `Reject`)
+    /// answers each `SubmitChain`; the deadline covers the whole chain.
+    SubmitChain {
+        /// Client-chosen id, echoed in the response.
+        request_id: u64,
+        /// Priority lane.
+        lane: Lane,
+        /// Relative deadline in milliseconds for the *whole chain*; 0 =
+        /// none.
+        deadline_ms: u32,
+        /// Chain description in the job-file line format
+        /// (e.g. `chain=galerkin rmat=8,6 seed=1`); `repeat` must be 1.
+        spec: String,
+    },
+    /// Successful completion of an admitted chain, with the per-step
+    /// roll-up.
+    ChainResult {
+        /// Id from the `SubmitChain`.
+        request_id: u64,
+        /// Chain label derived from the spec.
+        label: String,
+        /// Index of the worker that executed the chain.
+        worker: u32,
+        /// Summed simulated latency across all steps, ms.
+        total_ms: f64,
+        /// `nnz` of the final step's output.
+        nnz_c: u64,
+        /// Per-step summaries, in program order.
+        steps: Vec<ChainStepSummary>,
+    },
 }
 
 impl Frame {
@@ -238,6 +288,8 @@ impl Frame {
             Frame::DrainNotice { .. } => 9,
             Frame::Goodbye => 10,
             Frame::Error { .. } => 11,
+            Frame::SubmitChain { .. } => 12,
+            Frame::ChainResult { .. } => 13,
         }
     }
 
@@ -255,6 +307,8 @@ impl Frame {
             Frame::DrainNotice { .. } => "drain_notice",
             Frame::Goodbye => "goodbye",
             Frame::Error { .. } => "error",
+            Frame::SubmitChain { .. } => "submit_chain",
+            Frame::ChainResult { .. } => "chain_result",
         }
     }
 
@@ -322,6 +376,40 @@ impl Frame {
             }
             Frame::Release | Frame::Shutdown | Frame::Goodbye => {}
             Frame::DrainNotice { message } | Frame::Error { message } => put_str(out, message),
+            Frame::SubmitChain {
+                request_id,
+                lane,
+                deadline_ms,
+                spec,
+            } => {
+                put_u64(out, *request_id);
+                out.push(lane.code());
+                put_u32(out, *deadline_ms);
+                put_str(out, spec);
+            }
+            Frame::ChainResult {
+                request_id,
+                label,
+                worker,
+                total_ms,
+                nnz_c,
+                steps,
+            } => {
+                put_u64(out, *request_id);
+                put_str(out, label);
+                put_u32(out, *worker);
+                put_u64(out, total_ms.to_bits());
+                put_u64(out, *nnz_c);
+                put_u32(out, steps.len() as u32);
+                for step in steps {
+                    put_str(out, &step.label);
+                    out.push(step.cache_hit as u8);
+                    out.push(step.fresh_structure as u8);
+                    put_u64(out, step.total_ms.to_bits());
+                    put_u64(out, step.fill_in_permille);
+                    put_u64(out, step.output_nnz);
+                }
+            }
         }
     }
 
@@ -372,6 +460,41 @@ impl Frame {
             11 => Frame::Error {
                 message: c.get_str()?,
             },
+            12 => Frame::SubmitChain {
+                request_id: c.get_u64()?,
+                lane: Lane::from_code(c.get_u8()?)?,
+                deadline_ms: c.get_u32()?,
+                spec: c.get_str()?,
+            },
+            13 => {
+                let request_id = c.get_u64()?;
+                let label = c.get_str()?;
+                let worker = c.get_u32()?;
+                let total_ms = f64::from_bits(c.get_u64()?);
+                let nnz_c = c.get_u64()?;
+                let count = c.get_u32()?;
+                // No pre-allocation from the declared count: a hostile
+                // count fails with Truncated on the first missing step.
+                let mut steps = Vec::new();
+                for _ in 0..count {
+                    steps.push(ChainStepSummary {
+                        label: c.get_str()?,
+                        cache_hit: c.get_bool()?,
+                        fresh_structure: c.get_bool()?,
+                        total_ms: f64::from_bits(c.get_u64()?),
+                        fill_in_permille: c.get_u64()?,
+                        output_nnz: c.get_u64()?,
+                    });
+                }
+                Frame::ChainResult {
+                    request_id,
+                    label,
+                    worker,
+                    total_ms,
+                    nnz_c,
+                    steps,
+                }
+            }
             v => return Err(ProtocolError::UnknownFrameType(v)),
         };
         c.finish()?;
@@ -733,6 +856,90 @@ mod tests {
         round_trip(Frame::Error {
             message: "unexpected frame".into(),
         });
+        round_trip(Frame::SubmitChain {
+            request_id: 17,
+            lane: Lane::Batch,
+            deadline_ms: 30_000,
+            spec: "chain=galerkin rmat=8,6 seed=1".into(),
+        });
+        round_trip(Frame::ChainResult {
+            request_id: 17,
+            label: "rmat-8-6:galerkin".into(),
+            worker: 2,
+            total_ms: 42.75,
+            nnz_c: 9_876,
+            steps: vec![
+                ChainStepSummary {
+                    label: "restrict".into(),
+                    cache_hit: false,
+                    fresh_structure: true,
+                    total_ms: 10.5,
+                    fill_in_permille: 1_500,
+                    output_nnz: 4_321,
+                },
+                ChainStepSummary {
+                    label: "restrict-refresh".into(),
+                    cache_hit: true,
+                    fresh_structure: false,
+                    total_ms: 8.25,
+                    fill_in_permille: 1_500,
+                    output_nnz: 4_321,
+                },
+            ],
+        });
+        round_trip(Frame::ChainResult {
+            request_id: 1,
+            label: "empty".into(),
+            worker: 0,
+            total_ms: 0.0,
+            nnz_c: 0,
+            steps: vec![],
+        });
+    }
+
+    #[test]
+    fn chain_result_rejects_every_truncation() {
+        let bytes = Frame::ChainResult {
+            request_id: 5,
+            label: "chain".into(),
+            worker: 1,
+            total_ms: 1.5,
+            nnz_c: 10,
+            steps: vec![ChainStepSummary {
+                label: "s1".into(),
+                cache_hit: true,
+                fresh_structure: false,
+                total_ms: 1.5,
+                fill_in_permille: 1_000,
+                output_nnz: 10,
+            }],
+        }
+        .encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                matches!(
+                    Frame::decode(&bytes[..cut]),
+                    Err(ProtocolError::Truncated { .. })
+                ),
+                "cut {cut}"
+            );
+        }
+        // A hostile step count with no step bytes is truncation, not OOM.
+        let hostile = Frame::ChainResult {
+            request_id: 5,
+            label: "chain".into(),
+            worker: 1,
+            total_ms: 1.5,
+            nnz_c: 10,
+            steps: vec![],
+        };
+        let mut bytes = hostile.encode();
+        let count_at = bytes.len() - 4;
+        bytes[count_at..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(ProtocolError::Truncated { .. })
+        ));
     }
 
     #[test]

@@ -50,13 +50,16 @@ use br_gpu_sim::device::DeviceConfig;
 use br_gpu_sim::sim::GpuSimulator;
 use br_obs::{lock_recover, Counter, Gauge, Histogram, Registry};
 use br_service::cache::{PlanCache, PlanKey};
+use br_service::chain::{self, ChainInstruments, ChainRequest};
 use br_service::job::parse_job_file;
 use br_sparse::CsrMatrix;
 use br_spgemm::accum::ScratchPool;
 use br_spgemm::context::ProblemContext;
 use br_spgemm::estimate::EstimatorConfig;
 
-use crate::frame::{read_frame, write_frame, Frame, FrameError, Lane, RejectCode, VERSION};
+use crate::frame::{
+    read_frame, write_frame, ChainStepSummary, Frame, FrameError, Lane, RejectCode, VERSION,
+};
 use crate::lane::{LanePushError, LaneQueue};
 
 /// How to provision the serving front end.
@@ -172,6 +175,8 @@ struct NetInstruments {
     lane_depth: [Gauge; 2],
     lane_depth_max: [Gauge; 2],
     queue_wait: [Histogram; 2],
+    /// Pre-registered `br_chain_*` families, updated by chain steps.
+    chain: ChainInstruments,
 }
 
 impl NetInstruments {
@@ -245,6 +250,7 @@ impl NetInstruments {
                     &[("lane", l.name())],
                 )
             }),
+            chain: chain::register_chain_instruments(&registry),
             registry,
         }
     }
@@ -298,14 +304,24 @@ impl Admission {
     }
 }
 
+/// The work an admitted request carries: one multiplication (`Submit`) or
+/// a whole chain program (`SubmitChain`). Both ride the same lanes, quota,
+/// shed threshold, and deadline check.
+enum NetWork {
+    Single {
+        a: Arc<CsrMatrix<f64>>,
+        b: Arc<CsrMatrix<f64>>,
+    },
+    Chain(Box<ChainRequest>),
+}
+
 /// An admitted request waiting for (or being executed by) a worker.
 struct NetJob {
     request_id: u64,
     client_id: String,
     label: String,
     deadline: Option<Instant>,
-    a: Arc<CsrMatrix<f64>>,
-    b: Arc<CsrMatrix<f64>>,
+    work: NetWork,
     config: ReorganizerConfig,
     reply: mpsc::Sender<Frame>,
     enqueued: Instant,
@@ -563,6 +579,22 @@ fn connection_loop(conn_id: u64, stream: TcpStream, shared: Arc<Shared>) {
                     lane,
                     deadline_ms,
                     &spec,
+                    SubmitKind::Single,
+                ),
+                Frame::SubmitChain {
+                    request_id,
+                    lane,
+                    deadline_ms,
+                    spec,
+                } => handle_submit(
+                    &shared,
+                    &tx,
+                    client_id.as_deref(),
+                    request_id,
+                    lane,
+                    deadline_ms,
+                    &spec,
+                    SubmitKind::Chain,
                 ),
                 Frame::Release => {
                     shared.queue.release();
@@ -592,6 +624,15 @@ fn connection_loop(conn_id: u64, stream: TcpStream, shared: Arc<Shared>) {
     let _ = writer.join();
 }
 
+/// Which frame type carried a submission — decides how its spec is
+/// materialized (and which shape of result answers it).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SubmitKind {
+    Single,
+    Chain,
+}
+
+#[allow(clippy::too_many_arguments)]
 fn handle_submit(
     shared: &Shared,
     tx: &mpsc::Sender<Frame>,
@@ -600,6 +641,7 @@ fn handle_submit(
     lane: Lane,
     deadline_ms: u32,
     spec: &str,
+    kind: SubmitKind,
 ) {
     let i = &shared.instruments;
     i.requests[lane.index()].inc();
@@ -627,7 +669,7 @@ fn handle_submit(
         );
         return;
     }
-    let (label, a, b) = match materialize_spec(spec) {
+    let (label, work) = match materialize_spec(spec, kind, request_id, &shared.reorg_config) {
         Ok(job) => job,
         Err(message) => {
             reject(RejectCode::BadSpec, message);
@@ -651,8 +693,7 @@ fn handle_submit(
         client_id: client.to_string(),
         label,
         deadline,
-        a,
-        b,
+        work,
         config: shared.reorg_config,
         reply: tx.clone(),
         enqueued: Instant::now(),
@@ -685,11 +726,15 @@ fn handle_submit(
     }
 }
 
-/// Parses a one-line job spec and loads its operands.
-#[allow(clippy::type_complexity)]
+/// Parses a one-line job spec and loads its operands (or builds the chain
+/// request, for `SubmitChain`). The spec's `chain=` key must agree with
+/// the frame type that carried it.
 fn materialize_spec(
     spec: &str,
-) -> Result<(String, Arc<CsrMatrix<f64>>, Arc<CsrMatrix<f64>>), String> {
+    kind: SubmitKind,
+    request_id: u64,
+    config: &ReorganizerConfig,
+) -> Result<(String, NetWork), String> {
     let specs = parse_job_file(spec)?;
     let [one] = specs.as_slice() else {
         return Err("a Submit frame carries exactly one job line".to_string());
@@ -697,12 +742,30 @@ fn materialize_spec(
     if one.repeat != 1 {
         return Err("repeat must be 1 over the wire (send one Submit per job)".to_string());
     }
-    let a = Arc::new(one.source.load()?);
-    let b = match &one.pair {
-        Some(src) => Arc::new(src.load()?),
-        None => a.clone(),
-    };
-    Ok((one.source.label(), a, b))
+    match (kind, one.chain) {
+        (SubmitKind::Single, Some(_)) => {
+            Err("chain= specs travel in SubmitChain frames, not Submit".to_string())
+        }
+        (SubmitKind::Chain, None) => Err(
+            "a SubmitChain spec needs a chain= key (use Submit for one multiplication)".to_string(),
+        ),
+        (SubmitKind::Single, None) => {
+            let a = Arc::new(one.source.load()?);
+            let b = match &one.pair {
+                Some(src) => Arc::new(src.load()?),
+                None => a.clone(),
+            };
+            Ok((one.source.label(), NetWork::Single { a, b }))
+        }
+        (SubmitKind::Chain, Some(workload)) => {
+            let base = one.source.load()?;
+            let label = format!("{}:{}", one.source.label(), workload.spec());
+            let request = ChainRequest::workload(request_id, workload, &base)
+                .with_label(label.clone())
+                .with_config(*config);
+            Ok((label, NetWork::Chain(Box::new(request))))
+        }
+    }
 }
 
 fn worker_loop(index: usize, device: DeviceConfig, shared: Arc<Shared>) {
@@ -724,20 +787,34 @@ fn worker_loop(index: usize, device: DeviceConfig, shared: Arc<Shared>) {
                 continue;
             }
         }
-        let response = execute_job(
-            index,
-            &device,
-            &sim,
-            &shared.cache,
-            &pool,
-            shared.estimator,
-            shared.reorder,
-            &job,
-        );
+        let response = match &job.work {
+            NetWork::Single { a, b } => execute_job(
+                index,
+                &device,
+                &sim,
+                &shared.cache,
+                &pool,
+                shared.estimator,
+                shared.reorder,
+                &job,
+                a,
+                b,
+            ),
+            NetWork::Chain(request) => execute_chain_job(
+                index,
+                &device,
+                &sim,
+                &shared,
+                &pool,
+                job.request_id,
+                request.as_ref().clone(),
+                job.enqueued,
+            ),
+        };
         match &response {
-            Frame::Result { .. } => i.results[lane.index()].inc(),
+            Frame::Result { .. } | Frame::ChainResult { .. } => i.results[lane.index()].inc(),
             Frame::Reject { .. } => i.reject_failed.inc(),
-            _ => unreachable!("workers only produce Result or Reject"),
+            _ => unreachable!("workers only produce Result, ChainResult, or Reject"),
         }
         let _ = job.reply.send(response);
         shared.admission.release(&job.client_id);
@@ -754,13 +831,15 @@ fn execute_job(
     estimator: Option<EstimatorConfig>,
     reorder: ReorderStrategy,
     job: &NetJob,
+    a: &Arc<CsrMatrix<f64>>,
+    b: &Arc<CsrMatrix<f64>>,
 ) -> Frame {
     let fail = |message: String| Frame::Reject {
         request_id: job.request_id,
         code: RejectCode::Failed,
         message,
     };
-    let ctx = match ProblemContext::from_shared(job.a.clone(), job.b.clone()) {
+    let ctx = match ProblemContext::from_shared(a.clone(), b.clone()) {
         Ok(ctx) => ctx,
         Err(e) => return fail(format!("invalid operands: {e}")),
     };
@@ -797,5 +876,62 @@ fn execute_job(
             nnz_c: run.result.nnz() as u64,
         },
         Err(e) => fail(format!("execution failed: {e}")),
+    }
+}
+
+/// Runs one chain through [`br_service::chain::execute_chain`] — every
+/// step goes through the same plan cache the single jobs use, and the
+/// `br_chain_*` instruments registered at server start pick up the
+/// per-step counters. A failed step answers with `Reject(Failed)` naming
+/// the step.
+#[allow(clippy::too_many_arguments)]
+fn execute_chain_job(
+    worker: usize,
+    device: &DeviceConfig,
+    sim: &GpuSimulator,
+    shared: &Shared,
+    pool: &ScratchPool<f64>,
+    request_id: u64,
+    request: ChainRequest,
+    enqueued: Instant,
+) -> Frame {
+    let queue_ms = enqueued.elapsed().as_secs_f64() * 1e3;
+    match chain::execute_chain(
+        worker,
+        device,
+        sim,
+        &shared.cache,
+        pool,
+        shared.estimator,
+        shared.reorder,
+        &shared.instruments.chain,
+        &shared.instruments.registry,
+        request,
+        queue_ms,
+    ) {
+        Ok(outcome) => Frame::ChainResult {
+            request_id,
+            label: outcome.label.clone(),
+            worker: worker as u32,
+            total_ms: outcome.total_ms,
+            nnz_c: outcome.result.nnz() as u64,
+            steps: outcome
+                .steps
+                .iter()
+                .map(|s| ChainStepSummary {
+                    label: s.label.clone(),
+                    cache_hit: s.cache_hit,
+                    fresh_structure: s.fresh_structure,
+                    total_ms: s.total_ms,
+                    fill_in_permille: s.fill_in_permille,
+                    output_nnz: s.output_nnz as u64,
+                })
+                .collect(),
+        },
+        Err(e) => Frame::Reject {
+            request_id,
+            code: RejectCode::Failed,
+            message: e.message,
+        },
     }
 }

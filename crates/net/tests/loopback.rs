@@ -333,6 +333,133 @@ fn garbage_on_the_wire_gets_a_typed_error_frame() {
 }
 
 #[test]
+fn chains_round_trip_with_per_step_cache_accounting() {
+    let server = NetServer::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+    let registry = server.registry().clone();
+    let server = thread::spawn(move || server.run());
+
+    let mut c = NetClient::connect(&addr, "chains").unwrap();
+    // The Galerkin triple product: restrict/coarsen build plans, the two
+    // refresh steps (same structures, new values) reuse them.
+    c.submit_chain(0, Lane::Batch, 0, "chain=galerkin rmat=7,6 seed=11")
+        .unwrap();
+    match c.next_response().unwrap() {
+        Some(Frame::ChainResult {
+            request_id,
+            label,
+            steps,
+            nnz_c,
+            total_ms,
+            ..
+        }) => {
+            assert_eq!(request_id, 0);
+            assert!(label.contains("galerkin"), "got label {label:?}");
+            assert_eq!(steps.len(), 4);
+            let hits: Vec<bool> = steps.iter().map(|s| s.cache_hit).collect();
+            assert_eq!(
+                hits,
+                [false, false, true, true],
+                "the refresh products reuse the restrict/coarsen plans"
+            );
+            let fresh: Vec<bool> = steps.iter().map(|s| s.fresh_structure).collect();
+            assert_eq!(fresh, [true, true, false, false]);
+            assert_eq!(steps.last().unwrap().output_nnz, nnz_c);
+            assert!(nnz_c > 0);
+            assert!(total_ms > 0.0);
+            assert!(steps.iter().all(|s| s.fill_in_permille > 0));
+        }
+        other => panic!("expected ChainResult, got {other:?}"),
+    }
+
+    // Iterated squaring churns structure: every step builds a new plan.
+    c.submit_chain(1, Lane::Interactive, 0, "chain=square:3 rmat=7,6 seed=12")
+        .unwrap();
+    match c.next_response().unwrap() {
+        Some(Frame::ChainResult { steps, .. }) => {
+            assert_eq!(steps.len(), 3);
+            assert!(steps.iter().all(|s| !s.cache_hit && s.fresh_structure));
+        }
+        other => panic!("expected ChainResult, got {other:?}"),
+    }
+
+    // A spec must ride the matching frame type, and repeat stays 1.
+    c.submit(2, Lane::Batch, 0, "chain=square:2 rmat=6,4")
+        .unwrap();
+    c.submit_chain(3, Lane::Batch, 0, "rmat=6,4").unwrap();
+    c.submit_chain(4, Lane::Batch, 0, "chain=galerkin rmat=6,4 repeat=2")
+        .unwrap();
+    let rejects = c.collect_responses(3).unwrap();
+    assert_eq!(rejects.rejected.len(), 3);
+    assert!(rejects.rejected.iter().all(|(_, r)| *r == "bad_spec"));
+
+    let mut summary = rejects;
+    c.shutdown().unwrap();
+    c.drain_to_eof(&mut summary).unwrap();
+    let report = server.join().unwrap();
+    assert_eq!(report.requests, 5);
+    assert_eq!(report.admitted, 2);
+    assert_eq!(report.results, 2, "chain results count as results");
+    assert_eq!(report.other_rejected, 3);
+
+    let metrics = registry.render_prometheus(false);
+    assert!(
+        metrics.contains("br_chain_steps_total 7"),
+        "4 + 3 steps ran"
+    );
+    assert!(metrics.contains("br_chain_step_cache_hits_total 2"));
+    assert!(metrics.contains("br_chain_step_cache_misses_total 5"));
+    assert!(metrics.contains("br_chain_structure_churn_total 5"));
+}
+
+#[test]
+fn chain_families_export_at_zero_before_any_chain_runs() {
+    let server = NetServer::bind("127.0.0.1:0", held_config(1, 4, 4)).unwrap();
+    let addr = server.local_addr().to_string();
+    let registry = server.registry().clone();
+    let server = thread::spawn(move || server.run());
+
+    let metrics = registry.render_prometheus(false);
+    for family in [
+        "br_chain_steps_total 0",
+        "br_chain_step_cache_hits_total 0",
+        "br_chain_step_cache_misses_total 0",
+        "br_chain_structure_churn_total 0",
+        "br_chain_fill_in_permille_count 0",
+    ] {
+        assert!(metrics.contains(family), "missing {family:?} in export");
+    }
+
+    let mut c = NetClient::connect(&addr, "idle").unwrap();
+    c.shutdown().unwrap();
+    server.join().unwrap();
+}
+
+#[test]
+fn chain_deadline_expires_while_queued() {
+    let server = NetServer::bind("127.0.0.1:0", held_config(1, 4, 4)).unwrap();
+    let addr = server.local_addr().to_string();
+    let server = thread::spawn(move || server.run());
+
+    let mut c = NetClient::connect(&addr, "deadline").unwrap();
+    // The gate is held, so the chain sits queued past its 1 ms deadline;
+    // the worker refuses it without executing any step.
+    c.submit_chain(9, Lane::Batch, 1, "chain=square:2 rmat=6,4")
+        .unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    c.release().unwrap();
+    let summary = c.collect_responses(1).unwrap();
+    assert_eq!(summary.rejected, vec![(9, "deadline")]);
+
+    let mut summary = summary;
+    c.shutdown().unwrap();
+    c.drain_to_eof(&mut summary).unwrap();
+    let report = server.join().unwrap();
+    assert_eq!(report.admitted, 1);
+    assert_eq!(report.results, 0);
+}
+
+#[test]
 fn bind_failure_is_an_error_not_a_panic() {
     let taken = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = taken.local_addr().unwrap().to_string();

@@ -575,13 +575,8 @@ mod tests {
             ReorderStrategy::Cluster,
             ReorderStrategy::Auto,
         ] {
-            let reordered = PlanKey::with_options(
-                ctx.signature(),
-                "NVIDIA TITAN Xp",
-                &cfg,
-                None,
-                strategy,
-            );
+            let reordered =
+                PlanKey::with_options(ctx.signature(), "NVIDIA TITAN Xp", &cfg, None, strategy);
             assert_ne!(reordered, key, "{strategy:?} must not alias the baseline");
             assert!(
                 !prints.contains(&reordered.reorder),

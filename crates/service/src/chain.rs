@@ -1,0 +1,462 @@
+//! Chain jobs: multi-step [`br_workloads::ChainProgram`]s executed through
+//! the plan-cached service stack.
+//!
+//! A [`ChainRequest`] carries a whole program (iterated squaring, triangle
+//! counting, Markov clustering, the Galerkin triple product, or a generic
+//! parsed spec) plus its `Arc`-shared input matrices. [`execute_chain`]
+//! runs it step by step on one worker: every step goes through the *same*
+//! plan path as a standalone job — [`ProblemContext::from_shared`] →
+//! [`PlanKey::with_options`] → [`PlanCache::get_or_build`] →
+//! [`ReorgPlan::execute_with_scratch`] — so each step gets its own
+//! estimator/reorder decision and its own cache hit or miss. Steps that
+//! repeat an operand structure already planned (the Galerkin refresh
+//! products, repeats of a converged Markov iterate) hit the cache;
+//! structure-churning steps (iterated squaring) miss every time.
+//!
+//! Instrumentation: [`register_chain_instruments`] pre-registers the
+//! `br_chain_*` families — steps executed, per-step plan-cache hits and
+//! misses, a structure-churn counter (steps whose operand structures were
+//! first seen within the chain), and a fill-in histogram — so expositions
+//! show every family at zero before the first chain runs.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use block_reorganizer::plan::{PlanMode, ReorgPlan};
+use block_reorganizer::reorder::ReorderStrategy;
+use block_reorganizer::ReorganizerConfig;
+use br_gpu_sim::device::DeviceConfig;
+use br_gpu_sim::sim::GpuSimulator;
+use br_obs::{Counter, Histogram, Registry};
+use br_sparse::CsrMatrix;
+use br_spgemm::accum::ScratchPool;
+use br_spgemm::context::ProblemContext;
+use br_spgemm::estimate::EstimatorConfig;
+use br_workloads::{ChainProgram, Workload};
+
+use crate::cache::{PlanCache, PlanKey};
+use crate::job::JobError;
+
+/// One multi-step chain request.
+#[derive(Debug, Clone)]
+pub struct ChainRequest {
+    /// Caller-chosen identifier, echoed in the outcome. Chain ids share the
+    /// namespace of job ids within one batch.
+    pub id: u64,
+    /// Human-readable label for reports (workload spec, file stem, …).
+    pub label: String,
+    /// The program to run.
+    pub program: ChainProgram,
+    /// Positional input matrices (`program.inputs` order).
+    pub inputs: Vec<Arc<CsrMatrix<f64>>>,
+    /// Reorganizer configuration applied to every step's plan.
+    pub config: ReorganizerConfig,
+}
+
+impl ChainRequest {
+    /// A canonical-workload request over base matrix `base`, under the
+    /// default configuration.
+    pub fn workload(id: u64, workload: Workload, base: &CsrMatrix<f64>) -> Self {
+        ChainRequest {
+            id,
+            label: workload.spec(),
+            program: workload.program(),
+            inputs: workload.prepare_inputs(base),
+            config: ReorganizerConfig::default(),
+        }
+    }
+
+    /// A generic-program request over explicit inputs, under the default
+    /// configuration.
+    pub fn program(id: u64, program: ChainProgram, inputs: Vec<Arc<CsrMatrix<f64>>>) -> Self {
+        ChainRequest {
+            id,
+            label: program.name.clone(),
+            program,
+            inputs,
+            config: ReorganizerConfig::default(),
+        }
+    }
+
+    /// Replaces the label (builder-style).
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Replaces the configuration (builder-style).
+    pub fn with_config(mut self, config: ReorganizerConfig) -> Self {
+        self.config = config;
+        self
+    }
+}
+
+/// What one executed chain step reports.
+#[derive(Debug, Clone)]
+pub struct StepOutcome {
+    /// Step index within the program.
+    pub index: usize,
+    /// Step label from the program.
+    pub label: String,
+    /// Whether this step's plan came from the cache.
+    pub cache_hit: bool,
+    /// Execution method the plan selected (`reorganized`, `hash`, …).
+    pub method: &'static str,
+    /// Simulated end-to-end latency of the step, ms.
+    pub total_ms: f64,
+    /// Simulated precalculation-kernel time, ms (0 on cache hits).
+    pub precalc_ms: f64,
+    /// Host-side preprocessing charged to the step, ms (0 on cache hits).
+    pub preprocess_ms: f64,
+    /// Achieved simulated GFLOPS.
+    pub gflops: f64,
+    /// `nnz` of the raw product, before post-ops.
+    pub product_nnz: usize,
+    /// `nnz` of the step output, after post-ops.
+    pub output_nnz: usize,
+    /// Fill-in of the multiply: `product_nnz * 1000 / nnz(A)`.
+    pub fill_in_permille: u64,
+    /// Whether the step's operand structures were first seen within this
+    /// chain (the chain-local structure-churn signal).
+    pub fresh_structure: bool,
+}
+
+/// What the service reports for one completed chain.
+#[derive(Debug, Clone)]
+pub struct ChainOutcome {
+    /// Identifier from the request.
+    pub id: u64,
+    /// Label from the request.
+    pub label: String,
+    /// Index of the worker that executed the chain.
+    pub worker: usize,
+    /// Name of the worker's device.
+    pub device: String,
+    /// Per-step roll-up, in program order.
+    pub steps: Vec<StepOutcome>,
+    /// Summed simulated latency across all steps, ms.
+    pub total_ms: f64,
+    /// Wall-clock time the chain spent queued, ms.
+    pub queue_ms: f64,
+    /// Wall-clock time the worker spent on the chain, ms.
+    pub host_ms: f64,
+    /// The final step's output.
+    pub result: Arc<CsrMatrix<f64>>,
+}
+
+impl ChainOutcome {
+    /// Steps whose plan came from the cache.
+    pub fn cache_hits(&self) -> usize {
+        self.steps.iter().filter(|s| s.cache_hit).count()
+    }
+
+    /// Steps that built a fresh plan.
+    pub fn cache_misses(&self) -> usize {
+        self.steps.len() - self.cache_hits()
+    }
+
+    /// Steps that introduced operand structures unseen earlier in the
+    /// chain.
+    pub fn structure_churn(&self) -> usize {
+        self.steps.iter().filter(|s| s.fresh_structure).count()
+    }
+}
+
+/// Handles to the pre-registered `br_chain_*` instrument families.
+#[derive(Clone)]
+pub struct ChainInstruments {
+    /// `br_chain_steps_total` — chain steps executed (one SpGEMM each).
+    pub steps: Counter,
+    /// `br_chain_step_cache_hits_total` — steps served a cached plan.
+    pub cache_hits: Counter,
+    /// `br_chain_step_cache_misses_total` — steps that built a plan.
+    pub cache_misses: Counter,
+    /// `br_chain_structure_churn_total` — steps with chain-fresh operand
+    /// structures.
+    pub structure_churn: Counter,
+    /// `br_chain_fill_in_permille` — per-step fill-in distribution.
+    pub fill_in: Histogram,
+}
+
+/// Pre-registers every `br_chain_*` family in `registry` (idempotent —
+/// re-registration returns the existing cells), so expositions show the
+/// families at zero before any chain runs.
+pub fn register_chain_instruments(registry: &Registry) -> ChainInstruments {
+    ChainInstruments {
+        steps: registry.counter(
+            "br_chain_steps_total",
+            "Chain steps executed (one SpGEMM each).",
+            &[],
+        ),
+        cache_hits: registry.counter(
+            "br_chain_step_cache_hits_total",
+            "Chain steps whose reorganization plan came from the cache.",
+            &[],
+        ),
+        cache_misses: registry.counter(
+            "br_chain_step_cache_misses_total",
+            "Chain steps that built a fresh reorganization plan.",
+            &[],
+        ),
+        structure_churn: registry.counter(
+            "br_chain_structure_churn_total",
+            "Chain steps whose operand structure pair was first seen within the chain.",
+            &[],
+        ),
+        fill_in: registry.histogram(
+            "br_chain_fill_in_permille",
+            "Per-step fill-in: product nnz relative to the left operand, in permille.",
+            &[],
+        ),
+    }
+}
+
+/// Timing/plan metadata the runner threads through
+/// [`ChainProgram::execute_with`] per step.
+struct StepMeta {
+    cache_hit: bool,
+    method: &'static str,
+    total_ms: f64,
+    precalc_ms: f64,
+    preprocess_ms: f64,
+    gflops: f64,
+}
+
+/// Runs one chain on one worker through the plan-cached stack. Every step
+/// replicates the standalone-job path exactly, so per-step cache counters
+/// and simulated timings mean the same thing they mean for plain jobs.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_chain(
+    worker: usize,
+    device: &DeviceConfig,
+    sim: &GpuSimulator,
+    cache: &PlanCache,
+    pool: &ScratchPool<f64>,
+    estimator: Option<EstimatorConfig>,
+    reorder: ReorderStrategy,
+    instruments: &ChainInstruments,
+    registry: &Registry,
+    request: ChainRequest,
+    queue_ms: f64,
+) -> Result<Box<ChainOutcome>, JobError> {
+    let t0 = Instant::now();
+    let chain_span = registry.span("chain");
+    let run = request
+        .program
+        .execute_with(&request.inputs, |_, _, a, b| {
+            let ctx = ProblemContext::from_shared(a.clone(), b.clone())
+                .map_err(|e| format!("invalid operands: {e}"))?;
+            let key = PlanKey::with_options(
+                ctx.signature(),
+                &device.name,
+                &request.config,
+                estimator.as_ref(),
+                reorder,
+            );
+            let (plan, cache_hit) = {
+                let _plan_span = registry.span("plan");
+                cache.get_or_build(&key, || {
+                    Arc::new(match estimator {
+                        Some(est) => ReorgPlan::build_estimated_with_reorder(
+                            &ctx,
+                            &request.config,
+                            device,
+                            &est,
+                            reorder,
+                        ),
+                        None => {
+                            ReorgPlan::build_with_reorder(&ctx, &request.config, device, reorder)
+                        }
+                    })
+                })
+            };
+            let mode = if cache_hit {
+                PlanMode::Cached
+            } else {
+                PlanMode::Cold
+            };
+            let run = {
+                let _exec_span = registry.span("execute");
+                plan.execute_with_scratch(sim, &ctx, mode, Some(pool))
+                    .map_err(|e| format!("execution failed: {e}"))?
+            };
+            let meta = StepMeta {
+                cache_hit,
+                method: plan.method.name(),
+                total_ms: run.total_ms,
+                precalc_ms: run.phase_ms("precalc"),
+                preprocess_ms: run.preprocess_ms,
+                gflops: run.gflops(),
+            };
+            Ok((run.result, meta))
+        })
+        .map_err(|e: br_workloads::ChainError<String>| JobError {
+            id: request.id,
+            label: request.label.clone(),
+            message: format!("chain failed: {e}"),
+        })?;
+    drop(chain_span);
+
+    let mut steps = Vec::with_capacity(run.steps.len());
+    let mut total_ms = 0.0;
+    for record in run.steps {
+        instruments.steps.inc();
+        if record.meta.cache_hit {
+            instruments.cache_hits.inc();
+        } else {
+            instruments.cache_misses.inc();
+        }
+        if record.fresh_structure {
+            instruments.structure_churn.inc();
+        }
+        instruments.fill_in.observe(record.fill_in_permille);
+        total_ms += record.meta.total_ms;
+        steps.push(StepOutcome {
+            index: record.index,
+            label: record.label,
+            cache_hit: record.meta.cache_hit,
+            method: record.meta.method,
+            total_ms: record.meta.total_ms,
+            precalc_ms: record.meta.precalc_ms,
+            preprocess_ms: record.meta.preprocess_ms,
+            gflops: record.meta.gflops,
+            product_nnz: record.product_nnz,
+            output_nnz: record.output_nnz,
+            fill_in_permille: record.fill_in_permille,
+            fresh_structure: record.fresh_structure,
+        });
+    }
+    Ok(Box::new(ChainOutcome {
+        id: request.id,
+        label: request.label,
+        worker,
+        device: device.name.clone(),
+        steps,
+        total_ms,
+        queue_ms,
+        host_ms: t0.elapsed().as_secs_f64() * 1e3,
+        result: run.result,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{ServiceConfig, SpgemmService};
+    use br_datasets::rmat::{rmat, RmatConfig};
+    use br_workloads::Workload;
+
+    fn base_matrix(seed: u64) -> CsrMatrix<f64> {
+        rmat(RmatConfig::snap_like(7, 6, seed)).to_csr()
+    }
+
+    #[test]
+    fn galerkin_chain_hits_the_cache_on_refresh_steps() {
+        let base = base_matrix(1);
+        let request = ChainRequest::workload(0, Workload::Galerkin, &base);
+        let batch = SpgemmService::run_chains(ServiceConfig::default(), vec![request]);
+        assert!(batch.failures.is_empty(), "{:?}", batch.failures);
+        let chain = &batch.chains[0];
+        assert_eq!(chain.steps.len(), 4);
+        // The refresh products repeat the restrict/coarsen structures with
+        // new values, so the value-independent plan keys hit.
+        assert_eq!(chain.cache_hits(), 2, "refresh steps must hit");
+        assert_eq!(chain.cache_misses(), 2);
+        assert_eq!(chain.structure_churn(), 2);
+        let hits: Vec<bool> = chain.steps.iter().map(|s| s.cache_hit).collect();
+        assert_eq!(hits, vec![false, false, true, true]);
+        // Cache hits pay no precalculation and no host preprocessing.
+        for s in chain.steps.iter().filter(|s| s.cache_hit) {
+            assert_eq!(s.precalc_ms, 0.0, "{}", s.label);
+            assert_eq!(s.preprocess_ms, 0.0, "{}", s.label);
+        }
+    }
+
+    #[test]
+    fn squaring_chain_misses_every_step() {
+        let base = base_matrix(2);
+        let request = ChainRequest::workload(0, Workload::Square { k: 3 }, &base);
+        let batch = SpgemmService::run_chains(ServiceConfig::default(), vec![request]);
+        assert!(batch.failures.is_empty(), "{:?}", batch.failures);
+        let chain = &batch.chains[0];
+        assert_eq!(chain.cache_hits(), 0, "every squaring changes structure");
+        assert_eq!(chain.cache_misses(), 3);
+        assert_eq!(chain.structure_churn(), 3);
+    }
+
+    #[test]
+    fn chain_results_match_the_sequential_reference_bitwise() {
+        let base = base_matrix(3);
+        for workload in Workload::canonical() {
+            let inputs = workload.prepare_inputs(&base);
+            let oracle = workload
+                .program()
+                .execute_reference(&inputs)
+                .expect("reference run");
+            let request = ChainRequest::workload(7, workload, &base);
+            let batch = SpgemmService::run_chains(ServiceConfig::default(), vec![request]);
+            assert!(batch.failures.is_empty(), "{:?}", batch.failures);
+            let got = &batch.chains[0].result;
+            assert_eq!(got.ptr(), oracle.result.ptr(), "{}", workload.name());
+            assert_eq!(got.idx(), oracle.result.idx(), "{}", workload.name());
+            assert_eq!(got.val(), oracle.result.val(), "{}", workload.name());
+        }
+    }
+
+    #[test]
+    fn chain_instruments_reflect_step_counters() {
+        let registry = Arc::new(Registry::new());
+        let base = base_matrix(4);
+        let request = ChainRequest::workload(0, Workload::Galerkin, &base);
+        let config = ServiceConfig::default().with_registry(registry.clone());
+        let batch = SpgemmService::run_chains(config, vec![request]);
+        assert!(batch.failures.is_empty(), "{:?}", batch.failures);
+        let text = registry.render_prometheus(false);
+        assert!(text.contains("br_chain_steps_total 4"), "{text}");
+        assert!(text.contains("br_chain_step_cache_hits_total 2"), "{text}");
+        assert!(
+            text.contains("br_chain_step_cache_misses_total 2"),
+            "{text}"
+        );
+        assert!(text.contains("br_chain_structure_churn_total 2"), "{text}");
+        assert!(text.contains("br_chain_fill_in_permille_count 4"), "{text}");
+    }
+
+    #[test]
+    fn chain_families_are_visible_before_any_chain_runs() {
+        let registry = Arc::new(Registry::new());
+        let service =
+            SpgemmService::start(ServiceConfig::default().with_registry(registry.clone()));
+        let text = registry.render_prometheus(false);
+        for family in [
+            "br_chain_steps_total 0",
+            "br_chain_step_cache_hits_total 0",
+            "br_chain_step_cache_misses_total 0",
+            "br_chain_structure_churn_total 0",
+            "br_chain_fill_in_permille_count 0",
+        ] {
+            assert!(text.contains(family), "missing {family}:\n{text}");
+        }
+        let batch = service.drain();
+        assert!(batch.chains.is_empty());
+    }
+
+    #[test]
+    fn failed_chain_reports_the_step_that_died() {
+        // Mismatched input shape: the prolongator of a *different* size.
+        let base = base_matrix(5);
+        let mut request = ChainRequest::workload(3, Workload::Galerkin, &base);
+        request.inputs[1] = Arc::new(br_workloads::aggregation_prolongator(4, 2));
+        let batch = SpgemmService::run_chains(ServiceConfig::default(), vec![request]);
+        assert!(batch.chains.is_empty());
+        assert_eq!(batch.failures.len(), 1);
+        let failure = &batch.failures[0];
+        assert_eq!(failure.id, 3);
+        assert!(
+            failure.message.contains("chain failed"),
+            "{}",
+            failure.message
+        );
+        assert!(failure.message.contains("step"), "{}", failure.message);
+    }
+}

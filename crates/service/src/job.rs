@@ -15,7 +15,15 @@
 //! dataset=as-caida scale=16 repeat=8
 //! rmat=12,8 seed=42 repeat=4
 //! input=path/to/matrix.mtx pair=path/to/other.mtx
+//! # a chained workload over the source matrix (square:k, triangle,
+//! # markov:iters,tol, galerkin)
+//! chain=galerkin dataset=as-caida scale=16
 //! ```
+//!
+//! A `chain=` line turns the source into the *base matrix* of a canonical
+//! [`br_workloads::Workload`]; [`expand_submissions`] realizes such lines
+//! into [`crate::chain::ChainRequest`]s (and plain lines into
+//! [`JobRequest`]s) sharing one id namespace.
 
 use std::sync::Arc;
 
@@ -25,6 +33,9 @@ use br_datasets::registry::{RealWorldRegistry, ScaleFactor};
 use br_datasets::rmat::{rmat, RmatConfig};
 use br_sparse::io::read_matrix_market_file;
 use br_sparse::CsrMatrix;
+use br_workloads::Workload;
+
+use crate::chain::ChainRequest;
 
 /// One multiplication request `C = A · B`.
 #[derive(Debug, Clone)]
@@ -185,12 +196,15 @@ impl MatrixSource {
 /// One parsed job-file line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
-    /// Left operand source.
+    /// Left operand source (for chains: the base matrix).
     pub source: MatrixSource,
     /// Right operand source (`None` ⇒ squaring, `B = A`).
     pub pair: Option<MatrixSource>,
-    /// How many times to submit the multiplication.
+    /// How many times to submit the multiplication (or chain).
     pub repeat: u32,
+    /// Canonical workload to run over the source instead of a single
+    /// multiplication (`chain=` key; incompatible with `pair=`).
+    pub chain: Option<Workload>,
 }
 
 /// Parses a job file; errors carry the 1-based line number.
@@ -217,6 +231,7 @@ fn parse_job_line(line: &str) -> Result<JobSpec, String> {
     let mut repeat = 1u32;
     let mut dataset: Option<String> = None;
     let mut rmat_dims: Option<(u32, usize)> = None;
+    let mut chain: Option<Workload> = None;
 
     for token in line.split_whitespace() {
         let (key, value) = token
@@ -254,9 +269,12 @@ fn parse_job_line(line: &str) -> Result<JobSpec, String> {
                     return Err("repeat must be >= 1".to_string());
                 }
             }
+            "chain" => {
+                chain = Some(Workload::parse(value).map_err(|e| format!("bad chain: {e}"))?)
+            }
             other => {
                 return Err(format!(
-                    "unknown key {other:?} (valid: dataset, input, pair, rmat, scale, seed, repeat)"
+                    "unknown key {other:?} (valid: dataset, input, pair, rmat, scale, seed, repeat, chain)"
                 ))
             }
         }
@@ -279,31 +297,73 @@ fn parse_job_line(line: &str) -> Result<JobSpec, String> {
         });
     }
     let source = source.ok_or_else(|| "missing source (dataset= / input= / rmat=)".to_string())?;
+    if chain.is_some() && pair.is_some() {
+        return Err("chain= uses the source as its base matrix; pair= is incompatible".to_string());
+    }
     Ok(JobSpec {
         source,
         pair,
         repeat,
+        chain,
     })
+}
+
+/// Jobs and chains realized from one job file, sharing an id namespace in
+/// file order.
+#[derive(Debug, Clone, Default)]
+pub struct Submissions {
+    /// Single-multiplication requests.
+    pub jobs: Vec<JobRequest>,
+    /// Chain requests (`chain=` lines).
+    pub chains: Vec<ChainRequest>,
 }
 
 /// Realizes specs into requests. Repeats of one spec share the same `Arc`'d
 /// operands, so the service sees structurally identical submissions — the
-/// plan-cache amortization case.
+/// plan-cache amortization case. `chain=` lines are rejected here; use
+/// [`expand_submissions`] when the file may mix jobs and chains.
 pub fn expand_jobs(
     specs: &[JobSpec],
     config: ReorganizerConfig,
 ) -> Result<Vec<JobRequest>, String> {
-    let mut jobs = Vec::new();
+    if specs.iter().any(|s| s.chain.is_some()) {
+        return Err("job list contains chain= lines; use expand_submissions".to_string());
+    }
+    Ok(expand_submissions(specs, config)?.jobs)
+}
+
+/// Realizes specs into jobs *and* chains. Chain repeats share the same
+/// prepared inputs, so a repeated chain replays identical structures — the
+/// chain-level plan-cache amortization case.
+pub fn expand_submissions(
+    specs: &[JobSpec],
+    config: ReorganizerConfig,
+) -> Result<Submissions, String> {
+    let mut out = Submissions::default();
     let mut id = 0u64;
     for spec in specs {
         let a = Arc::new(spec.source.load()?);
+        let base = spec.source.label();
+        if let Some(workload) = spec.chain {
+            let inputs = workload.prepare_inputs(&a);
+            for k in 0..spec.repeat {
+                out.chains.push(ChainRequest {
+                    id,
+                    label: format!("{base}:{}[{}/{}]", workload.spec(), k + 1, spec.repeat),
+                    program: workload.program(),
+                    inputs: inputs.clone(),
+                    config,
+                });
+                id += 1;
+            }
+            continue;
+        }
         let b = match &spec.pair {
             Some(src) => Arc::new(src.load()?),
             None => a.clone(),
         };
-        let base = spec.source.label();
         for k in 0..spec.repeat {
-            jobs.push(JobRequest {
+            out.jobs.push(JobRequest {
                 id,
                 label: format!("{base}[{}/{}]", k + 1, spec.repeat),
                 a: a.clone(),
@@ -313,7 +373,7 @@ pub fn expand_jobs(
             id += 1;
         }
     }
-    Ok(jobs)
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -334,6 +394,7 @@ mod tests {
                 },
                 pair: None,
                 repeat: 3,
+                chain: None,
             }
         );
         assert_eq!(
@@ -368,6 +429,44 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("unknown dataset"), "{err}");
         assert!(err.contains("as-caida"), "must list valid names: {err}");
+    }
+
+    #[test]
+    fn parses_chain_lines_and_rejects_bad_ones() {
+        let specs =
+            parse_job_file("chain=galerkin rmat=6,4 repeat=2\nchain=square:4 rmat=6,4\n").unwrap();
+        assert_eq!(specs[0].chain, Some(Workload::Galerkin));
+        assert_eq!(specs[0].repeat, 2);
+        assert_eq!(specs[1].chain, Some(Workload::Square { k: 4 }));
+        let err = parse_job_file("chain=frobnicate rmat=6,4").unwrap_err();
+        assert!(err.contains("bad chain"), "{err}");
+        let err = parse_job_file("chain=triangle rmat=6,4 pair=x.mtx").unwrap_err();
+        assert!(err.contains("incompatible"), "{err}");
+    }
+
+    #[test]
+    fn expand_submissions_splits_jobs_and_chains_on_one_id_namespace() {
+        let specs =
+            parse_job_file("rmat=6,4 repeat=2\nchain=triangle rmat=6,4 seed=5 repeat=2\n").unwrap();
+        let subs = expand_submissions(&specs, ReorganizerConfig::default()).unwrap();
+        assert_eq!(subs.jobs.len(), 2);
+        assert_eq!(subs.chains.len(), 2);
+        assert_eq!(subs.jobs[1].id, 1);
+        assert_eq!(subs.chains[0].id, 2);
+        assert_eq!(subs.chains[1].id, 3);
+        assert!(
+            subs.chains[0].label.contains("triangle"),
+            "{}",
+            subs.chains[0].label
+        );
+        // Chain repeats share the prepared inputs.
+        assert!(Arc::ptr_eq(
+            &subs.chains[0].inputs[0],
+            &subs.chains[1].inputs[0]
+        ));
+        // expand_jobs refuses mixed files with a pointer to the right API.
+        let err = expand_jobs(&specs, ReorganizerConfig::default()).unwrap_err();
+        assert!(err.contains("expand_submissions"), "{err}");
     }
 
     #[test]

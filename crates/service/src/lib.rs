@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chain;
 pub mod job;
 pub mod queue;
 pub mod service;
@@ -63,14 +64,25 @@ pub mod stats;
 /// Convenient glob-import surface for the CLI and tests.
 pub mod prelude {
     pub use crate::cache::{CacheStats, PlanCache, PlanKey};
-    pub use crate::job::{JobError, JobOutcome, JobRequest, JobSpec, MatrixSource};
+    pub use crate::chain::{
+        register_chain_instruments, ChainInstruments, ChainOutcome, ChainRequest, StepOutcome,
+    };
+    pub use crate::job::{
+        expand_jobs, expand_submissions, parse_job_file, JobError, JobOutcome, JobRequest, JobSpec,
+        MatrixSource, Submissions,
+    };
     pub use crate::queue::{JobQueue, PushError};
-    pub use crate::service::{BatchOutcome, ServiceConfig, SpgemmService, SubmitError};
+    pub use crate::service::{
+        BatchOutcome, ChainSubmitError, ServiceConfig, SpgemmService, SubmitError,
+    };
     pub use crate::stats::{ServiceStats, WorkerStats};
 }
 
 pub use cache::{CacheStats, PlanCache, PlanKey};
+pub use chain::{
+    register_chain_instruments, ChainInstruments, ChainOutcome, ChainRequest, StepOutcome,
+};
 pub use job::{JobError, JobOutcome, JobRequest};
 pub use queue::{JobQueue, PushError};
-pub use service::{BatchOutcome, ServiceConfig, SpgemmService, SubmitError};
+pub use service::{BatchOutcome, ChainSubmitError, ServiceConfig, SpgemmService, SubmitError};
 pub use stats::{ServiceStats, WorkerStats};

@@ -22,6 +22,7 @@ use br_spgemm::context::ProblemContext;
 use br_spgemm::estimate::EstimatorConfig;
 
 use crate::cache::{PlanCache, PlanKey};
+use crate::chain::{self, ChainInstruments, ChainOutcome, ChainRequest};
 use crate::job::{JobError, JobOutcome, JobRequest};
 use crate::queue::{JobQueue, PushError};
 use crate::stats::{ServiceStats, WorkerStats};
@@ -125,6 +126,38 @@ pub enum SubmitError {
     Draining(JobRequest),
 }
 
+/// Why [`SpgemmService::try_submit_chain`] refused a chain (it comes back).
+/// Boxed: a chain request is far bigger than the `Ok` arm of a submit.
+#[derive(Debug)]
+pub enum ChainSubmitError {
+    /// The bounded queue is at capacity.
+    QueueFull(Box<ChainRequest>),
+    /// The service is already draining.
+    Draining(Box<ChainRequest>),
+}
+
+impl ChainSubmitError {
+    /// The refused chain.
+    pub fn into_chain(self) -> ChainRequest {
+        match self {
+            ChainSubmitError::QueueFull(chain) | ChainSubmitError::Draining(chain) => *chain,
+        }
+    }
+}
+
+impl std::fmt::Display for ChainSubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainSubmitError::QueueFull(chain) => {
+                write!(f, "queue full, chain {} rejected", chain.id)
+            }
+            ChainSubmitError::Draining(chain) => {
+                write!(f, "service draining, chain {} rejected", chain.id)
+            }
+        }
+    }
+}
+
 impl SubmitError {
     /// The refused job.
     pub fn into_job(self) -> JobRequest {
@@ -148,20 +181,30 @@ impl std::fmt::Display for SubmitError {
 pub struct BatchOutcome {
     /// Successful jobs, in submission order.
     pub outcomes: Vec<JobOutcome>,
-    /// Failed jobs, in submission order.
+    /// Successful chains, in submission order. Failed chains land in
+    /// `failures` alongside failed jobs (ids share one namespace).
+    pub chains: Vec<ChainOutcome>,
+    /// Failed jobs and chains, in submission order.
     pub failures: Vec<JobError>,
     /// The aggregate report.
     pub stats: ServiceStats,
 }
 
+/// What one queue slot holds: a single multiplication or a whole chain.
+enum WorkItem {
+    Job(JobRequest),
+    Chain(Box<ChainRequest>),
+}
+
 struct QueuedJob {
-    request: JobRequest,
+    request: WorkItem,
     enqueued: Instant,
 }
 
 // Boxed: an outcome (with its result matrix) dwarfs an error.
 enum Completion {
     Ok(Box<JobOutcome>),
+    Chain(Box<ChainOutcome>),
     Err(JobError),
 }
 
@@ -184,6 +227,8 @@ struct ServiceInstruments {
     queue_max_depth: Gauge,
     /// Wall-clock queue wait per job — the "queue" stage of the lifecycle.
     queue_wait: Histogram,
+    /// Pre-registered `br_chain_*` families, updated by chain steps.
+    chain: ChainInstruments,
 }
 
 impl ServiceInstruments {
@@ -214,6 +259,7 @@ impl ServiceInstruments {
             "Wall-clock nanoseconds a job waited in the queue.",
             &[],
         );
+        let chain = chain::register_chain_instruments(&registry);
         ServiceInstruments {
             registry,
             submitted,
@@ -222,6 +268,7 @@ impl ServiceInstruments {
             queue_depth,
             queue_max_depth,
             queue_wait,
+            chain,
         }
     }
 }
@@ -269,7 +316,16 @@ impl SpgemmService {
                 thread::Builder::new()
                     .name(format!("br-service-worker-{index}"))
                     .spawn(move || {
-                        worker_loop(index, device, queue, cache, instruments, estimator, reorder, tx)
+                        worker_loop(
+                            index,
+                            device,
+                            queue,
+                            cache,
+                            instruments,
+                            estimator,
+                            reorder,
+                            tx,
+                        )
                     })
                     .expect("failed to spawn service worker")
             })
@@ -294,9 +350,40 @@ impl SpgemmService {
 
     /// Non-blocking admission into the service queue.
     pub fn try_submit(&mut self, job: JobRequest) -> Result<(), SubmitError> {
-        let _span = self.instruments.registry.span("job/submit");
+        let registry = self.instruments.registry.clone();
+        let _span = registry.span("job/submit");
+        match self.push_item(WorkItem::Job(job)) {
+            Ok(()) => Ok(()),
+            Err(PushError::Full(WorkItem::Job(job))) => Err(SubmitError::QueueFull(job)),
+            Err(PushError::Closed(WorkItem::Job(job))) => Err(SubmitError::Draining(job)),
+            Err(_) => unreachable!("a refused job push hands back the job"),
+        }
+    }
+
+    /// Enqueues a chain; `false` if the service is draining or the bounded
+    /// queue is full. A chain occupies one queue slot and runs to
+    /// completion on one worker, step by step.
+    pub fn submit_chain(&mut self, chain: ChainRequest) -> bool {
+        self.try_submit_chain(chain).is_ok()
+    }
+
+    /// Non-blocking admission of a chain into the service queue.
+    pub fn try_submit_chain(&mut self, chain: ChainRequest) -> Result<(), ChainSubmitError> {
+        let registry = self.instruments.registry.clone();
+        let _span = registry.span("chain/submit");
+        match self.push_item(WorkItem::Chain(Box::new(chain))) {
+            Ok(()) => Ok(()),
+            Err(PushError::Full(WorkItem::Chain(chain))) => Err(ChainSubmitError::QueueFull(chain)),
+            Err(PushError::Closed(WorkItem::Chain(chain))) => {
+                Err(ChainSubmitError::Draining(chain))
+            }
+            Err(_) => unreachable!("a refused chain push hands back the chain"),
+        }
+    }
+
+    fn push_item(&mut self, item: WorkItem) -> Result<(), PushError<WorkItem>> {
         match self.queue.try_push(QueuedJob {
-            request: job,
+            request: item,
             enqueued: Instant::now(),
         }) {
             Ok(depth) => {
@@ -305,8 +392,8 @@ impl SpgemmService {
                 self.instruments.queue_depth.set_u64(depth as u64);
                 Ok(())
             }
-            Err(PushError::Full(queued)) => Err(SubmitError::QueueFull(queued.request)),
-            Err(PushError::Closed(queued)) => Err(SubmitError::Draining(queued.request)),
+            Err(PushError::Full(queued)) => Err(PushError::Full(queued.request)),
+            Err(PushError::Closed(queued)) => Err(PushError::Closed(queued.request)),
         }
     }
 
@@ -358,6 +445,31 @@ impl SpgemmService {
         batch
     }
 
+    /// Runs a batch of chains: submit everything, drain, report. Chains
+    /// refused by admission control land in `failures` like rejected jobs.
+    pub fn run_chains(config: ServiceConfig, chains: Vec<ChainRequest>) -> BatchOutcome {
+        let mut service = Self::start(config);
+        let mut rejected = Vec::new();
+        for chain in chains {
+            if let Err(err) = service.try_submit_chain(chain) {
+                let message = err.to_string();
+                let chain = err.into_chain();
+                rejected.push(JobError {
+                    id: chain.id,
+                    label: chain.label,
+                    message,
+                });
+            }
+        }
+        let mut batch = service.drain();
+        if !rejected.is_empty() {
+            batch.stats.failures += rejected.len();
+            batch.failures.extend(rejected);
+            batch.failures.sort_by_key(|f| f.id);
+        }
+        batch
+    }
+
     /// Closes the queue, waits for every worker to finish, and assembles
     /// the batch report.
     pub fn drain(self) -> BatchOutcome {
@@ -379,14 +491,17 @@ impl SpgemmService {
             .queue_max_depth
             .set_u64(queue.max_depth() as u64);
         let mut outcomes = Vec::with_capacity(submitted);
+        let mut chains = Vec::new();
         let mut failures = Vec::new();
         while let Ok(done) = results.try_recv() {
             match done {
                 Completion::Ok(outcome) => outcomes.push(*outcome),
+                Completion::Chain(outcome) => chains.push(*outcome),
                 Completion::Err(err) => failures.push(err),
             }
         }
         outcomes.sort_by_key(|o| o.id);
+        chains.sort_by_key(|c| c.id);
         failures.sort_by_key(|f| f.id);
         let wall_ms = started.elapsed().as_secs_f64() * 1e3;
         let worker_stats = reports
@@ -413,6 +528,7 @@ impl SpgemmService {
         );
         BatchOutcome {
             outcomes,
+            chains,
             failures,
             stats,
         }
@@ -443,23 +559,41 @@ fn worker_loop(
             .observe(queued.enqueued.elapsed().as_nanos() as u64);
         let queue_ms = queued.enqueued.elapsed().as_secs_f64() * 1e3;
         let t0 = Instant::now();
-        let done = execute_job(
-            index,
-            &device,
-            &sim,
-            &cache,
-            &instruments,
-            &pool,
-            estimator,
-            reorder,
-            queued.request,
-            queue_ms,
-            t0,
-        );
+        let done = match queued.request {
+            WorkItem::Job(job) => execute_job(
+                index,
+                &device,
+                &sim,
+                &cache,
+                &instruments,
+                &pool,
+                estimator,
+                reorder,
+                job,
+                queue_ms,
+                t0,
+            ),
+            WorkItem::Chain(chain_request) => match chain::execute_chain(
+                index,
+                &device,
+                &sim,
+                &cache,
+                &pool,
+                estimator,
+                reorder,
+                &instruments.chain,
+                &instruments.registry,
+                *chain_request,
+                queue_ms,
+            ) {
+                Ok(outcome) => Completion::Chain(outcome),
+                Err(err) => Completion::Err(err),
+            },
+        };
         busy_ms += t0.elapsed().as_secs_f64() * 1e3;
         jobs += 1;
         match &done {
-            Completion::Ok(_) => instruments.completed.inc(),
+            Completion::Ok(_) | Completion::Chain(_) => instruments.completed.inc(),
             Completion::Err(_) => instruments.failed.inc(),
         }
         if tx.send(done).is_err() {
@@ -518,9 +652,13 @@ fn execute_job(
         let _plan_span = registry.span("plan");
         cache.get_or_build(&key, || {
             Arc::new(match estimator {
-                Some(est) => {
-                    ReorgPlan::build_estimated_with_reorder(&ctx, &job.config, device, &est, reorder)
-                }
+                Some(est) => ReorgPlan::build_estimated_with_reorder(
+                    &ctx,
+                    &job.config,
+                    device,
+                    &est,
+                    reorder,
+                ),
                 None => ReorgPlan::build_with_reorder(&ctx, &job.config, device, reorder),
             })
         })

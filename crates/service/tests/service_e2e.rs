@@ -375,10 +375,8 @@ fn reordered_service_matches_baseline_results() {
         ReorderStrategy::Cluster,
         ReorderStrategy::Auto,
     ] {
-        let reordered = SpgemmService::run_batch(
-            ServiceConfig::default().with_reorder(strategy),
-            jobs(3),
-        );
+        let reordered =
+            SpgemmService::run_batch(ServiceConfig::default().with_reorder(strategy), jobs(3));
         assert!(
             reordered.failures.is_empty(),
             "{strategy:?}: {:?}",
@@ -390,5 +388,79 @@ fn reordered_service_matches_baseline_results() {
         // Reordered plans amortize like baseline ones: one miss, then hits.
         assert_eq!(reordered.stats.cache.misses, 1, "{strategy:?}");
         assert_eq!(reordered.stats.cache.hits, 2, "{strategy:?}");
+    }
+}
+
+/// ISSUE satellite: plan-cache eviction stress. A structure-churning mix —
+/// one iterated-squaring chain (every step a fresh structure) plus distinct
+/// one-shot squarings — through a cache far smaller than the number of
+/// distinct keys. Every lookup misses and every insert beyond capacity
+/// evicts, so hits/misses/evictions are an exact function of the submitted
+/// multiset — independent of worker count and scheduling — and the results
+/// stay byte-identical at 1, 2, 4, and 8 workers.
+#[test]
+fn eviction_stress_counters_are_deterministic_across_worker_counts() {
+    use br_workloads::Workload;
+
+    const CAPACITY: usize = 2;
+    const CHAIN_STEPS: u64 = 3; // square:3 → A², A⁴, A⁸ — all fresh structures
+    const SINGLES: u64 = 7;
+
+    let chain_base = Arc::new(rmat(RmatConfig::snap_like(7, 6, 900)).to_csr());
+    let singles: Vec<Arc<CsrMatrix<f64>>> = (0..SINGLES)
+        .map(|k| Arc::new(rmat(RmatConfig::snap_like(7, 6, 901 + k)).to_csr()))
+        .collect();
+
+    let mut baseline: Option<(Vec<CsrMatrix<f64>>, CsrMatrix<f64>)> = None;
+    for workers in [1usize, 2, 4, 8] {
+        let config = ServiceConfig::uniform(DeviceConfig::titan_xp(), workers, CAPACITY);
+        let mut service = SpgemmService::start(config);
+        for (k, a) in singles.iter().enumerate() {
+            assert!(service.submit(JobRequest::square(k as u64, a.clone())));
+        }
+        assert!(service.submit_chain(ChainRequest::workload(
+            SINGLES,
+            Workload::Square {
+                k: CHAIN_STEPS as usize
+            },
+            &chain_base,
+        )));
+        let batch = service.drain();
+        assert!(
+            batch.failures.is_empty(),
+            "{workers} workers: {:?}",
+            batch.failures
+        );
+        assert_eq!(batch.outcomes.len(), SINGLES as usize);
+        assert_eq!(batch.chains.len(), 1);
+
+        // Every key is distinct → all misses; every insert past capacity
+        // evicts exactly one plan.
+        let misses = SINGLES + CHAIN_STEPS;
+        let stats = &batch.stats.cache;
+        assert_eq!(
+            (stats.hits, stats.misses, stats.evictions, stats.entries),
+            (0, misses, misses - CAPACITY as u64, CAPACITY),
+            "{workers} workers"
+        );
+        assert_eq!(batch.chains[0].cache_hits(), 0, "{workers} workers");
+        assert_eq!(
+            batch.chains[0].structure_churn(),
+            CHAIN_STEPS as usize,
+            "{workers} workers"
+        );
+
+        let job_results: Vec<CsrMatrix<f64>> =
+            batch.outcomes.iter().map(|o| o.result.clone()).collect();
+        let chain_result = (*batch.chains[0].result).clone();
+        match &baseline {
+            None => baseline = Some((job_results, chain_result)),
+            Some((jobs0, chain0)) => {
+                for (l, r) in jobs0.iter().zip(&job_results) {
+                    assert_bit_identical(l, r, &format!("{workers}-worker job result"));
+                }
+                assert_bit_identical(chain0, &chain_result, "chain result across worker counts");
+            }
+        }
     }
 }

@@ -17,6 +17,9 @@
 //! * Deterministic host parallelism ([`par`]) — fixed-chunk scoped-thread
 //!   helpers whose results are bit-identical at any thread count, used by
 //!   the simulator, the numeric mergers, and the benchmark runner.
+//! * Element-wise chain operators ([`eltwise`]) — pattern masking, column
+//!   normalisation, and threshold pruning, the deterministic post-ops of
+//!   the `br-workloads` chain executor.
 //!
 //! Index convention: column indices are `u32` (matching what the paper's
 //! CUDA kernels would use on-device); row/column pointer arrays are `usize`.
@@ -28,6 +31,7 @@ pub mod coo;
 pub mod csc;
 pub mod csr;
 pub mod dense;
+pub mod eltwise;
 pub mod error;
 pub mod io;
 pub mod ops;

@@ -1,0 +1,278 @@
+//! Text format for generic chain programs.
+//!
+//! A chain spec is line-oriented (`#` comments, blank lines ignored):
+//!
+//! ```text
+//! chain my-workload
+//! input A
+//! input P
+//! step restrict = P' * A
+//! step coarsen  = restrict * P | normalize | prune 1e-4 | mask A
+//! ```
+//!
+//! * `chain <name>` — optional program name (defaults to `chain`).
+//! * `input <name>` — declares the next positional input matrix.
+//! * `step <name> = <a>['] * <b> [| <post>]...` — one multiplication; a
+//!   trailing `'` transposes the left operand; operand names resolve to
+//!   inputs or *earlier* steps. Post-ops, applied in written order:
+//!   `normalize`, `prune <tol>`, `mask <operand>`.
+//!
+//! [`parse_chain_spec`] and [`render_chain_spec`] round-trip: rendering a
+//! parsed program and re-parsing yields the identical program, which keeps
+//! chain specs usable as on-disk artifacts and CLI inputs.
+
+use crate::chain::{ChainProgram, ChainStep, Operand, PostOp};
+
+/// Parses the chain spec format; errors carry 1-based line numbers.
+pub fn parse_chain_spec(text: &str) -> Result<ChainProgram, String> {
+    let mut name: Option<String> = None;
+    let mut inputs: Vec<String> = Vec::new();
+    let mut steps: Vec<ChainStep> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = match raw.split_once('#') {
+            Some((before, _)) => before.trim(),
+            None => raw.trim(),
+        };
+        if line.is_empty() {
+            continue;
+        }
+        let (keyword, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let rest = rest.trim();
+        match keyword {
+            "chain" => {
+                if name.is_some() {
+                    return Err(format!("line {lineno}: duplicate chain line"));
+                }
+                if rest.is_empty() {
+                    return Err(format!("line {lineno}: chain needs a name"));
+                }
+                name = Some(rest.to_string());
+            }
+            "input" => {
+                if rest.is_empty() || rest.contains(char::is_whitespace) {
+                    return Err(format!("line {lineno}: input needs a single name"));
+                }
+                if !steps.is_empty() {
+                    return Err(format!("line {lineno}: inputs must precede steps"));
+                }
+                if inputs.iter().any(|i| i == rest) {
+                    return Err(format!("line {lineno}: duplicate input {rest:?}"));
+                }
+                inputs.push(rest.to_string());
+            }
+            "step" => {
+                let step = parse_step(rest, &inputs, &labels, lineno)?;
+                labels.push(step.label.clone());
+                steps.push(step);
+            }
+            other => {
+                return Err(format!(
+                    "line {lineno}: unknown keyword {other:?} (expected chain, input, or step)"
+                ))
+            }
+        }
+    }
+    let program = ChainProgram {
+        name: name.unwrap_or_else(|| "chain".into()),
+        inputs,
+        steps,
+    };
+    program
+        .validate()
+        .map_err(|e| format!("invalid chain: {e}"))?;
+    Ok(program)
+}
+
+/// Resolves an operand name (optionally `'`-suffixed for the caller to
+/// strip first) against declared inputs and earlier step labels.
+fn resolve_operand(name: &str, inputs: &[String], labels: &[String]) -> Option<Operand> {
+    if let Some(k) = inputs.iter().position(|i| i == name) {
+        return Some(Operand::Input(k));
+    }
+    labels.iter().position(|l| l == name).map(Operand::Step)
+}
+
+fn parse_step(
+    rest: &str,
+    inputs: &[String],
+    labels: &[String],
+    lineno: usize,
+) -> Result<ChainStep, String> {
+    let (label, expr) = rest
+        .split_once('=')
+        .ok_or_else(|| format!("line {lineno}: step needs the form `step name = a * b`"))?;
+    let label = label.trim();
+    if label.is_empty()
+        || label.contains(char::is_whitespace) && label.split_whitespace().count() > 1
+    {
+        return Err(format!("line {lineno}: step needs a single-word name"));
+    }
+    let label = label.split_whitespace().next().expect("non-empty label");
+    if inputs.iter().any(|i| i == label) || labels.iter().any(|l| l == label) {
+        return Err(format!("line {lineno}: step name {label:?} already used"));
+    }
+    let mut pieces = expr.split('|');
+    let product = pieces
+        .next()
+        .expect("split yields at least one piece")
+        .trim();
+    let (a_text, b_text) = product
+        .split_once('*')
+        .ok_or_else(|| format!("line {lineno}: step expression needs `a * b`"))?;
+    let (a_text, b_text) = (a_text.trim(), b_text.trim());
+    let (a_name, transpose_a) = match a_text.strip_suffix('\'') {
+        Some(stripped) => (stripped.trim(), true),
+        None => (a_text, false),
+    };
+    let a = resolve_operand(a_name, inputs, labels)
+        .ok_or_else(|| format!("line {lineno}: unknown left operand {a_name:?}"))?;
+    let b = resolve_operand(b_text, inputs, labels)
+        .ok_or_else(|| format!("line {lineno}: unknown right operand {b_text:?}"))?;
+    let mut post = Vec::new();
+    for clause in pieces {
+        let clause = clause.trim();
+        let (op, arg) = clause
+            .split_once(char::is_whitespace)
+            .map(|(o, a)| (o, a.trim()))
+            .unwrap_or((clause, ""));
+        match op {
+            "normalize" if arg.is_empty() => post.push(PostOp::ColumnNormalize),
+            "prune" => {
+                let tol = arg
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|v| v.is_finite() && *v >= 0.0)
+                    .ok_or_else(|| {
+                        format!("line {lineno}: prune needs a finite tolerance ≥ 0, got {arg:?}")
+                    })?;
+                post.push(PostOp::ThresholdPrune(tol));
+            }
+            "mask" => {
+                let operand = resolve_operand(arg, inputs, labels)
+                    .ok_or_else(|| format!("line {lineno}: unknown mask operand {arg:?}"))?;
+                post.push(PostOp::MaskBy(operand));
+            }
+            other => {
+                return Err(format!(
+                    "line {lineno}: unknown post-op {other:?} (expected normalize, prune, or mask)"
+                ))
+            }
+        }
+    }
+    Ok(ChainStep {
+        label: label.to_string(),
+        a,
+        transpose_a,
+        b,
+        post,
+    })
+}
+
+/// Renders a program back into the spec format parsed by
+/// [`parse_chain_spec`]; round-trips exactly.
+pub fn render_chain_spec(program: &ChainProgram) -> String {
+    let operand_name = |op: Operand| -> String {
+        match op {
+            Operand::Input(k) => program.inputs[k].clone(),
+            Operand::Step(j) => program.steps[j].label.clone(),
+        }
+    };
+    let mut out = format!("chain {}\n", program.name);
+    for input in &program.inputs {
+        out.push_str(&format!("input {input}\n"));
+    }
+    for step in &program.steps {
+        let tick = if step.transpose_a { "'" } else { "" };
+        out.push_str(&format!(
+            "step {} = {}{tick} * {}",
+            step.label,
+            operand_name(step.a),
+            operand_name(step.b)
+        ));
+        for post in &step.post {
+            match post {
+                PostOp::ColumnNormalize => out.push_str(" | normalize"),
+                PostOp::ThresholdPrune(tol) => out.push_str(&format!(" | prune {tol}")),
+                PostOp::MaskBy(op) => out.push_str(&format!(" | mask {}", operand_name(*op))),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical::Workload;
+
+    #[test]
+    fn canonical_programs_round_trip_through_the_spec_format() {
+        for w in Workload::canonical() {
+            let p = w.program();
+            let text = render_chain_spec(&p);
+            let back =
+                parse_chain_spec(&text).unwrap_or_else(|e| panic!("{}: {e}\n{text}", w.name()));
+            assert_eq!(back, p, "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn parses_the_documented_example() {
+        let text = "\
+# a Galerkin-ish chain
+chain my-workload
+input A
+input P
+step restrict = P' * A
+step coarsen  = restrict * P | normalize | prune 1e-4 | mask A
+";
+        let p = parse_chain_spec(text).unwrap();
+        assert_eq!(p.name, "my-workload");
+        assert_eq!(p.inputs, vec!["A".to_string(), "P".to_string()]);
+        assert_eq!(p.steps.len(), 2);
+        assert!(p.steps[0].transpose_a);
+        assert_eq!(p.steps[0].a, Operand::Input(1));
+        assert_eq!(p.steps[1].a, Operand::Step(0));
+        assert_eq!(
+            p.steps[1].post,
+            vec![
+                PostOp::ColumnNormalize,
+                PostOp::ThresholdPrune(1e-4),
+                PostOp::MaskBy(Operand::Input(0)),
+            ]
+        );
+        // Round trip.
+        assert_eq!(parse_chain_spec(&render_chain_spec(&p)).unwrap(), p);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        for (text, needle) in [
+            ("step s = A * A", "line 1"),                    // unknown operand
+            ("input A\ninput A", "line 2"),                  // duplicate input
+            ("input A\nstep s = A * A\ninput B", "line 3"),  // input after step
+            ("input A\nstep s = A + A", "line 2"),           // not a product
+            ("input A\nstep s = A * A | explode", "line 2"), // unknown post-op
+            ("input A\nstep s = A * A | prune x", "line 2"), // bad tolerance
+            ("input A\nstep s = A * A | mask Q", "line 2"),  // unknown mask
+            ("banana", "line 1"),                            // unknown keyword
+            ("chain a\nchain b", "line 2"),                  // duplicate chain
+            ("input A\nstep A = A * A", "line 2"),           // name collision
+        ] {
+            let err = parse_chain_spec(text).unwrap_err();
+            assert!(err.contains(needle), "{text:?} → {err}");
+        }
+        // No steps at all fails validation.
+        assert!(parse_chain_spec("input A\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let p = parse_chain_spec("\n# intro\ninput A # the matrix\n\nstep s = A * A\n").unwrap();
+        assert_eq!(p.inputs, vec!["A".to_string()]);
+        assert_eq!(p.steps.len(), 1);
+    }
+}

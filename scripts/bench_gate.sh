@@ -297,6 +297,66 @@ rm -f BENCH_reorder.t1.json BENCH_reorder.t8.json BENCH_reorder.rerun.json \
       reorder.t1.prom.jsonl reorder.t8.prom.jsonl reorder.rerun.prom.jsonl
 echo "ok: row reordering is byte-identical across thread counts and reruns"
 
+echo "== chain determinism: chained workloads must be byte-identical across threads and reruns =="
+# The chain suite runs each of the four canonical workloads against a
+# fresh per-case plan cache, so per-step hit/miss counters are pure
+# functions of the chain program — the report (chain section included)
+# and the metrics exposition (br_chain_* families included) must
+# byte-compare across BR_THREADS=1/8 and across reruns.
+BR_THREADS=1 $cli bench run --suite chain --no-host --out BENCH_chain.t1.json \
+    --metrics chain.t1.prom >/dev/null
+BR_THREADS=8 $cli bench run --suite chain --no-host --out BENCH_chain.t8.json \
+    --metrics chain.t8.prom >/dev/null
+BR_THREADS=8 $cli bench run --suite chain --no-host --out BENCH_chain.rerun.json \
+    --metrics chain.rerun.prom >/dev/null
+for pair in "BENCH_chain.t1.json BENCH_chain.t8.json" \
+            "BENCH_chain.t8.json BENCH_chain.rerun.json" \
+            "chain.t1.prom chain.t8.prom" \
+            "chain.t8.prom chain.rerun.prom" \
+            "chain.t1.prom.jsonl chain.t8.prom.jsonl" \
+            "chain.t8.prom.jsonl chain.rerun.prom.jsonl"; do
+    # shellcheck disable=SC2086  # intentional word split into the two paths
+    set -- $pair
+    if ! cmp -s "$1" "$2"; then
+        echo "error: chain output differs ($1 vs $2)" >&2
+        diff "$1" "$2" | head -40 >&2 || true
+        exit 1
+    fi
+done
+for family in br_chain_steps_total br_chain_step_cache_hits_total \
+              br_chain_step_cache_misses_total br_chain_structure_churn_total \
+              br_chain_fill_in_permille; do
+    if ! grep -q "^$family" chain.t8.prom; then
+        echo "error: expected metric family $family missing from chain.t8.prom" >&2
+        exit 1
+    fi
+done
+# The designed contrast, cell by cell: every galerkin case serves its
+# value-refreshed pass from the plan cache (exactly 2 hits), while every
+# iterated-squaring case churns structure on all 3 steps (0 hits,
+# 3 misses). Both workloads run over 3 datasets each.
+if ! awk '
+    /"workload":/   { w = $2; gsub(/[",]/, "", w) }
+    /"cache_hits":/   { v = $2; gsub(/,/, "", v)
+                        if (w == "galerkin") { g++; if (v != 2) bad = 1 }
+                        if (w == "square:3" && v != 0) bad = 1 }
+    /"cache_misses":/ { v = $2; gsub(/,/, "", v)
+                        if (w == "square:3") { s++; if (v != 3) bad = 1 } }
+    END { exit (bad || g != 3 || s != 3) }
+' BENCH_chain.t8.json; then
+    echo "error: chain suite hit/miss contrast broken (want galerkin=2 hits, square:3=3 misses per case)" >&2
+    grep -E '"(workload|cache_hits|cache_misses)":' BENCH_chain.t8.json >&2 || true
+    exit 1
+fi
+
+echo "== compare chain suite against results/baselines/BENCH_chain.json =="
+$cli bench compare results/baselines/BENCH_chain.json BENCH_chain.t1.json \
+    --cycles-pct "$threshold"
+rm -f BENCH_chain.t1.json BENCH_chain.t8.json BENCH_chain.rerun.json \
+      chain.t1.prom chain.t8.prom chain.rerun.prom \
+      chain.t1.prom.jsonl chain.t8.prom.jsonl chain.rerun.prom.jsonl
+echo "ok: chained workloads are byte-identical across thread counts and reruns"
+
 echo "== bench gate: quick suite, cycle threshold ${threshold}% =="
 $cli bench run --suite quick --out BENCH_quick.json
 

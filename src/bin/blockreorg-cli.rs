@@ -20,7 +20,14 @@
 //!   blockreorg-cli client --connect <addr> [--client-id <id>] --spec '<jobline>'
 //!                  [--count <n>] [--lane interactive|batch|alternate]
 //!                  [--deadline-ms <n>] [--release] [--shutdown] [--quiet]
-//!   blockreorg-cli bench run [--suite quick|full|scaling|estplan|kway|reorder] [--out <path>]
+//!   blockreorg-cli chain (--workload <spec> | --spec-file <path>)
+//!                  (--dataset <name> [--scale <div>] | --rmat <scale,ef> [--seed <n>]
+//!                   | --input <file.mtx>)
+//!                  [--device <name>] [--cache <entries>] [--threads <n>]
+//!                  [--reorder none|degree|rcm|cluster|auto]
+//!                  [--est-samples <n>] [--est-tolerance <f>] [--no-estimate]
+//!                  [--metrics <path>] [--metrics-timing]
+//!   blockreorg-cli bench run [--suite quick|full|scaling|estplan|kway|reorder|chain] [--out <path>]
 //!                  [--threads <n>] [--no-host] [--bins <tiny>,<heavy>[,<kway>]]
 //!                  [--est-samples <n>] [--est-tolerance <f>] [--no-estimate]
 //!                  [--metrics <path>] [--metrics-timing]
@@ -33,17 +40,19 @@
 //!   blockreorg-cli batch --jobs jobs.txt --device titanxp --workers 4
 //!   blockreorg-cli serve --listen 127.0.0.1:7474 --workers 2 --shed-threshold 64
 //!   blockreorg-cli client --connect 127.0.0.1:7474 --spec 'rmat=8,6' --count 4 --shutdown
+//!   blockreorg-cli chain --workload galerkin --rmat 9,6
+//!   blockreorg-cli chain --workload markov:4,0.001 --dataset emailEnron
 //!   blockreorg-cli --list
 //! ```
 //!
 //! Exit codes: 0 success, 1 runtime failure (I/O, failed jobs, failed
 //! verification), 2 usage error, 3 bind/listen failure in serve mode.
 
+use blockreorg::block_reorganizer::reorder::ReorderStrategy;
 use blockreorg::datasets::registry::ScaleFactor;
 use blockreorg::prelude::*;
 use blockreorg::service::job::{expand_jobs, parse_job_file};
 use blockreorg::sparse::io::read_matrix_market_file;
-use blockreorg::block_reorganizer::reorder::ReorderStrategy;
 use blockreorg::spgemm::estimate::{set_global_estimator, EstimatorConfig, EstimatorOverride};
 use blockreorg::spgemm::pipeline::run_method;
 use blockreorg::spgemm::ProblemContext;
@@ -99,9 +108,26 @@ struct ClientOptions {
     count: u64,
     lane: String,
     deadline_ms: u32,
+    chain: bool,
     release: bool,
     shutdown: bool,
     quiet: bool,
+}
+
+struct ChainOptions {
+    workload: Option<String>,
+    spec_file: Option<String>,
+    dataset: Option<String>,
+    rmat: Option<(u32, usize)>,
+    input: Option<String>,
+    scale: usize,
+    seed: u64,
+    device: String,
+    cache: usize,
+    metrics: Option<String>,
+    metrics_timing: bool,
+    estimator: Option<EstimatorConfig>,
+    reorder: ReorderStrategy,
 }
 
 fn print_usage() {
@@ -122,8 +148,18 @@ fn print_usage() {
     println!("                      [--metrics <path>] [--metrics-timing]");
     println!("       blockreorg-cli client --connect <addr> [--client-id <id>] --spec '<jobline>'");
     println!("                      [--count <n>] [--lane interactive|batch|alternate]");
-    println!("                      [--deadline-ms <n>] [--release] [--shutdown] [--quiet]");
-    println!("       blockreorg-cli bench run [--suite quick|full|scaling|estplan|kway|reorder]");
+    println!("                      [--deadline-ms <n>] [--chain] [--release] [--shutdown]");
+    println!("                      [--quiet]");
+    println!("       blockreorg-cli chain (--workload <spec> | --spec-file <path>)");
+    println!("                      (--dataset <name> [--scale <div>] | --rmat <scale,ef>");
+    println!("                       [--seed <n>] | --input <file.mtx>)");
+    println!("                      [--device <name>] [--cache <entries>] [--threads <n>]");
+    println!("                      [--reorder none|degree|rcm|cluster|auto]");
+    println!("                      [--est-samples <n>] [--est-tolerance <f>] [--no-estimate]");
+    println!("                      [--metrics <path>] [--metrics-timing]");
+    println!(
+        "       blockreorg-cli bench run [--suite quick|full|scaling|estplan|kway|reorder|chain]"
+    );
     println!("                      [--out <path>]");
     println!("                      [--threads <n>] [--no-host] [--bins <tiny>,<heavy>[,<kway>]]");
     println!("                      [--est-samples <n>] [--est-tolerance <f>] [--no-estimate]");
@@ -178,13 +214,26 @@ fn print_usage() {
     println!("'#' starts a comment. --queue-cap bounds the submission queue; jobs beyond");
     println!("the bound are reported as failures instead of queued.");
     println!();
+    println!("chain mode runs a multiplication workload — a DAG of SpGEMM steps with");
+    println!("optional element-wise post-ops — through the plan-cached service executor");
+    println!("and prints a per-step table (cache hit/miss, fresh vs reused structure,");
+    println!("method, time, output size). --workload takes a canonical spec:");
+    println!("'square:<k>' (iterated squaring), 'triangle' (masked A^2 count),");
+    println!("'markov:<iters>,<tol>' (MCL expansion/inflation), or 'galerkin'");
+    println!("(P'AP restriction, run twice to demonstrate plan-cache reuse).");
+    println!("--spec-file loads the generic chain format (see DESIGN.md section 16);");
+    println!("generic files must declare exactly one input, bound to the loaded matrix.");
+    println!("Chain results are bit-identical at any --threads / --reorder setting.");
+    println!();
     println!("serve mode hosts the br-net TCP front end (length-prefixed binary frames,");
     println!("interactive/batch priority lanes, per-client quotas, load shedding at");
     println!("--shed-threshold, per-request deadlines, graceful drain on a Shutdown");
     println!("frame). --hold keeps the worker gate closed until a client sends Release,");
     println!("making shed/quota accounting a pure function of arrival order. --port-file");
     println!("writes the bound address (useful with ':0' ephemeral listens). client mode");
-    println!("submits --count copies of the --spec job line and prints the response tally.");
+    println!("submits --count copies of the --spec job line and prints the response tally;");
+    println!("--chain sends SubmitChain frames instead (the spec needs a chain=<workload>");
+    println!("key, e.g. 'chain=galerkin rmat=8,6'), answered with per-step ChainResults.");
     println!();
     println!("exit codes: 0 success, 1 runtime failure, 2 usage error, 3 bind/listen");
     println!("failure in serve mode");
@@ -403,6 +452,7 @@ fn parse_client_options(args: &mut dyn Iterator<Item = String>) -> ClientOptions
         count: 1,
         lane: "interactive".to_string(),
         deadline_ms: 0,
+        chain: false,
         release: false,
         shutdown: false,
         quiet: false,
@@ -417,6 +467,7 @@ fn parse_client_options(args: &mut dyn Iterator<Item = String>) -> ClientOptions
             "--client-id" => o.client_id = next_value(args, "--client-id"),
             "--spec" => o.spec = Some(next_value(args, "--spec")),
             "--lane" => o.lane = next_value(args, "--lane"),
+            "--chain" => o.chain = true,
             "--release" => o.release = true,
             "--shutdown" => o.shutdown = true,
             "--quiet" => o.quiet = true,
@@ -436,6 +487,78 @@ fn parse_client_options(args: &mut dyn Iterator<Item = String>) -> ClientOptions
             other => usage_and_exit(&format!("unknown flag {other:?} in client mode")),
         }
     }
+    o
+}
+
+fn parse_chain_options(args: &mut dyn Iterator<Item = String>) -> ChainOptions {
+    let mut o = ChainOptions {
+        workload: None,
+        spec_file: None,
+        dataset: None,
+        rmat: None,
+        input: None,
+        scale: 16,
+        seed: 42,
+        device: "titanxp".to_string(),
+        cache: 32,
+        metrics: None,
+        metrics_timing: false,
+        estimator: None,
+        reorder: ReorderStrategy::None,
+    };
+    let mut est = EstimatorFlags::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                print_usage();
+                exit(0)
+            }
+            "--workload" => o.workload = Some(next_value(args, "--workload")),
+            "--spec-file" => o.spec_file = Some(next_value(args, "--spec-file")),
+            "--dataset" => o.dataset = Some(next_value(args, "--dataset")),
+            "--input" => o.input = Some(next_value(args, "--input")),
+            "--device" => o.device = next_value(args, "--device"),
+            "--metrics" => o.metrics = Some(next_value(args, "--metrics")),
+            "--metrics-timing" => o.metrics_timing = true,
+            "--scale" => {
+                o.scale = next_value(args, "--scale")
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("--scale must be a positive integer"))
+            }
+            "--seed" => {
+                o.seed = next_value(args, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("--seed must be an integer"))
+            }
+            "--cache" => {
+                o.cache = next_value(args, "--cache")
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("--cache must be a positive integer"));
+            }
+            "--rmat" => {
+                let v = next_value(args, "--rmat");
+                let parts: Vec<&str> = v.split(',').collect();
+                if parts.len() != 2 {
+                    usage_and_exit("--rmat expects <scale,edge-factor>");
+                }
+                let s = parts[0]
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("bad rmat scale"));
+                let ef = parts[1]
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("bad rmat edge factor"));
+                o.rmat = Some((s, ef));
+            }
+            "--threads" => apply_threads_flag(&next_value(args, "--threads")),
+            "--reorder" => o.reorder = parse_reorder_flag(&next_value(args, "--reorder")),
+            other => {
+                if !est.try_parse(other, args) {
+                    usage_and_exit(&format!("unknown flag {other:?} in chain mode"))
+                }
+            }
+        }
+    }
+    o.estimator = est.service_estimator();
     o
 }
 
@@ -593,11 +716,12 @@ fn report(name: &str, total_ms: f64, gflops: f64, nnz_c: usize) {
 /// `--metrics-timing` adds the timing families (queue depths, wall-clock
 /// histograms, span durations) for human inspection.
 fn write_metrics(path: &str, timing: bool) {
-    // Pre-register every merge and reorder instrument cell so the exported
-    // cell set is byte-identical whether or not the run exercised each bin
-    // or reorder strategy.
+    // Pre-register every merge, reorder, and chain instrument cell so the
+    // exported cell set is byte-identical whether or not the run exercised
+    // each bin, reorder strategy, or chain step.
     blockreorg::spgemm::accum::register_merge_instruments();
     blockreorg::block_reorganizer::reorder::register_reorder_instruments();
+    blockreorg::service::chain::register_chain_instruments(blockreorg::obs::global());
     let reg = blockreorg::obs::global();
     if let Err(e) = std::fs::write(path, reg.render_prometheus(timing)) {
         runtime_error(&format!("cannot write {path}: {e}"));
@@ -782,9 +906,15 @@ fn run_client_mode(o: ClientOptions) -> ! {
         runtime_error(&format!("client error: {e}"))
     };
     for id in 0..o.count {
-        client
-            .submit(id, lane_of(id), o.deadline_ms, &spec)
-            .unwrap_or_else(|e| fail(e));
+        if o.chain {
+            client
+                .submit_chain(id, lane_of(id), o.deadline_ms, &spec)
+                .unwrap_or_else(|e| fail(e));
+        } else {
+            client
+                .submit(id, lane_of(id), o.deadline_ms, &spec)
+                .unwrap_or_else(|e| fail(e));
+        }
     }
     if o.release {
         client.release().unwrap_or_else(|e| fail(e));
@@ -825,12 +955,145 @@ fn run_client_mode(o: ClientOptions) -> ! {
                 if *cache_hit { "hit" } else { "miss" }
             );
         }
+        for (id, steps, cached) in &summary.chain_results {
+            println!("  request {id}: chain result ({steps} steps, {cached} plan-cache hits)");
+        }
         for id in &summary.shed {
             println!("  request {id}: shed");
         }
         for (id, reason) in &summary.rejected {
             println!("  request {id}: rejected ({reason})");
         }
+    }
+    exit(0)
+}
+
+/// `chain` — runs one multiplication workload (a DAG of SpGEMM steps with
+/// element-wise post-ops) through the plan-cached chain executor and
+/// prints the per-step table: which steps hit the plan cache, which saw a
+/// fresh operand structure, and what each step cost.
+fn run_chain_mode(o: ChainOptions) -> ! {
+    use blockreorg::bench::report::Table;
+    use blockreorg::gpu_sim::sim::GpuSimulator;
+    use blockreorg::service::chain::{self, ChainRequest};
+    use blockreorg::spgemm::accum::ScratchPool;
+    use blockreorg::workloads::{parse_chain_spec, Workload};
+    use std::sync::Arc;
+
+    let a: CsrMatrix<f64> = if let Some(path) = &o.input {
+        read_matrix_market_file::<f64, _>(path)
+            .unwrap_or_else(|e| runtime_error(&format!("cannot read {path}: {e}")))
+    } else if let Some(name) = &o.dataset {
+        RealWorldRegistry::get(name)
+            .unwrap_or_else(|| {
+                let valid: Vec<&str> = RealWorldRegistry::all().iter().map(|s| s.name).collect();
+                usage_and_exit(&format!(
+                    "unknown dataset {name:?}; valid datasets: {}",
+                    valid.join(", ")
+                ))
+            })
+            .generate(ScaleFactor::Div(o.scale))
+    } else if let Some((scale, ef)) = o.rmat {
+        rmat(RmatConfig::graph500(scale, ef, o.seed)).to_csr()
+    } else {
+        usage_and_exit("chain mode needs one of --dataset / --rmat / --input")
+    };
+    println!("A: {}x{}, nnz {}", a.nrows(), a.ncols(), a.nnz());
+
+    let request = match (&o.workload, &o.spec_file) {
+        (Some(_), Some(_)) => usage_and_exit("--workload and --spec-file are mutually exclusive"),
+        (None, None) => usage_and_exit("chain mode needs --workload <spec> or --spec-file <path>"),
+        (Some(w), None) => {
+            let workload = Workload::parse(w).unwrap_or_else(|e| usage_and_exit(&e));
+            ChainRequest::workload(0, workload, &a)
+        }
+        (None, Some(path)) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| runtime_error(&format!("cannot read {path}: {e}")));
+            let program =
+                parse_chain_spec(&text).unwrap_or_else(|e| runtime_error(&format!("{path}: {e}")));
+            if program.inputs.len() != 1 {
+                runtime_error(&format!(
+                    "{path}: generic spec files must declare exactly one input (found {}); \
+                     multi-input workloads go through --workload",
+                    program.inputs.len()
+                ));
+            }
+            ChainRequest::program(0, program, vec![Arc::new(a)])
+        }
+    };
+
+    let device = device_of(&o.device);
+    if o.metrics_timing {
+        blockreorg::obs::install_wall_clock(blockreorg::obs::global());
+    }
+    // Chain counters land in the process-wide registry, so one --metrics
+    // dump covers the plan cache, the simulator, and the chain roll-up.
+    let registry = blockreorg::obs::global_arc();
+    let instruments = chain::register_chain_instruments(&registry);
+    let cache = PlanCache::with_registry(o.cache, registry.clone());
+    let sim = GpuSimulator::new(device.clone());
+    let pool = ScratchPool::new();
+    println!(
+        "chain {}: {} steps on {}, plan cache {} entries\n",
+        request.label,
+        request.program.steps.len(),
+        device.name,
+        o.cache
+    );
+
+    let outcome = chain::execute_chain(
+        0,
+        &device,
+        &sim,
+        &cache,
+        &pool,
+        o.estimator,
+        o.reorder,
+        &instruments,
+        &registry,
+        request,
+        0.0,
+    )
+    .unwrap_or_else(|e| runtime_error(&format!("chain failed: {}", e.message)));
+
+    let mut table = Table::new(vec![
+        "step",
+        "plan",
+        "structure",
+        "method",
+        "time (ms)",
+        "product nnz",
+        "output nnz",
+        "fill-in",
+    ]);
+    for s in &outcome.steps {
+        table.row(vec![
+            format!("{}:{}", s.index, s.label),
+            if s.cache_hit { "hit" } else { "miss" }.to_string(),
+            if s.fresh_structure { "fresh" } else { "reused" }.to_string(),
+            s.method.to_string(),
+            format!("{:.4}", s.total_ms),
+            s.product_nnz.to_string(),
+            s.output_nnz.to_string(),
+            format!("{:.3}x", s.fill_in_permille as f64 / 1000.0),
+        ]);
+    }
+    table.print();
+    println!();
+    println!(
+        "chain {}: {} steps, {} plan-cache hits / {} misses, {} fresh structures, \
+         {:.4} ms simulated, result nnz {}",
+        outcome.label,
+        outcome.steps.len(),
+        outcome.cache_hits(),
+        outcome.cache_misses(),
+        outcome.structure_churn(),
+        outcome.total_ms,
+        outcome.result.nnz()
+    );
+    if let Some(path) = &o.metrics {
+        write_metrics(path, o.metrics_timing);
     }
     exit(0)
 }
@@ -859,7 +1122,7 @@ fn run_bench_mode(args: &mut dyn Iterator<Item = String>) -> ! {
                             .unwrap_or_else(|| usage_and_exit("missing --suite value"));
                         suite = Suite::parse(&v).unwrap_or_else(|| {
                             usage_and_exit(&format!(
-                                "unknown suite {v:?}; valid suites: quick, full, scaling, estplan, kway, reorder"
+                                "unknown suite {v:?}; valid suites: quick, full, scaling, estplan, kway, reorder, chain"
                             ))
                         });
                     }
@@ -922,8 +1185,9 @@ fn run_bench_mode(args: &mut dyn Iterator<Item = String>) -> ! {
             if let Some(metrics_path) = &metrics {
                 write_metrics(metrics_path, metrics_timing);
             }
+            let chain_cases = report.chain.as_ref().map_or(0, |c| c.cases.len());
             println!(
-                "\nwrote {path}: {} cases, model v{}, git {}",
+                "\nwrote {path}: {} cases ({chain_cases} chain), model v{}, git {}",
                 report.cases.len(),
                 report.model_version,
                 report.git_sha
@@ -1005,6 +1269,11 @@ fn main() {
             args.next();
             let o = parse_client_options(&mut args);
             run_client_mode(o)
+        }
+        Some("chain") => {
+            args.next();
+            let o = parse_chain_options(&mut args);
+            run_chain_mode(o)
         }
         Some("bench") => {
             args.next();

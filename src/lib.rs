@@ -33,6 +33,7 @@ pub use br_obs as obs;
 pub use br_service as service;
 pub use br_sparse as sparse;
 pub use br_spgemm as spgemm;
+pub use br_workloads as workloads;
 
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
@@ -51,4 +52,5 @@ pub mod prelude {
     pub use br_sparse::stats::DegreeStats;
     pub use br_sparse::{CooMatrix, CscMatrix, CsrMatrix, Scalar};
     pub use br_spgemm::pipeline::{SpgemmMethod, SpgemmRun};
+    pub use br_workloads::{ChainProgram, ChainStep, Operand, PostOp, Workload};
 }

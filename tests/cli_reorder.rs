@@ -9,7 +9,13 @@ fn run_batch_with_reorder(value: &str) -> std::process::Output {
     // `--jobs` is checked after flag parsing, so a bad strategy fails
     // first and a good one falls through to the missing-file error.
     Command::new(env!("CARGO_BIN_EXE_blockreorg-cli"))
-        .args(["batch", "--jobs", "/nonexistent/jobs.txt", "--reorder", value])
+        .args([
+            "batch",
+            "--jobs",
+            "/nonexistent/jobs.txt",
+            "--reorder",
+            value,
+        ])
         .output()
         .expect("CLI binary runs")
 }
